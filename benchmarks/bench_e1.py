@@ -1,0 +1,19 @@
+"""Benchmark E1: Theorem 1 — RAND-GREEN is O(log p)-competitive for green paging.
+
+Regenerates the E1 table (DESIGN.md §5); the rendered report is written
+to ``benchmarks/out/e1.md``.  Run with ``--repro-scale full`` to
+reproduce the numbers recorded in EXPERIMENTS.md.
+"""
+
+from repro.analysis.report import write_report
+from repro.experiments import e1_rand_green
+
+
+def bench_e1(benchmark, repro_scale, out_dir):
+    rows, text = benchmark.pedantic(
+        e1_rand_green, kwargs={"scale": repro_scale, "seed": 0}, rounds=1, iterations=1
+    )
+    write_report(text, out_dir / "e1.md", echo=False)
+    assert rows, "experiment produced no rows"
+    # Theorem 1 sanity: an online algorithm cannot beat offline OPT
+    assert all(r["ratio_mean"] >= 0.99 for r in rows)

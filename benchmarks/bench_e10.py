@@ -1,0 +1,18 @@
+"""Benchmark E10: shared pages (beyond the paper — the conclusion's open problem).
+
+Regenerates the E10 table; report written to ``benchmarks/out/e10.md``.
+"""
+
+from repro.analysis.report import write_report
+from repro.experiments import e10_shared_pages
+
+
+def bench_e10(benchmark, repro_scale, out_dir):
+    rows, text = benchmark.pedantic(
+        e10_shared_pages, kwargs={"scale": repro_scale, "seed": 0}, rounds=1, iterations=1
+    )
+    write_report(text, out_dir / "e10.md", echo=False)
+    assert rows, "experiment produced no rows"
+    # with no sharing the shared cache has no advantage; with heavy sharing it wins
+    assert rows[0]["global/det-par"] >= rows[-1]["global/det-par"]
+    assert rows[-1]["global-lru"] < rows[-1]["det-par"]

@@ -1,0 +1,19 @@
+"""Benchmark E11: in-box replacement ablation (what the WLOG-to-LRU costs).
+
+Regenerates the E11 table; report written to ``benchmarks/out/e11.md``.
+"""
+
+from repro.analysis.report import write_report
+from repro.experiments import e11_inbox_policy
+
+
+def bench_e11(benchmark, repro_scale, out_dir):
+    rows, text = benchmark.pedantic(
+        e11_inbox_policy, kwargs={"scale": repro_scale, "seed": 0}, rounds=1, iterations=1
+    )
+    write_report(text, out_dir / "e11.md", echo=False)
+    assert rows, "experiment produced no rows"
+    # Sleator–Tarjan augmentation: LRU at 2h never trails MIN at h
+    assert all(r["lru@2h/min"] >= 1.0 for r in rows)
+    # and same-height MIN never loses to LRU (it is offline optimal)
+    assert all(r["min/lru"] >= 1.0 for r in rows)

@@ -1,0 +1,19 @@
+"""Benchmark E2: Observation 1 — chunk primary/secondary balance in RAND-PAR.
+
+Regenerates the E2 table (DESIGN.md §5); the rendered report is written
+to ``benchmarks/out/e2.md``.  Run with ``--repro-scale full`` to
+reproduce the numbers recorded in EXPERIMENTS.md.
+"""
+
+from repro.analysis.report import write_report
+from repro.experiments import e2_chunk_balance
+
+
+def bench_e2(benchmark, repro_scale, out_dir):
+    rows, text = benchmark.pedantic(
+        e2_chunk_balance, kwargs={"scale": repro_scale, "seed": 0}, rounds=1, iterations=1
+    )
+    write_report(text, out_dir / "e2.md", echo=False)
+    assert rows, "experiment produced no rows"
+    # Observation 1: analytic E[l2]/l1 is Θ(1)
+    assert all(0.4 <= r["analytic_len_ratio"] <= 2.5 for r in rows)

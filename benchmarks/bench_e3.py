@@ -1,0 +1,20 @@
+"""Benchmark E3: Theorem 2 — RAND-PAR makespan is O(log p · T_OPT).
+
+Regenerates the E3 table (DESIGN.md §5); the rendered report is written
+to ``benchmarks/out/e3.md``.  Run with ``--repro-scale full`` to
+reproduce the numbers recorded in EXPERIMENTS.md.
+"""
+
+from repro.analysis.report import write_report
+from repro.experiments import e3_rand_par
+
+
+def bench_e3(benchmark, repro_scale, out_dir):
+    rows, text = benchmark.pedantic(
+        e3_rand_par, kwargs={"scale": repro_scale, "seed": 0}, rounds=1, iterations=1
+    )
+    write_report(text, out_dir / "e3.md", echo=False)
+    assert rows, "experiment produced no rows"
+    import math
+    # Theorem 2 shape: ratio bounded by a small multiple of log2 p
+    assert all(r["makespan_ratio"] <= 3 * math.log2(max(2, r["p"])) + 4 for r in rows)

@@ -1,0 +1,20 @@
+"""Benchmark E5: Theorem 3 — DET-PAR O(log p) makespan vs all baselines.
+
+Regenerates the E5 table (DESIGN.md §5); the rendered report is written
+to ``benchmarks/out/e5.md``.  Run with ``--repro-scale full`` to
+reproduce the numbers recorded in EXPERIMENTS.md.
+"""
+
+from repro.analysis.report import write_report
+from repro.experiments import e5_makespan
+
+
+def bench_e5(benchmark, repro_scale, out_dir):
+    rows, text = benchmark.pedantic(
+        e5_makespan, kwargs={"scale": repro_scale, "seed": 0}, rounds=1, iterations=1
+    )
+    write_report(text, out_dir / "e5.md", echo=False)
+    assert rows, "experiment produced no rows"
+    algs = {r["algorithm"] for r in rows}
+    assert {"det-par", "rand-par", "black-box-green", "equal-partition",
+            "best-static-partition", "global-lru"} <= algs

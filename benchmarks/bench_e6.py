@@ -1,0 +1,22 @@
+"""Benchmark E6: Corollary 3 — DET-PAR O(log p) mean completion time.
+
+Regenerates the E6 table (DESIGN.md §5); the rendered report is written
+to ``benchmarks/out/e6.md``.  Run with ``--repro-scale full`` to
+reproduce the numbers recorded in EXPERIMENTS.md.
+"""
+
+from repro.analysis.report import write_report
+from repro.experiments import e6_mean_completion
+
+
+def bench_e6(benchmark, repro_scale, out_dir):
+    rows, text = benchmark.pedantic(
+        e6_mean_completion, kwargs={"scale": repro_scale, "seed": 0}, rounds=1, iterations=1
+    )
+    write_report(text, out_dir / "e6.md", echo=False)
+    assert rows, "experiment produced no rows"
+    import math
+    # Corollary 3 shape for the paper's algorithms
+    for r in rows:
+        if r["algorithm"] in ("det-par", "rand-par"):
+            assert r["mean_completion_ratio"] <= 3 * math.log2(max(2, r["p"])) + 4

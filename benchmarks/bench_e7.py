@@ -1,0 +1,20 @@
+"""Benchmark E7: Theorem 4 — greedily-green black-box separation on the adversarial instance.
+
+Regenerates the E7 table (DESIGN.md §5); the rendered report is written
+to ``benchmarks/out/e7.md``.  Run with ``--repro-scale full`` to
+reproduce the numbers recorded in EXPERIMENTS.md.
+"""
+
+from repro.analysis.report import write_report
+from repro.experiments import e7_lower_bound
+
+
+def bench_e7(benchmark, repro_scale, out_dir):
+    rows, text = benchmark.pedantic(
+        e7_lower_bound, kwargs={"scale": repro_scale, "seed": 0}, rounds=1, iterations=1
+    )
+    write_report(text, out_dir / "e7.md", echo=False)
+    assert rows, "experiment produced no rows"
+    # Theorem 4: the separation grows with p
+    ratios = [r["blackbox_ratio"] for r in rows]
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,20 @@
+"""Benchmark E8: §3.1 ablation — the 1/j² height distribution is necessary.
+
+Regenerates the E8 table (DESIGN.md §5); the rendered report is written
+to ``benchmarks/out/e8.md``.  Run with ``--repro-scale full`` to
+reproduce the numbers recorded in EXPERIMENTS.md.
+"""
+
+from repro.analysis.report import write_report
+from repro.experiments import e8_ablation
+
+
+def bench_e8(benchmark, repro_scale, out_dir):
+    rows, text = benchmark.pedantic(
+        e8_ablation, kwargs={"scale": repro_scale, "seed": 0}, rounds=1, iterations=1
+    )
+    write_report(text, out_dir / "e8.md", echo=False)
+    assert rows, "experiment produced no rows"
+    # Lemma 1 ablation: at the largest p the ordering is strict
+    last = rows[-1]
+    assert last["inverse_square"] < last["inverse_linear"] < last["uniform"]

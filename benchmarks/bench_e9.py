@@ -1,0 +1,19 @@
+"""Benchmark E9: Derandomization — DET-GREEN matches RAND-GREEN.
+
+Regenerates the E9 table (DESIGN.md §5); the rendered report is written
+to ``benchmarks/out/e9.md``.  Run with ``--repro-scale full`` to
+reproduce the numbers recorded in EXPERIMENTS.md.
+"""
+
+from repro.analysis.report import write_report
+from repro.experiments import e9_det_green
+
+
+def bench_e9(benchmark, repro_scale, out_dir):
+    rows, text = benchmark.pedantic(
+        e9_det_green, kwargs={"scale": repro_scale, "seed": 0}, rounds=1, iterations=1
+    )
+    write_report(text, out_dir / "e9.md", echo=False)
+    assert rows, "experiment produced no rows"
+    # derandomization costs at most a small constant
+    assert all(r["det/rand"] <= 2.0 for r in rows)

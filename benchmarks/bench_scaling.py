@@ -1,0 +1,33 @@
+"""Scaling benchmarks: simulator cost as p grows.
+
+Guards the simulators' practical complexity: DET-PAR's event loop and
+RAND-PAR's chunk loop should scale near-linearly in total requests for
+fixed per-processor work (each box serves Θ(height) requests and the
+number of concurrent boxes is bounded by the capacity ledger).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DetPar, RandPar
+from repro.workloads import make_parallel_workload
+
+
+@pytest.mark.parametrize("p", [4, 16, 64])
+def bench_det_par_scaling(benchmark, p):
+    wl = make_parallel_workload(p=p, n_requests=200, k=4 * p, rng=np.random.default_rng(p), kind="multiscale")
+
+    def run():
+        return DetPar(8 * p, 16).run(wl).makespan
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.parametrize("p", [4, 16, 64])
+def bench_rand_par_scaling(benchmark, p):
+    wl = make_parallel_workload(p=p, n_requests=200, k=4 * p, rng=np.random.default_rng(p), kind="multiscale")
+
+    def run():
+        return RandPar(8 * p, 16, np.random.default_rng(0)).run(wl).makespan
+
+    assert benchmark(run) > 0

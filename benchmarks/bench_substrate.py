@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+These guard the performance-critical building blocks (per the HPC guide:
+measure before and after any optimization).  They are conventional
+pytest-benchmark timings — many rounds, statistics — unlike the one-shot
+experiment benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DetPar, HeightLattice, RandPar
+from repro.green import optimal_box_profile
+from repro.paging import BeladySimulation, LRUCache, miss_ratio_curve, run_box
+from repro.workloads import ParallelWorkload, cyclic, make_parallel_workload, zipf
+
+
+RNG = np.random.default_rng(1234)
+SEQ_ZIPF = zipf(50_000, 4096, 1.1, RNG)
+SEQ_CYCLE = cyclic(50_000, 300)
+
+
+def bench_lru_touch_zipf(benchmark):
+    """LRU throughput on a skewed trace (hash + linked-list hot loop)."""
+
+    def run():
+        cache = LRUCache(256)
+        for page in SEQ_ZIPF:
+            cache.touch(int(page))
+        return cache.faults
+
+    faults = benchmark(run)
+    assert faults > 0
+
+
+def bench_run_box_engine(benchmark):
+    """The box engine on a cache-sized cycle: the repo's hottest path."""
+
+    def run():
+        return run_box(SEQ_CYCLE, 0, 512, 512 * 16, 16).end
+
+    end = benchmark(run)
+    assert end > 0
+
+
+def bench_belady(benchmark):
+    """Offline MIN with the lazy max-heap."""
+
+    def run():
+        sim = BeladySimulation(SEQ_ZIPF[:20_000], 256)
+        sim.run()
+        return sim.faults
+
+    faults = benchmark(run)
+    assert faults > 0
+
+
+def bench_miss_ratio_curve(benchmark):
+    """Mattson stack distances over a Fenwick tree."""
+    curve = benchmark(miss_ratio_curve, SEQ_ZIPF[:20_000], 1024)
+    assert curve.n == 20_000
+
+
+def bench_offline_green_dp(benchmark):
+    """The offline green-paging DP (OPT comparator of E1/E8/E9)."""
+    lattice = HeightLattice(64, 16)
+    seq = cyclic(3_000, 24)
+
+    result = benchmark(optimal_box_profile, seq, lattice, 128)
+    assert result.impact > 0
+
+
+def bench_det_par_simulation(benchmark):
+    """End-to-end DET-PAR event simulation (8 processors)."""
+    wl = make_parallel_workload(p=8, n_requests=400, k=64, rng=np.random.default_rng(7))
+
+    def run():
+        return DetPar(128, 16).run(wl).makespan
+
+    makespan = benchmark(run)
+    assert makespan > 0
+
+
+def bench_rand_par_simulation(benchmark):
+    """End-to-end RAND-PAR chunk simulation (8 processors)."""
+    wl = make_parallel_workload(p=8, n_requests=400, k=64, rng=np.random.default_rng(8))
+
+    def run():
+        return RandPar(128, 16, np.random.default_rng(0)).run(wl).makespan
+
+    makespan = benchmark(run)
+    assert makespan > 0

@@ -1,0 +1,35 @@
+"""Benchmark-suite configuration.
+
+Experiment benchmarks (bench_e1 … bench_e9) each regenerate one experiment
+table from DESIGN.md §5 and persist it under ``benchmarks/out/`` so the
+results survive pytest's output capture.  The ``scale`` is controlled with
+``--repro-scale`` (default "quick"; pass "full" to reproduce the
+EXPERIMENTS.md numbers — several minutes).
+"""
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="quick",
+        choices=("quick", "full"),
+        help="experiment scale for the eX benchmarks",
+    )
+
+
+@pytest.fixture
+def repro_scale(request):
+    return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture
+def out_dir():
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR

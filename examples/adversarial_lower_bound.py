@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""The Theorem 4 construction: being green costs a log factor on makespan.
+
+Builds the paper's §4 adversarial instances — repeater/polluter prefixes in
+geometric families plus unique-page suffixes — and shows that a parallel
+scheduler built on a *greedily green* black box (impact-frugal per
+processor) falls behind the impact-wasteful Lemma-8 OPT schedule by a
+factor that grows with p like log p / log log p.
+
+Run:  python examples/adversarial_lower_bound.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import BlackBoxPar, DetPar, build_adversarial_instance, lemma8_opt_makespan
+from repro.analysis import fit_growth, render_table
+
+
+def main() -> None:
+    rows = []
+    for ell in (2, 3, 4):
+        inst = build_adversarial_instance(ell, alpha=0.25, suffix_phase_multiplier=1)
+        s = inst.recommended_miss_cost()
+        opt = lemma8_opt_makespan(inst, s)
+        black_box = BlackBoxPar(2 * inst.k, s).run(inst.workload)
+        det_par = DetPar(2 * inst.k, s).run(inst.workload)
+        logp = math.log2(inst.p)
+        rows.append(
+            {
+                "p": inst.p,
+                "k": inst.k,
+                "prefixed_seqs": sum(1 for f in inst.family_of if f >= 0),
+                "opt(lemma 8)": opt,
+                "black-box ratio": round(black_box.makespan / opt, 3),
+                "det-par ratio": round(det_par.makespan / opt, 3),
+                "log p/log log p": round(logp / math.log2(max(2.0, logp)), 3),
+            }
+        )
+    print(render_table(rows, title="Theorem 4 separation (suffix_phase_multiplier=1)"))
+
+    fit = fit_growth([r["p"] for r in rows], [r["black-box ratio"] for r in rows], "log_over_loglog")
+    print(f"fit: ratio ≈ {fit.intercept:.2f} + {fit.slope:.2f}·(log p / log log p),  R²={fit.r_squared:.3f}")
+    print(
+        "\nOPT wastes impact on purpose — full-cache boxes rush each prefix —\n"
+        "then runs every suffix in parallel.  Any allocator pinned to near-\n"
+        "minimal impact must crawl through the prefixes with minimum boxes,\n"
+        "spreading the suffixes over ~log p eras instead of ~log log p."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Extending the library: write, register, and evaluate your own scheduler.
+
+Template for downstream users.  We implement GREEDY-MRC, a plausible
+heuristic a systems person might try: profile each program's miss-ratio
+curve on a prefix, then allocate the cache by repeatedly giving the next
+page to whoever's curve says it saves the most misses (greedy waterfill),
+and re-run as a static partition.  It is *adaptive* (looks at requests),
+unlike the paper's oblivious algorithms — and still carries no worst-case
+guarantee, which the comparison makes visible.
+
+What the template shows:
+
+1. implement ``run(workload) -> ParallelRunResult`` using the library's
+   substrate (``LRUCache``, ``BoxRecord``);
+2. register the algorithm by name so the harness, sweeps, and CLI can use
+   it like any built-in;
+3. evaluate it with the same certified-lower-bound methodology.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+from typing import List
+
+import numpy as np
+
+from repro import ParallelWorkload, make_parallel_workload, makespan_lower_bound, miss_ratio_curve, summarize
+from repro.analysis import render_table
+from repro.paging import LRUCache
+from repro.parallel import BoxRecord, ParallelRunResult, make_algorithm, register_algorithm
+
+
+class GreedyMRC:
+    """Static partition chosen by greedy marginal-benefit waterfilling."""
+
+    name = "greedy-mrc"
+
+    def __init__(self, cache_size: int, miss_cost: int, profile_fraction: float = 0.25) -> None:
+        self.cache_size = int(cache_size)
+        self.miss_cost = int(miss_cost)
+        self.profile_fraction = float(profile_fraction)
+
+    def _allocate(self, workload: ParallelWorkload) -> List[int]:
+        """One page to everyone, then greedily to the largest marginal win."""
+        p = workload.p
+        curves = []
+        for seq in workload.sequences:
+            prefix = seq[: max(1, int(len(seq) * self.profile_fraction))]
+            curves.append(miss_ratio_curve(prefix, max_capacity=self.cache_size))
+        alloc = [1 if len(seq) else 0 for seq in workload.sequences]
+        budget = self.cache_size - sum(alloc)
+        while budget > 0:
+            gains = [
+                curves[i].fault_count(alloc[i]) - curves[i].fault_count(alloc[i] + 1)
+                if len(workload.sequences[i])
+                else -1
+                for i in range(p)
+            ]
+            best = int(np.argmax(gains))
+            if gains[best] <= 0:
+                break  # nobody benefits; leave the rest unallocated
+            alloc[best] += 1
+            budget -= 1
+        return alloc
+
+    def run(self, workload: ParallelWorkload) -> ParallelRunResult:
+        """Profile, allocate, then run each program on its private share."""
+        s = self.miss_cost
+        alloc = self._allocate(workload)
+        completion = np.zeros(workload.p, dtype=np.int64)
+        trace: List[BoxRecord] = []
+        for i, seq in enumerate(workload.sequences):
+            if len(seq) == 0 or alloc[i] == 0:
+                continue
+            cache = LRUCache(alloc[i])
+            hits = sum(cache.touch(int(x)) for x in seq)
+            t = hits + s * (len(seq) - hits)
+            completion[i] = t
+            trace.append(
+                BoxRecord(
+                    proc=i, height=alloc[i], start=0, end=t,
+                    served_start=0, served_end=len(seq),
+                    hits=hits, faults=len(seq) - hits, tag="greedy-mrc",
+                )
+            )
+        return ParallelRunResult(
+            algorithm=self.name,
+            completion_times=completion,
+            trace=trace,
+            cache_size=self.cache_size,
+            miss_cost=s,
+            meta={"allocation": alloc},
+        )
+
+
+def main() -> None:
+    # step 2: registration makes it a first-class citizen of the harness
+    register_algorithm("greedy-mrc", lambda k, s, seed: GreedyMRC(k, s))
+
+    K_OPT, XI, S = 64, 2, 32
+    wl = make_parallel_workload(p=8, n_requests=600, k=K_OPT, rng=np.random.default_rng(5), kind="multiscale")
+    lb = makespan_lower_bound(wl, K_OPT, S)
+
+    rows = []
+    for name in ("greedy-mrc", "det-par", "equal-partition", "best-static-partition"):
+        res = make_algorithm(name, XI * K_OPT, S, seed=0).run(wl)
+        rows.append(summarize(res, makespan_lb=lb).as_dict())
+    print(render_table(rows, columns=["algorithm", "makespan", "makespan_ratio", "utilization"],
+                       title="your algorithm vs the built-ins (same methodology)"))
+    print(
+        "GREEDY-MRC profiles a prefix and freezes a static split: good when\n"
+        "programs are stationary, blind when working sets shift — and without\n"
+        "the O(log p) worst-case guarantee the paper's oblivious DET-PAR has."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Green paging when the permitted cache range changes mid-run (§4's reboot).
+
+Inside a parallel scheduler, a green source never runs with fixed
+thresholds for long: as sibling sequences complete, the minimum sensible
+allocation k/v grows.  The paper handles this by *rebooting* the green
+algorithm whenever the minimum threshold doubles.  This example shows the
+machinery in isolation:
+
+1. build a survivor schedule (thresholds double at given times);
+2. run DET-GREEN through it with reboots;
+3. show the emitted heights migrating upward as the floor rises, and what
+   the reboot costs in impact versus an unconstrained run.
+
+Run:  python examples/dynamic_thresholds.py
+"""
+
+import numpy as np
+
+from repro.analysis import bar_chart
+from repro.core import DetGreen, HeightLattice
+from repro.green import DynamicGreen, survivor_schedule
+from repro.workloads import multiscale_cycles
+
+K, P, S = 64, 16, 128
+
+
+def height_histogram(res, start_t, end_t):
+    """Histogram of box heights for boxes starting within [start_t, end_t)."""
+    hist = {}
+    t = 0
+    for box in res.run.runs:
+        if start_t <= t < end_t:
+            hist[box.height] = hist.get(box.height, 0) + 1
+        t += S * box.height
+    return hist
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+    seq = multiscale_cycles(6000, K, P, rng)
+
+    # survivors halve twice: the min threshold goes 4 -> 8 -> 16
+    res_probe = DynamicGreen(survivor_schedule(K, P, [10**9]), S).run(seq)
+    third = res_probe.wall_time // 3
+    sched = survivor_schedule(K, P, [third, 2 * third])
+    dynamic = DynamicGreen(sched, S).run(seq)
+    fixed = DetGreen(HeightLattice(K, P), S).run(seq)
+
+    print(f"schedule: min height {[l.min_height for _, l in sched.segments]} "
+          f"at times {[t for t, _ in sched.segments]}\n")
+    for i, (t0, lattice) in enumerate(sched.segments):
+        t1 = sched.segments[i + 1][0] if i + 1 < len(sched.segments) else dynamic.wall_time
+        hist = height_histogram(dynamic, t0, t1)
+        print(bar_chart(
+            {f"h={h}": c for h, c in sorted(hist.items())},
+            title=f"segment {i} (floor {lattice.min_height}): boxes by height",
+            fmt="{:.0f}",
+            width=36,
+        ))
+    print(f"impact with evolving thresholds: {dynamic.impact}")
+    print(f"impact with fixed thresholds:    {fixed.impact}")
+    print(f"reboot overhead: {dynamic.impact / fixed.impact:.2f}x")
+    print(
+        "\nThe floor forces taller minimum boxes late in the run — more impact\n"
+        "per box, fewer boxes — while each segment's stream stays the exact\n"
+        "impact-equalizing DET-GREEN schedule for its own lattice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Green paging as an energy story: right-sizing a cache over time.
+
+Green paging (paper §2) charges an algorithm the *integral of cache size
+over time* — a direct proxy for the energy a dynamically resizable cache
+consumes.  This example services one program whose working set changes
+over time and compares three policies:
+
+* always-max: keep the whole cache powered (the baseline a sysadmin gets);
+* RAND-GREEN / DET-GREEN: the paper's O(log p)-competitive online sizers;
+* the offline optimal compartmentalized box profile (DP).
+
+Run:  python examples/green_paging_energy.py
+"""
+
+import numpy as np
+
+from repro import DetGreen, HeightLattice, RandGreen, optimal_box_profile
+from repro.analysis import render_table
+from repro.paging import execute_profile
+from repro.workloads import multiscale_cycles
+
+K, P = 128, 32          # cache sizes available: 4 .. 128 pages
+S = 2 * K               # miss latency in hit units
+SEED = 3
+
+
+def always_max_impact(seq, lattice, s) -> int:
+    """Keep the full cache for the whole run (boxes of height k)."""
+    run = execute_profile(seq, iter(lambda: lattice.max_height, None), s)
+    return run.impact
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    lattice = HeightLattice(K, P)
+    seq = multiscale_cycles(4000, K, P, rng)
+    print(f"workload: {len(seq)} requests, {len(np.unique(seq))} distinct pages, cache range [{lattice.min_height}, {K}]\n")
+
+    opt = optimal_box_profile(seq, lattice, S)
+    det = DetGreen(lattice, S).run(seq)
+    rand = RandGreen(lattice, S, np.random.default_rng(SEED + 1)).run(seq)
+    full = always_max_impact(seq, lattice, S)
+
+    rows = [
+        {"policy": "offline OPT (box DP)", "impact": opt.impact, "vs OPT": 1.0},
+        {"policy": "DET-GREEN", "impact": det.impact, "vs OPT": round(det.impact / opt.impact, 2)},
+        {"policy": "RAND-GREEN", "impact": rand.impact, "vs OPT": round(rand.impact / opt.impact, 2)},
+        {"policy": "always-max cache", "impact": full, "vs OPT": round(full / opt.impact, 2)},
+    ]
+    print(render_table(rows, title="memory impact (cache-size × time ≈ energy)"))
+
+    # show how OPT's profile tracks the working set
+    usage = {}
+    for h in opt.profile:
+        usage[h] = usage.get(h, 0) + 1
+    print("OPT box-height histogram (the cache size OPT actually powers):")
+    print(render_table([{"height": h, "boxes": c} for h, c in sorted(usage.items())]))
+    print(
+        "The online sizers land within a small factor of the DP optimum while\n"
+        "the always-max policy pays for cache the program cannot use."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Tour of the sequential paging substrate: policies, phases, and curves.
+
+Everything the parallel machinery stands on, in one script:
+
+1. classical replacement policies (LRU, FIFO, deterministic marking,
+   randomized MARK, offline MIN) on classical workloads;
+2. the canonical k-phase partition behind marking arguments;
+3. the LRU miss-ratio curve and the marginal benefit of one more page —
+   the non-monotonic structure the paper's introduction says makes
+   parallel cache allocation hard.
+
+Run:  python examples/paging_policies_tour.py
+"""
+
+import numpy as np
+
+from repro.analysis import bar_chart, render_table
+from repro.paging import (
+    BeladySimulation,
+    FIFOCache,
+    LFUCache,
+    LRUCache,
+    MarkingCache,
+    RandomMarkCache,
+    miss_ratio_curve,
+    phase_partition,
+)
+from repro.workloads import cyclic, marginal_benefit, sawtooth, scan, zipf
+
+K = 8
+S_LABEL = "faults"
+
+
+def faults_of(policy, seq) -> int:
+    for page in seq:
+        policy.touch(int(page))
+    return policy.faults
+
+
+def policy_shootout(name: str, seq: np.ndarray) -> dict:
+    rng = np.random.default_rng(0)
+    belady = BeladySimulation(seq, K)
+    belady.run()
+    return {
+        "workload": name,
+        "LRU": faults_of(LRUCache(K), seq),
+        "FIFO": faults_of(FIFOCache(K), seq),
+        "LFU": faults_of(LFUCache(K), seq),
+        "marking": faults_of(MarkingCache(K), seq),
+        "MARK(rand)": faults_of(RandomMarkCache(K, rng), seq),
+        "MIN(offline)": belady.faults,
+    }
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    workloads = {
+        "cycle(k+1)": cyclic(2000, K + 1),  # the LRU-killer
+        "sawtooth": sawtooth(2000, K + 2),
+        "zipf": zipf(2000, 200, 1.1, rng),
+        "scan": scan(2000),
+    }
+    rows = [policy_shootout(name, seq) for name, seq in workloads.items()]
+    print(render_table(rows, title=f"fault counts, cache of {K} pages"))
+    print(
+        "cycle(k+1) is the classic separation: LRU and FIFO fault on every\n"
+        "request, deterministic marking (fixed tie-break) does somewhat better,\n"
+        "randomized MARK lands near 2·H_k·MIN, and offline MIN keeps k-1 pages\n"
+        "pinned — the exponential randomization gap of sequential paging.\n"
+    )
+
+    seq = workloads["zipf"]
+    starts = phase_partition(seq, K)
+    print(f"canonical {K}-phase partition of the zipf trace: {len(starts)} phases; "
+          f"every marking algorithm faults at most {K} times per phase.\n")
+
+    curve = miss_ratio_curve(workloads["cycle(k+1)"], max_capacity=K + 3)
+    print(bar_chart(
+        {f"cache={c}": curve.miss_ratio(c) for c in range(2, K + 3)},
+        title="LRU miss ratio vs cache size on cycle(k+1) — the cliff:",
+        fmt="{:.2f}",
+    ))
+    mb = marginal_benefit(workloads["cycle(k+1)"], K + 3)
+    cliff = int(np.argmax(mb)) + 1
+    print(f"marginal benefit peaks going from {cliff} to {cliff + 1} pages "
+          f"(Δfaults = {int(mb.max())}): cache value is all-or-nothing here,\n"
+          "which is precisely why a fixed equal split of a shared cache can be\n"
+          "arbitrarily wasteful and the paper's box schedules are needed.")
+
+
+if __name__ == "__main__":
+    main()

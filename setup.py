@@ -1,0 +1,7 @@
+"""Legacy shim: enables `python setup.py develop` in environments without
+the `wheel` package (PEP 660 editable installs need it).  All real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

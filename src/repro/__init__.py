@@ -1,0 +1,105 @@
+"""repro — a full reproduction of *Online Parallel Paging with Optimal
+Makespan* (Agrawal, Bender, Das, Kuszmaul, Peserico, Scquizzato; SPAA '22).
+
+The package implements the paper's algorithms and everything they stand on:
+
+* **RAND-GREEN / DET-GREEN** — online green paging (§3.1);
+* **RAND-PAR** — randomized online parallel paging with O(log p) expected
+  makespan (§3.2);
+* **DET-PAR** — the deterministic well-rounded algorithm achieving the
+  optimal O(log p) for makespan *and* mean completion time (§3.3);
+* the **black-box** green→parallel construction of [SODA '21] that
+  Theorem 4 lower-bounds, plus the §4 adversarial instance itself;
+* substrates: LRU/FIFO/Belady caches, the compartmentalized-box execution
+  engine, Mattson miss-ratio curves, offline green-paging OPT, certified
+  makespan lower bounds, shared-cache baselines (equal partition, best
+  static partition, global LRU);
+* an experiment harness (``repro e1`` … ``repro e9``) mapping every claim
+  of the paper to a measured table.
+
+Quickstart::
+
+    import numpy as np
+    from repro import DetPar, make_parallel_workload, makespan_lower_bound
+
+    wl = make_parallel_workload(p=8, n_requests=500, k=32, rng=np.random.default_rng(0))
+    result = DetPar(cache_size=64, miss_cost=16).run(wl)
+    lb = makespan_lower_bound(wl, k=32, miss_cost=16)
+    print(result.makespan / lb.value)   # an upper bound on the competitive ratio
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .core import (
+    BlackBoxPar,
+    Box,
+    BoxProfile,
+    DetGreen,
+    DetPar,
+    HeightLattice,
+    RandGreen,
+    RandPar,
+    audit_balance,
+    audit_well_rounded,
+    inverse_square_distribution,
+    make_distribution,
+)
+from .green import optimal_box_profile, prefix_optimal_impacts
+from .paging import BeladySimulation, FIFOCache, LRUCache, belady_faults, miss_ratio_curve, run_box
+from .parallel import (
+    BestStaticPartition,
+    EqualPartition,
+    GlobalLRU,
+    ParallelRunResult,
+    make_algorithm,
+    makespan_lower_bound,
+    mean_completion_lower_bound,
+    summarize,
+)
+from .workloads import (
+    AdversarialInstance,
+    ParallelWorkload,
+    build_adversarial_instance,
+    lemma8_opt_makespan,
+    make_parallel_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlackBoxPar",
+    "Box",
+    "BoxProfile",
+    "DetGreen",
+    "DetPar",
+    "HeightLattice",
+    "RandGreen",
+    "RandPar",
+    "audit_balance",
+    "audit_well_rounded",
+    "inverse_square_distribution",
+    "make_distribution",
+    "optimal_box_profile",
+    "prefix_optimal_impacts",
+    "BeladySimulation",
+    "FIFOCache",
+    "LRUCache",
+    "belady_faults",
+    "miss_ratio_curve",
+    "run_box",
+    "BestStaticPartition",
+    "EqualPartition",
+    "GlobalLRU",
+    "ParallelRunResult",
+    "make_algorithm",
+    "makespan_lower_bound",
+    "mean_completion_lower_bound",
+    "summarize",
+    "AdversarialInstance",
+    "ParallelWorkload",
+    "build_adversarial_instance",
+    "lemma8_opt_makespan",
+    "make_parallel_workload",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Experiment harness: runners, sweeps, growth fitting, and reporting."""
+
+from .eras import EraReport, era_analysis, survivors_over_time
+from .gantt import render_gantt, render_memory_profile
+from .fitting import MODELS, GrowthFit, best_model, fit_growth, normalized_constants
+from .harness import ExperimentRow, run_experiment
+from .plots import bar_chart, line_chart
+from .report import render_table, write_csv, write_report
+from .sweep import SweepResult, default_workload_factory, series_of, sweep_p
+
+__all__ = [
+    "EraReport",
+    "era_analysis",
+    "survivors_over_time",
+    "render_gantt",
+    "render_memory_profile",
+    "MODELS",
+    "GrowthFit",
+    "best_model",
+    "fit_growth",
+    "normalized_constants",
+    "ExperimentRow",
+    "run_experiment",
+    "bar_chart",
+    "line_chart",
+    "render_table",
+    "write_csv",
+    "write_report",
+    "SweepResult",
+    "default_workload_factory",
+    "series_of",
+    "sweep_p",
+]

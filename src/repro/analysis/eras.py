@@ -1,0 +1,78 @@
+"""Era analysis: the time structure of a parallel run (§4's proof device).
+
+The Theorem 4 narrative divides a greedily-green run into ~log p **eras**
+of roughly equal duration, the number of uncompleted sequences halving
+each era, with every era costing ≈ α·s·k² because prefixes are pinned to
+minimum boxes.  This module extracts that structure from any
+:class:`~repro.parallel.events.ParallelRunResult`: the survivor count over
+time, the halving instants, and per-era durations — letting E7 check the
+"equal eras" prediction empirically instead of just the end-to-end ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..parallel.events import ParallelRunResult
+
+__all__ = ["EraReport", "era_analysis", "survivors_over_time"]
+
+
+def survivors_over_time(result: ParallelRunResult) -> Tuple[np.ndarray, np.ndarray]:
+    """Step function of uncompleted-sequence count.
+
+    Returns ``(times, counts)``: ``counts[i]`` sequences are alive during
+    ``[times[i], times[i+1])``; the first time is 0.
+    """
+    completions = result.completion_times
+    times = np.unique(np.concatenate([[0], completions])).astype(np.int64)
+    counts = np.array([int((completions > t).sum()) for t in times], dtype=np.int64)
+    return times, counts
+
+
+@dataclass(frozen=True)
+class EraReport:
+    """Halving structure of a run.
+
+    Attributes
+    ----------
+    boundaries:
+        Times at which the survivor count first dropped to ``p/2^i``
+        (i = 1, 2, …); the final boundary is the makespan.
+    durations:
+        Era lengths between consecutive boundaries (starting from 0).
+    balance:
+        max(durations)/min(durations) over nonzero eras — ≈1 means the
+        equal-era structure of the §4 proof sketch holds.
+    """
+
+    boundaries: Tuple[int, ...]
+    durations: Tuple[int, ...]
+    balance: float
+
+
+def era_analysis(result: ParallelRunResult) -> EraReport:
+    """Detect the halving eras of a run from its completion times."""
+    p = result.p
+    if p == 0:
+        return EraReport(boundaries=(), durations=(), balance=1.0)
+    completions = np.sort(result.completion_times)
+    boundaries: List[int] = []
+    threshold = p // 2
+    for i, t in enumerate(completions):
+        finished = i + 1
+        alive = p - finished
+        while threshold >= 1 and alive <= threshold:
+            boundaries.append(int(t))
+            threshold //= 2
+        if threshold < 1:
+            break
+    if not boundaries or boundaries[-1] != int(completions[-1]):
+        boundaries.append(int(completions[-1]))
+    durations = [boundaries[0]] + [b - a for a, b in zip(boundaries, boundaries[1:])]
+    positive = [d for d in durations if d > 0]
+    balance = (max(positive) / min(positive)) if positive else 1.0
+    return EraReport(boundaries=tuple(boundaries), durations=tuple(durations), balance=balance)

@@ -1,0 +1,120 @@
+"""One-call experiment runner: algorithms × workload → comparable summaries.
+
+Every benchmark and example funnels through :func:`run_experiment`, which
+fixes the methodology once:
+
+* the same certified lower bound (computed at the **un-augmented** cache
+  ``k``) divides every algorithm's makespan, so rows are comparable;
+* algorithms are granted ``ξ·k`` physical cache (resource augmentation is
+  explicit, never hidden);
+* randomized algorithms are replicated over seeds and report mean/max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..parallel.metrics import RunSummary, summarize
+from ..parallel.opt import MakespanLowerBound, makespan_lower_bound, mean_completion_lower_bound
+from ..parallel.schedulers import ParallelPager, make_algorithm
+from ..workloads.trace import ParallelWorkload
+
+__all__ = ["ExperimentRow", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """Aggregated result of one (algorithm, workload) cell.
+
+    ``*_ratio`` fields are means over seeds; ``max_makespan_ratio`` is the
+    worst seed (what an adversary sees of a randomized algorithm).
+    """
+
+    algorithm: str
+    p: int
+    seeds: int
+    makespan: float
+    makespan_ratio: Optional[float]
+    max_makespan_ratio: Optional[float]
+    mean_completion_ratio: Optional[float]
+    xi_measured: float
+    utilization: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Rounded dict form for table rendering / CSV export."""
+        rnd = lambda v: None if v is None else round(v, 3)
+        return {
+            "algorithm": self.algorithm,
+            "p": self.p,
+            "seeds": self.seeds,
+            "makespan": round(self.makespan, 1),
+            "makespan_ratio": rnd(self.makespan_ratio),
+            "max_makespan_ratio": rnd(self.max_makespan_ratio),
+            "mean_completion_ratio": rnd(self.mean_completion_ratio),
+            "xi_measured": round(self.xi_measured, 3),
+            "utilization": round(self.utilization, 3),
+        }
+
+
+def run_experiment(
+    workload: ParallelWorkload,
+    algorithms: Sequence[str],
+    k: int,
+    miss_cost: int,
+    xi: int = 2,
+    seeds: Sequence[int] = (0,),
+    include_impact_lb: bool = True,
+    lower_bound: Optional[MakespanLowerBound] = None,
+) -> List[ExperimentRow]:
+    """Run each named algorithm on ``workload`` and summarize against LB.
+
+    Parameters
+    ----------
+    k:
+        OPT's cache size; the lower bound is computed here.
+    xi:
+        Resource augmentation: algorithms receive ``xi * k`` physical cache.
+    seeds:
+        Replication seeds (deterministic algorithms just repeat; the
+        harness detects identical makespans and keeps one).
+    lower_bound:
+        Pass a precomputed bound to skip the (potentially expensive)
+        impact DP when sweeping algorithms over one workload.
+    """
+    if xi < 1:
+        raise ValueError("xi must be >= 1")
+    lb = lower_bound if lower_bound is not None else makespan_lower_bound(
+        workload, k, miss_cost, include_impact=include_impact_lb
+    )
+    mean_lb = mean_completion_lower_bound(workload, k, miss_cost)
+    cache = xi * k
+    rows: List[ExperimentRow] = []
+    for name in algorithms:
+        summaries: List[RunSummary] = []
+        for seed in seeds:
+            alg = make_algorithm(name, cache, miss_cost, seed=seed)
+            result = alg.run(workload)
+            summaries.append(summarize(result, makespan_lb=lb, mean_lb=mean_lb))
+            if len(seeds) > 1 and len(summaries) == 2 and summaries[0].makespan == summaries[1].makespan:
+                # deterministic algorithm: further seeds are identical
+                break
+        mks = [sm.makespan for sm in summaries]
+        ratios = [sm.makespan_ratio for sm in summaries if sm.makespan_ratio is not None]
+        mean_ratios = [sm.mean_completion_ratio for sm in summaries if sm.mean_completion_ratio is not None]
+        rows.append(
+            ExperimentRow(
+                algorithm=name,
+                p=workload.p,
+                seeds=len(summaries),
+                makespan=float(np.mean(mks)),
+                makespan_ratio=float(np.mean(ratios)) if ratios else None,
+                max_makespan_ratio=float(np.max(ratios)) if ratios else None,
+                mean_completion_ratio=float(np.mean(mean_ratios)) if mean_ratios else None,
+                xi_measured=float(np.mean([sm.xi_measured for sm in summaries])),
+                utilization=float(np.mean([sm.utilization for sm in summaries])),
+            )
+        )
+    return rows

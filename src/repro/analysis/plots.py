@@ -1,0 +1,109 @@
+"""Terminal-native plotting: ASCII line charts and bar charts.
+
+The reproduction has no plotting dependency, so its "figures" are rendered
+as Unicode charts straight into reports and terminals.  Two primitives
+cover every experiment:
+
+* :func:`line_chart` — one or more (x, y) series on a shared log-x axis
+  (the ratio-vs-p curves of E1/E3/E5/E7);
+* :func:`bar_chart` — labelled horizontal bars (per-algorithm comparisons,
+  box-height histograms).
+
+Both return plain strings; the CLI appends them under the tables when
+``--plot`` is given.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["line_chart", "bar_chart"]
+
+_MARKERS = "ox+*#%@&"
+
+
+def line_chart(
+    series: Mapping[str, Mapping[float, float]],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    log_x: bool = True,
+    y_label: str = "",
+) -> str:
+    """Render named {x: y} series as an ASCII scatter/line chart.
+
+    Each series gets a marker from a fixed cycle; the legend maps markers
+    back to names.  ``log_x`` plots x on a log₂ axis (natural for p).
+    """
+    points: Dict[str, Sequence[Tuple[float, float]]] = {
+        name: sorted((float(x), float(y)) for x, y in vals.items()) for name, vals in series.items()
+    }
+    all_pts = [pt for pts in points.values() for pt in pts]
+    if not all_pts:
+        return "(no data)\n"
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+
+    def tx(x: float) -> float:
+        return math.log2(x) if log_x and x > 0 else x
+
+    x_lo, x_hi = min(map(tx, xs)), max(map(tx, xs))
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(points.items(), _MARKERS):
+        for x, y in pts:
+            col = int(round((tx(x) - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_hi:.2f}"
+    y_bot = f"{y_lo:.2f}"
+    label_w = max(len(y_top), len(y_bot), len(y_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_top.rjust(label_w)
+        elif i == height - 1:
+            prefix = y_bot.rjust(label_w)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}|")
+    x_axis = f"{' ' * label_w} +{'-' * width}+"
+    lines.append(x_axis)
+    x_lo_lab = f"{2**x_lo:.0f}" if log_x else f"{x_lo:g}"
+    x_hi_lab = f"{2**x_hi:.0f}" if log_x else f"{x_hi:g}"
+    axis_name = "p (log scale)" if log_x else "x"
+    gap = max(1, width - len(x_lo_lab) - len(x_hi_lab))
+    lines.append(f"{' ' * label_w}  {x_lo_lab}{' ' * gap}{x_hi_lab}  [{axis_name}]")
+    legend = "  ".join(f"{m}={name}" for (name, _), m in zip(points.items(), _MARKERS))
+    lines.append(f"{' ' * label_w}  {legend}")
+    return "\n".join(lines) + "\n"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 48,
+    title: Optional[str] = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render labelled horizontal bars scaled to the maximum value."""
+    if not values:
+        return "(no data)\n"
+    label_w = max(len(str(k)) for k in values)
+    vmax = max(values.values())
+    lines = [title] if title else []
+    for name, value in values.items():
+        filled = 0 if vmax <= 0 else int(round(value / vmax * width))
+        bar = "█" * filled
+        lines.append(f"{str(name).rjust(label_w)} |{bar.ljust(width)}| {fmt.format(value)}")
+    return "\n".join(lines) + "\n"

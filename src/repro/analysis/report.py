@@ -1,0 +1,80 @@
+"""Table rendering and CSV export — the "figures" of a terminal-native repro.
+
+Every experiment ends in a markdown-compatible aligned table (written to
+stdout and optionally to disk) plus a CSV for downstream plotting.  Keeping
+rendering in one place means every benchmark reports identically.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["render_table", "write_csv", "write_report"]
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned markdown table.
+
+    Column order: explicit ``columns`` if given, else the key order of the
+    first row (dicts preserve insertion order).
+    """
+    if not rows:
+        return f"## {title}\n\n(no rows)\n" if title else "(no rows)\n"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(r.get(c)) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)]
+    out = io.StringIO()
+    if title:
+        out.write(f"## {title}\n\n")
+    out.write("| " + " | ".join(c.ljust(w) for c, w in zip(cols, widths)) + " |\n")
+    out.write("|" + "|".join("-" * (w + 2) for w in widths) + "|\n")
+    for row in cells:
+        out.write("| " + " | ".join(v.rjust(w) for v, w in zip(row, widths)) + " |\n")
+    return out.getvalue()
+
+
+def write_csv(rows: Sequence[Mapping[str, object]], path: str | Path, columns: Optional[Sequence[str]] = None) -> None:
+    """Write dict-rows to CSV (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return
+    cols = list(columns) if columns else list(rows[0].keys())
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols, extrasaction="ignore")
+        writer.writeheader()
+        for r in rows:
+            writer.writerow({c: r.get(c) for c in cols})
+
+
+def write_report(
+    text: str,
+    path: str | Path,
+    echo: bool = True,
+) -> None:
+    """Persist a rendered report, optionally echoing to stdout.
+
+    Benchmarks use this so results survive pytest's output capture: the
+    table lands in ``benchmarks/out/`` regardless of how pytest was run.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    if echo:
+        print(text)

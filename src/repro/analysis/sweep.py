@@ -1,0 +1,100 @@
+"""Parameter sweeps: the ratio-vs-p curves every theorem is about.
+
+The paper's claims are all of the form "ratio = O(f(p))", so the canonical
+experiment sweeps ``p`` with everything else scaled consistently
+(``k = cache_factor · p``, fixed ``s``), runs each algorithm, and hands the
+resulting ``(p, ratio)`` series to :mod:`.fitting` for a growth-model
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..workloads.generators import make_parallel_workload
+from ..workloads.trace import ParallelWorkload
+from .harness import ExperimentRow, run_experiment
+
+__all__ = ["SweepResult", "sweep_p", "series_of"]
+
+#: A workload factory: (p, k, rng) -> ParallelWorkload.
+WorkloadFactory = Callable[[int, int, np.random.Generator], ParallelWorkload]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All rows of a p-sweep, with helpers to extract per-algorithm series."""
+
+    rows: List[ExperimentRow]
+    p_values: Sequence[int]
+
+    def series(self, algorithm: str, field: str = "makespan_ratio") -> Dict[int, float]:
+        """{p: value} for one algorithm across the sweep."""
+        out: Dict[int, float] = {}
+        for row in self.rows:
+            if row.algorithm == algorithm:
+                value = getattr(row, field)
+                if value is not None:
+                    out[row.p] = float(value)
+        return out
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        """All rows as dicts, in sweep order."""
+        return [r.as_dict() for r in self.rows]
+
+
+def default_workload_factory(kind: str = "mixed_kinds", n_requests_per_proc: int = 400) -> WorkloadFactory:
+    """Standard sweep workload: heterogeneous per-processor patterns."""
+
+    def factory(p: int, k: int, rng: np.random.Generator) -> ParallelWorkload:
+        return make_parallel_workload(p=p, n_requests=n_requests_per_proc, k=k, rng=rng, kind=kind)
+
+    return factory
+
+
+def sweep_p(
+    algorithms: Sequence[str],
+    p_values: Sequence[int],
+    miss_cost: int,
+    workload_factory: Optional[WorkloadFactory] = None,
+    cache_factor: int = 4,
+    xi: int = 2,
+    seeds: Sequence[int] = (0, 1, 2),
+    workload_seed: int = 12345,
+    include_impact_lb: bool = True,
+) -> SweepResult:
+    """Run ``algorithms`` across ``p_values`` with ``k = cache_factor·p``.
+
+    One workload per ``p`` (seeded deterministically from ``workload_seed``
+    and ``p``) shared by every algorithm and replication seed, so rows
+    within a ``p`` are directly comparable.
+    """
+    factory = workload_factory or default_workload_factory()
+    rows: List[ExperimentRow] = []
+    for p in p_values:
+        k = cache_factor * p
+        rng = np.random.default_rng(np.random.SeedSequence(entropy=workload_seed, spawn_key=(p,)))
+        workload = factory(p, k, rng)
+        rows.extend(
+            run_experiment(
+                workload,
+                algorithms,
+                k=k,
+                miss_cost=miss_cost,
+                xi=xi,
+                seeds=seeds,
+                include_impact_lb=include_impact_lb,
+            )
+        )
+    return SweepResult(rows=rows, p_values=list(p_values))
+
+
+def series_of(result: SweepResult, algorithm: str, field: str = "makespan_ratio"):
+    """(p_array, value_array) for fitting, sorted by p."""
+    series = result.series(algorithm, field)
+    ps = np.array(sorted(series), dtype=np.float64)
+    ys = np.array([series[int(p)] for p in ps], dtype=np.float64)
+    return ps, ys

@@ -1,0 +1,120 @@
+"""Command-line interface: ``repro <experiment> [--scale full] [--seed N]``.
+
+Examples
+--------
+Run the Theorem 1 experiment at CI scale and print the table::
+
+    repro e1
+
+Run the full Theorem 4 separation, save the table and CSV::
+
+    repro e7 --scale full --out results/e7.md --csv results/e7.csv
+
+Run everything::
+
+    repro all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.report import write_csv
+from .experiments import EXPERIMENTS, run_named_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests and docs tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction experiments for 'Online Parallel Paging with Optimal "
+            "Makespan' (SPAA '22). Each experiment id maps to a paper claim; "
+            "see DESIGN.md §5."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "viz"],
+        help="experiment id (e1..e11), 'all', 'list' (index), or 'viz' (schedule visualization)",
+    )
+    parser.add_argument("--scale", choices=("quick", "full"), default="quick", help="experiment size")
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument("--out", type=Path, default=None, help="write the rendered report here")
+    parser.add_argument("--csv", type=Path, default=None, help="write the raw rows here as CSV")
+    parser.add_argument("--algorithm", default="det-par", help="viz: algorithm name (see registry)")
+    parser.add_argument("--p", type=int, default=8, help="viz: number of processors")
+    parser.add_argument("--k", type=int, default=None, help="viz: OPT cache size (default 4p)")
+    parser.add_argument("--miss-cost", type=int, default=32, help="viz: fault cost s")
+    return parser
+
+
+def _run_one(name: str, scale: str, seed: int, out: Optional[Path], csv_path: Optional[Path]) -> None:
+    t0 = time.time()
+    rows, text = run_named_experiment(name, scale=scale, seed=seed)
+    elapsed = time.time() - t0
+    print(text)
+    print(f"[{name}] {len(rows)} rows in {elapsed:.1f}s (scale={scale}, seed={seed})\n")
+    if out is not None:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text)
+    if csv_path is not None:
+        write_csv(rows, csv_path)
+
+
+def _list_experiments() -> None:
+    width = max(len(n) for n in EXPERIMENTS)
+    for name in sorted(EXPERIMENTS, key=lambda n: int(n[1:])):
+        doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+        print(f"{name.rjust(width)}  {doc}")
+
+
+def _viz(args) -> None:
+    """Run one algorithm on a demo workload and draw its schedule."""
+    import numpy as np
+
+    from .analysis.gantt import render_gantt, render_memory_profile
+    from .parallel.schedulers import make_algorithm
+    from .workloads.generators import make_parallel_workload
+
+    from .core.rand_par import next_power_of_two
+
+    k = next_power_of_two(args.k or 4 * args.p)
+    wl = make_parallel_workload(
+        p=args.p, n_requests=400, k=k, rng=np.random.default_rng(args.seed), kind="multiscale"
+    )
+    alg = make_algorithm(args.algorithm, 2 * k, args.miss_cost, seed=args.seed)
+    result = alg.run(wl)
+    print(f"{args.algorithm} on {wl.describe()}  makespan={result.makespan}\n")
+    print(render_gantt(result, width=84, title="schedule (rows = processors):"))
+    print(render_memory_profile(result, width=84, height=8, title="reserved cache over time:"))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        _list_experiments()
+        return 0
+    if args.experiment == "viz":
+        _viz(args)
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        if args.experiment == "all":
+            out = args.out / f"{name}.md" if args.out else None
+            csv_path = args.csv / f"{name}.csv" if args.csv else None
+        else:
+            out, csv_path = args.out, args.csv
+        _run_one(name, args.scale, args.seed, out, csv_path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The paper's contribution: boxes, distributions, and the paging algorithms.
+
+* :mod:`~repro.core.box` — box/lattice/profile machinery (§2);
+* :mod:`~repro.core.distributions` — the ``1/j²`` height distribution (§3.1);
+* :mod:`~repro.core.rand_green` — RAND-GREEN (§3.1, Theorem 1);
+* :mod:`~repro.core.det_green` — deterministic green paging (deficit form);
+* :mod:`~repro.core.rand_par` — RAND-PAR (§3.2, Theorem 2);
+* :mod:`~repro.core.det_par` — DET-PAR (§3.3, Lemma 6 / Theorem 3);
+* :mod:`~repro.core.well_rounded` — well-roundedness / balance audits (§3.3);
+* :mod:`~repro.core.black_box` — the [SODA '21] black-box construction that
+  Theorem 4 lower-bounds.
+"""
+
+from .black_box import BlackBoxPar, det_green_source_factory, rand_green_source_factory
+from .box import Box, BoxProfile, HeightLattice, is_power_of_two
+from .det_green import DetGreen, credit_schedule
+from .det_par import DetPar
+from .distributions import (
+    DistributionKind,
+    HeightDistribution,
+    inverse_square_distribution,
+    make_distribution,
+)
+from .rand_green import GreenRunResult, RandGreen
+from .rand_par import RandPar, next_power_of_two
+from .well_rounded import BalanceReport, WellRoundedReport, audit_balance, audit_well_rounded
+
+__all__ = [
+    "BlackBoxPar",
+    "det_green_source_factory",
+    "rand_green_source_factory",
+    "Box",
+    "BoxProfile",
+    "HeightLattice",
+    "is_power_of_two",
+    "DetGreen",
+    "credit_schedule",
+    "DetPar",
+    "DistributionKind",
+    "HeightDistribution",
+    "inverse_square_distribution",
+    "make_distribution",
+    "GreenRunResult",
+    "RandGreen",
+    "RandPar",
+    "next_power_of_two",
+    "BalanceReport",
+    "WellRoundedReport",
+    "audit_balance",
+    "audit_well_rounded",
+]

@@ -1,0 +1,241 @@
+"""Boxes, box profiles, and the power-of-two height lattice (paper §2).
+
+The WLOG reduction from Agrawal et al. [SODA '21], restated in §2 of the
+paper, lets every algorithm — and OPT — allocate memory to a processor in
+**compartmentalized boxes**: a box of height ``h`` grants ``h`` cache pages
+for exactly ``s·h`` time steps, starting from a cold cache, with LRU inside.
+Box heights are normalized to the lattice
+
+    ``h ∈ { (k/p)·2^i : i = 0 .. log₂ p }``
+
+so there are exactly ``log₂ p + 1`` height *levels*.  A box of height ``h``
+has **memory impact** ``s·h²`` (area = height × duration).
+
+This module provides the lattice arithmetic and the :class:`BoxProfile`
+container used by every algorithm and by the offline green-paging DP, plus
+the subsequence relation that drives the paper's Theorem 1 analysis
+("RAND-GREEN finishes the request sequence if OPT's box sequence S is a
+subsequence of RAND-GREEN's sequence R").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["is_power_of_two", "HeightLattice", "Box", "BoxProfile"]
+
+
+def is_power_of_two(x: int) -> bool:
+    """True iff ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True)
+class HeightLattice:
+    """The normalized box-height lattice for a cache of size ``k`` shared by ``p``.
+
+    Parameters
+    ----------
+    k:
+        Cache size (power of two).
+    p:
+        Number of processors / the ratio between the max and min box height
+        (power of two, ``p <= k``).  In green paging ``p`` is the parameter
+        fixing the dynamic range ``[k/p, k]`` of permitted cache sizes.
+
+    Notes
+    -----
+    ``levels = log₂ p + 1``; level ``i`` has height ``(k/p)·2^i``; level 0
+    is the minimum box ``k/p`` and the top level is the full cache ``k``.
+    """
+
+    k: int
+    p: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.k):
+            raise ValueError(f"k must be a power of two, got {self.k}")
+        if not is_power_of_two(self.p):
+            raise ValueError(f"p must be a power of two, got {self.p}")
+        if self.p > self.k:
+            raise ValueError(f"need p <= k, got p={self.p} > k={self.k}")
+
+    @property
+    def min_height(self) -> int:
+        return self.k // self.p
+
+    @property
+    def max_height(self) -> int:
+        return self.k
+
+    @property
+    def levels(self) -> int:
+        """Number of height levels, ``log₂ p + 1``."""
+        return self.p.bit_length()  # log2(p) + 1 for powers of two
+
+    @property
+    def heights(self) -> Tuple[int, ...]:
+        """All lattice heights, ascending."""
+        base = self.min_height
+        return tuple(base << i for i in range(self.levels))
+
+    def level_of(self, height: int) -> int:
+        """Level index of an exact lattice height; raises if off-lattice."""
+        h = int(height)
+        base = self.min_height
+        if h < base or h > self.k or h % base != 0:
+            raise ValueError(f"height {h} not on lattice [{base}, {self.k}]")
+        q = h // base
+        if not is_power_of_two(q):
+            raise ValueError(f"height {h} not a power-of-two multiple of {base}")
+        return q.bit_length() - 1
+
+    def contains(self, height: int) -> bool:
+        """True iff ``height`` is exactly on the lattice."""
+        try:
+            self.level_of(height)
+            return True
+        except ValueError:
+            return False
+
+    def round_up(self, height: int) -> int:
+        """Smallest lattice height >= ``height`` (clamped into range).
+
+        This implements the paper's "each of the heights is rounded up to
+        the next power of two" normalization.
+        """
+        h = max(int(height), self.min_height)
+        if h >= self.k:
+            return self.k
+        # round h/base up to the next power of two
+        q = -(-h // self.min_height)  # ceil division
+        level = (q - 1).bit_length()
+        return self.min_height << level
+
+    def restrict(self, new_p: int) -> "HeightLattice":
+        """Lattice for the same cache but ``new_p`` processors (rebooting
+        the green-paging thresholds as survivors halve, §4)."""
+        return HeightLattice(self.k, new_p)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.heights)
+
+
+@dataclass(frozen=True)
+class Box:
+    """A compartmentalized box: ``height`` pages for ``s·height`` steps.
+
+    ``duration`` and ``impact`` are derived, not stored, because the miss
+    cost ``s`` is an experiment parameter, not a property of the box.
+    """
+
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.height < 1:
+            raise ValueError(f"box height must be >= 1, got {self.height}")
+
+    def duration(self, miss_cost: int) -> int:
+        """Wall-clock duration ``s·h`` of the box."""
+        return int(miss_cost) * self.height
+
+    def impact(self, miss_cost: int) -> int:
+        """Memory impact ``s·h²`` of the box."""
+        return int(miss_cost) * self.height * self.height
+
+
+class BoxProfile:
+    """An ordered sequence of box heights for one processor.
+
+    Stored as a growable int64 array; exposes impact/wall-time accounting
+    and the subsequence relation from the Theorem 1 analysis.
+    """
+
+    __slots__ = ("_heights",)
+
+    def __init__(self, heights: Iterable[int] = ()) -> None:
+        hs = [int(h) for h in heights]
+        for h in hs:
+            if h < 1:
+                raise ValueError(f"box height must be >= 1, got {h}")
+        self._heights = hs
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def append(self, height: int) -> None:
+        """Append one box height (must be >= 1)."""
+        h = int(height)
+        if h < 1:
+            raise ValueError(f"box height must be >= 1, got {h}")
+        self._heights.append(h)
+
+    def extend(self, heights: Iterable[int]) -> None:
+        """Append several box heights in order."""
+        for h in heights:
+            self.append(h)
+
+    def __len__(self) -> int:
+        return len(self._heights)
+
+    def __getitem__(self, i) -> int:
+        return self._heights[i]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._heights)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BoxProfile):
+            return self._heights == other._heights
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(map(str, self._heights[:8]))
+        more = "..." if len(self._heights) > 8 else ""
+        return f"BoxProfile([{preview}{more}], n={len(self._heights)})"
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    def heights_array(self) -> np.ndarray:
+        """Heights as an int64 array (fresh copy for vectorized accounting)."""
+        return np.asarray(self._heights, dtype=np.int64)
+
+    def impact(self, miss_cost: int) -> int:
+        """Total memory impact ``Σ s·h²``."""
+        hs = self.heights_array()
+        return int(miss_cost) * int(np.sum(hs * hs))
+
+    def wall_time(self, miss_cost: int) -> int:
+        """Total wall-clock duration ``Σ s·h``."""
+        return int(miss_cost) * int(np.sum(self.heights_array()))
+
+    def validate_on(self, lattice: HeightLattice) -> None:
+        """Raise unless every height lies exactly on the lattice."""
+        for h in self._heights:
+            lattice.level_of(h)
+
+    # ------------------------------------------------------------------ #
+    # order structure
+    # ------------------------------------------------------------------ #
+    def is_subsequence_of(self, other: "BoxProfile") -> bool:
+        """True iff self's heights appear in order (not necessarily
+        contiguously) within ``other``.
+
+        Theorem 1's argument: an online profile R completes the request
+        sequence whenever OPT's profile S is a subsequence of R, because
+        each box of S can be simulated inside the matching box of R (equal
+        height, cold start both sides).
+        """
+        it = iter(other._heights)
+        return all(any(h == o for o in it) for h in self._heights)
+
+    def count_level_usage(self, lattice: HeightLattice) -> np.ndarray:
+        """Histogram of boxes per lattice level (for distribution tests)."""
+        counts = np.zeros(lattice.levels, dtype=np.int64)
+        for h in self._heights:
+            counts[lattice.level_of(h)] += 1
+        return counts

@@ -1,0 +1,135 @@
+"""The inverse-square box-height distribution of §3.1, plus ablation variants.
+
+RAND-GREEN draws each box height independently from the distribution on the
+lattice heights ``j ∈ {k/p, 2k/p, 4k/p, …, k}`` with
+
+    ``Pr[height = j]  ∝  1/j²``                     (inverse impact)
+
+so that, by Lemma 1, every height level contributes the *same* expected
+memory impact ``Θ(k²·s/p²)`` per drawn box: the expected impact a box
+"wastes" on heights the processor did not need is only a ``log p`` factor
+above the useful impact, which is the entire content of Theorem 1.
+
+The distribution is normalized exactly (probabilities are rationals with
+denominator ``Σ 4^i``) rather than to Θ-precision, so the Lemma 1 identity
+``Pr[j]·s·j² = const`` holds *exactly* here and is asserted in tests.
+
+For the E8 ablation we also ship ``1/j`` and uniform height distributions,
+which Theorem 1's proof predicts to be asymptotically worse (heavy tails
+overweight big boxes; uniform overweights them even more).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence, Tuple
+
+import numpy as np
+
+from .box import HeightLattice
+
+__all__ = ["HeightDistribution", "inverse_square_distribution", "make_distribution", "DistributionKind"]
+
+DistributionKind = Literal["inverse_square", "inverse_linear", "uniform"]
+
+
+@dataclass(frozen=True)
+class HeightDistribution:
+    """A probability distribution over the heights of a lattice.
+
+    Attributes
+    ----------
+    lattice:
+        The height lattice the distribution lives on.
+    pmf:
+        Probabilities per level, ascending heights; sums to 1.
+    """
+
+    lattice: HeightLattice
+    pmf: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.pmf) != self.lattice.levels:
+            raise ValueError(
+                f"pmf has {len(self.pmf)} entries for a lattice with {self.lattice.levels} levels"
+            )
+        total = float(np.sum(self.pmf))
+        if not np.isclose(total, 1.0, atol=1e-12):
+            raise ValueError(f"pmf sums to {total}, expected 1")
+        if any(q < 0 for q in self.pmf):
+            raise ValueError("pmf entries must be nonnegative")
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw height(s) i.i.d. from the distribution.
+
+        Returns a single int when ``size`` is None, else an int64 array.
+        """
+        heights = np.asarray(self.lattice.heights, dtype=np.int64)
+        probs = np.asarray(self.pmf, dtype=np.float64)
+        if size is None:
+            return int(rng.choice(heights, p=probs))
+        return rng.choice(heights, size=size, p=probs)
+
+    # ------------------------------------------------------------------ #
+    # Lemma 1 identities
+    # ------------------------------------------------------------------ #
+    def probability_of(self, height: int) -> float:
+        """Pr[drawn height == height] for an exact lattice height."""
+        return self.pmf[self.lattice.level_of(height)]
+
+    def expected_impact_per_box(self, miss_cost: int) -> float:
+        """``E[s·j²]`` over a single draw — the *total* (useful + wasted)
+        expected impact per box in Theorem 1's accounting."""
+        heights = np.asarray(self.lattice.heights, dtype=np.float64)
+        return float(miss_cost) * float(np.dot(self.pmf, heights * heights))
+
+    def expected_useful_impact(self, height: int, miss_cost: int) -> float:
+        """Lemma 1's ``E[X·Y] = Pr[j]·s·j²`` for a target height ``j``.
+
+        For the inverse-square distribution this is the same constant
+        ``s·(k/p)²/Z`` for every lattice height — the equalization that
+        drives the whole upper-bound argument.
+        """
+        j = int(height)
+        return self.probability_of(j) * miss_cost * j * j
+
+    def expected_duration_per_box(self, miss_cost: int) -> float:
+        """``E[s·j]`` — expected wall-clock length of a drawn box."""
+        heights = np.asarray(self.lattice.heights, dtype=np.float64)
+        return float(miss_cost) * float(np.dot(self.pmf, heights))
+
+
+def inverse_square_distribution(lattice: HeightLattice) -> HeightDistribution:
+    """The paper's RAND-GREEN distribution: ``Pr[j] ∝ 1/j²``.
+
+    With heights ``h_i = (k/p)·2^i`` the weights are ``4^{-i}``; the exact
+    normalizer is ``Σ_{i=0}^{L-1} 4^{-i}``.
+    """
+    L = lattice.levels
+    weights = np.array([4.0 ** (-i) for i in range(L)], dtype=np.float64)
+    pmf = weights / weights.sum()
+    return HeightDistribution(lattice=lattice, pmf=tuple(float(q) for q in pmf))
+
+
+def make_distribution(lattice: HeightLattice, kind: DistributionKind = "inverse_square") -> HeightDistribution:
+    """Factory for the paper's distribution and the E8 ablation variants.
+
+    * ``"inverse_square"`` — Pr[j] ∝ 1/j² (the paper; equal impact/level);
+    * ``"inverse_linear"`` — Pr[j] ∝ 1/j (overweights tall boxes by 2^i);
+    * ``"uniform"`` — equal probability per level (tall boxes dominate
+      impact completely).
+    """
+    L = lattice.levels
+    if kind == "inverse_square":
+        return inverse_square_distribution(lattice)
+    if kind == "inverse_linear":
+        weights = np.array([2.0 ** (-i) for i in range(L)], dtype=np.float64)
+    elif kind == "uniform":
+        weights = np.ones(L, dtype=np.float64)
+    else:
+        raise ValueError(f"unknown distribution kind {kind!r}")
+    pmf = weights / weights.sum()
+    return HeightDistribution(lattice=lattice, pmf=tuple(float(q) for q in pmf))

@@ -1,0 +1,102 @@
+"""RAND-GREEN: the randomized online green-paging algorithm of §3.1.
+
+The algorithm is startlingly simple — that simplicity is the point of the
+section.  Whenever a new box is needed, draw its height i.i.d. from the
+inverse-square distribution (``Pr[j] ∝ 1/j²``, :mod:`.distributions`) over
+the lattice heights ``k/p·2^i``.  Theorem 1: with O(1) resource
+augmentation this is ``O(log p)``-competitive in expectation.
+
+The proof shape (mirrored by experiment E1): call a drawn box *useful* if
+its height equals the height ``z`` of the next box in OPT's profile.  By
+Lemma 1 each draw contributes expected useful impact ``Θ(k²s/p²)`` —
+independent of ``z``, because the distribution exactly equalizes
+``Pr[j]·s·j²`` across levels — while its total expected impact is the sum
+over all ``Θ(log p)`` levels of that same constant.  Wasted impact is
+therefore only an ``O(log p)`` factor above useful impact, and total useful
+impact is at most OPT's impact because matching OPT's box heights in order
+suffices to finish (subsequence argument,
+:meth:`repro.core.box.BoxProfile.is_subsequence_of`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..paging.engine import ProfileRun, execute_profile
+from .box import BoxProfile, HeightLattice
+from .distributions import DistributionKind, HeightDistribution, make_distribution
+
+__all__ = ["RandGreen", "GreenRunResult"]
+
+
+@dataclass(frozen=True)
+class GreenRunResult:
+    """A green-paging execution: the profile used and its cost.
+
+    Attributes
+    ----------
+    profile:
+        Heights of the boxes actually consumed, in order.
+    impact:
+        Total memory impact charged (full boxes, including the last).
+    wall_time:
+        Total wall-clock time of the consumed boxes.
+    run:
+        The underlying per-box execution trace.
+    """
+
+    profile: BoxProfile
+    impact: int
+    wall_time: int
+    run: ProfileRun
+
+    @property
+    def completed(self) -> bool:
+        return self.run.completed
+
+
+class RandGreen:
+    """Randomized online green paging (§3.1).
+
+    Parameters
+    ----------
+    lattice:
+        Height lattice ``[k/p, k]`` (powers of two).
+    miss_cost:
+        Fault service time ``s > 1``.
+    rng:
+        numpy Generator; every experiment passes a seeded one.
+    kind:
+        Height distribution; ``"inverse_square"`` is the paper's algorithm,
+        the others exist for the E8 ablation.
+    """
+
+    def __init__(
+        self,
+        lattice: HeightLattice,
+        miss_cost: int,
+        rng: np.random.Generator,
+        kind: DistributionKind = "inverse_square",
+    ) -> None:
+        if miss_cost <= 1:
+            raise ValueError(f"miss_cost must be > 1, got {miss_cost}")
+        self.lattice = lattice
+        self.miss_cost = int(miss_cost)
+        self.rng = rng
+        self.distribution: HeightDistribution = make_distribution(lattice, kind)
+
+    def boxes(self) -> Iterator[int]:
+        """Infinite i.i.d. stream of box heights (the online algorithm)."""
+        dist = self.distribution
+        rng = self.rng
+        while True:
+            yield dist.sample(rng)
+
+    def run(self, seq: np.ndarray, max_boxes: Optional[int] = None) -> GreenRunResult:
+        """Service ``seq`` to completion, drawing boxes as needed."""
+        pr = execute_profile(seq, self.boxes(), self.miss_cost, max_boxes=max_boxes)
+        profile = BoxProfile(r.height for r in pr.runs)
+        return GreenRunResult(profile=profile, impact=pr.impact, wall_time=pr.wall_time, run=pr)

@@ -1,0 +1,239 @@
+"""RAND-PAR: the randomized online parallel-paging algorithm of §3.2.
+
+Structure (exactly the paper's):
+
+* The run proceeds in **chunks**.  Let ``r`` be the number of active
+  processors at the start of the chunk, rounded up to a power of two.
+* **Primary part** — every active processor receives ``log₂ r + 1``
+  consecutive minimum boxes of height ``K/r`` (total length
+  ``ℓ₁ = Θ(s·K·log r / r)``; concurrent height ≤ K).
+* **Secondary part** — one height ``j`` is drawn from the inverse-square
+  distribution on the lattice ``{K/r, …, K}`` (:mod:`.distributions`), and
+  every active processor gets one height-``j`` box.  The boxes run
+  ``⌊K/j⌋`` at a time (processors outside the current batch stall), so the
+  part lasts ``ℓ₂ ≈ s·r·j²/K`` — matching Observation 1's
+  ``E[ℓ₂] = ℓ₁`` in expectation.
+* **Phases** — an analysis device: phase ``q`` ends when the active count
+  first drops to half its value at the phase start.  We record phase
+  boundaries in the result metadata for the E2/E3 experiments but the
+  schedule itself only depends on the current active count, keeping the
+  algorithm *oblivious* in the paper's sense (it never looks at which
+  requests hit or miss, only at who has finished).
+
+The theorem this reproduces (E3): expected makespan ``O(log p · T_OPT)``
+with O(1) resource augmentation (Theorem 2); RAND-PAR's concurrent
+reserved height never exceeds ``K``, so its measured ξ is 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..paging.engine import run_box
+from ..parallel.events import BoxRecord, ParallelRunResult
+from ..workloads.trace import ParallelWorkload
+from .box import HeightLattice, is_power_of_two
+from .distributions import DistributionKind, make_distribution
+
+__all__ = ["RandPar", "next_power_of_two"]
+
+
+def next_power_of_two(x: int) -> int:
+    """Smallest power of two >= x (x >= 1)."""
+    if x < 1:
+        raise ValueError(f"need x >= 1, got {x}")
+    return 1 << (x - 1).bit_length()
+
+
+@dataclass
+class _ChunkStats:
+    """Per-chunk bookkeeping surfaced for the Observation 1 experiment."""
+
+    index: int
+    active_at_start: int
+    r_pow: int
+    primary_length: int
+    secondary_length: int
+    drawn_height: int
+    primary_impact: int
+    secondary_impact: int
+
+
+class RandPar:
+    """Randomized online parallel paging (§3.2, Theorem 2).
+
+    Parameters
+    ----------
+    cache_size:
+        Total cache ``K`` the algorithm may reserve at any instant
+        (power of two).  Compare against lower bounds computed at
+        ``K/ξ`` to account for resource augmentation.
+    miss_cost:
+        Fault service time ``s > 1``.
+    rng:
+        Seeded numpy Generator (drives only the secondary-part draws).
+    kind:
+        Height distribution for the secondary part; the paper's algorithm
+        is ``"inverse_square"``; others exist for the E8 ablation.
+    """
+
+    name = "rand-par"
+
+    def __init__(
+        self,
+        cache_size: int,
+        miss_cost: int,
+        rng: np.random.Generator,
+        kind: DistributionKind = "inverse_square",
+    ) -> None:
+        if not is_power_of_two(cache_size):
+            raise ValueError(f"cache_size must be a power of two, got {cache_size}")
+        if miss_cost <= 1:
+            raise ValueError(f"miss_cost must be > 1, got {miss_cost}")
+        self.cache_size = int(cache_size)
+        self.miss_cost = int(miss_cost)
+        self.rng = rng
+        self.kind: DistributionKind = kind
+
+    # ------------------------------------------------------------------ #
+    def run(self, workload: ParallelWorkload, max_chunks: Optional[int] = None) -> ParallelRunResult:
+        """Simulate RAND-PAR on ``workload`` until every processor finishes."""
+        K = self.cache_size
+        s = self.miss_cost
+        p = workload.p
+        if p < 1:
+            raise ValueError("workload must have at least one processor")
+        if next_power_of_two(p) > K:
+            raise ValueError(f"cache_size={K} too small for p={p} (need K >= next_pow2(p))")
+        seqs = workload.sequences
+        n = [len(x) for x in seqs]
+        pos = [0] * p
+        done = [n[i] == 0 for i in range(p)]
+        completion = np.zeros(p, dtype=np.int64)
+        trace: List[BoxRecord] = []
+        chunks: List[_ChunkStats] = []
+        phase_bounds: List[int] = []
+
+        t = 0
+        chunk_idx = 0
+        # phase tracking (analysis bookkeeping only)
+        phase_idx = 0
+        phase_start_active = sum(1 for d in done if not d)
+
+        while not all(done):
+            if max_chunks is not None and chunk_idx >= max_chunks:
+                break
+            active = [i for i in range(p) if not done[i]]
+            a = len(active)
+            r_pow = min(next_power_of_two(a), K)
+            h_min = K // r_pow
+            lattice = HeightLattice(K, r_pow)
+            dist = make_distribution(lattice, self.kind)
+            rounds = lattice.levels  # log2(r) + 1 minimum boxes
+            primary_len = 0
+            primary_impact = 0
+
+            # ---------------- primary part ---------------- #
+            for _ in range(rounds):
+                dur = s * h_min
+                for i in active:
+                    if done[i]:
+                        continue
+                    run = run_box(seqs[i], pos[i], h_min, dur, s)
+                    trace.append(
+                        BoxRecord(
+                            proc=i,
+                            height=h_min,
+                            start=t,
+                            end=t + dur,
+                            served_start=run.start,
+                            served_end=run.end,
+                            hits=run.hits,
+                            faults=run.faults,
+                            phase=phase_idx,
+                            tag="primary",
+                        )
+                    )
+                    primary_impact += h_min * dur
+                    pos[i] = run.end
+                    if pos[i] >= n[i]:
+                        done[i] = True
+                        completion[i] = t + run.time_used
+                t += dur
+                primary_len += dur
+
+            # ---------------- secondary part ---------------- #
+            j = int(dist.sample(self.rng))
+            batch_size = max(1, K // j)
+            secondary_len = 0
+            secondary_impact = 0
+            for lo in range(0, len(active), batch_size):
+                batch = active[lo : lo + batch_size]
+                dur = s * j
+                ran_any = False
+                for i in batch:
+                    if done[i]:
+                        continue
+                    ran_any = True
+                    run = run_box(seqs[i], pos[i], j, dur, s)
+                    trace.append(
+                        BoxRecord(
+                            proc=i,
+                            height=j,
+                            start=t,
+                            end=t + dur,
+                            served_start=run.start,
+                            served_end=run.end,
+                            hits=run.hits,
+                            faults=run.faults,
+                            phase=phase_idx,
+                            tag="secondary",
+                        )
+                    )
+                    secondary_impact += j * dur
+                    pos[i] = run.end
+                    if pos[i] >= n[i]:
+                        done[i] = True
+                        completion[i] = t + run.time_used
+                if ran_any:
+                    t += dur
+                    secondary_len += dur
+
+            chunks.append(
+                _ChunkStats(
+                    index=chunk_idx,
+                    active_at_start=a,
+                    r_pow=r_pow,
+                    primary_length=primary_len,
+                    secondary_length=secondary_len,
+                    drawn_height=j,
+                    primary_impact=primary_impact,
+                    secondary_impact=secondary_impact,
+                )
+            )
+            chunk_idx += 1
+
+            # phase bookkeeping: phase ends when half the processors that
+            # were active at its start have finished
+            now_active = sum(1 for d in done if not d)
+            if now_active <= phase_start_active // 2 and now_active > 0:
+                phase_bounds.append(t)
+                phase_idx += 1
+                phase_start_active = now_active
+
+        return ParallelRunResult(
+            algorithm=self.name,
+            completion_times=completion,
+            trace=trace,
+            cache_size=K,
+            miss_cost=s,
+            meta={
+                "chunks": chunks,
+                "phase_bounds": phase_bounds,
+                "distribution": self.kind,
+                "finished": all(done),
+            },
+        )

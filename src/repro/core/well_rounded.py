@@ -1,0 +1,214 @@
+"""Machine-checkable well-roundedness and balance audits (§3.3, Lemma 7).
+
+The paper's deterministic result rests on two *structural* properties of a
+schedule, both checkable from a trace without re-running the simulation:
+
+**Well-rounded** (§3.3).  Within each phase Q with base height ``b_Q``:
+
+1. every active processor holds a box of height ≥ ``b_Q`` at every moment;
+2. for every processor x, every lattice height ``z ≥ b_Q``, and every
+   moment t, either x currently holds a box of height ≥ z, or it will
+   within ``O(z² · s · log p / b_Q)`` steps, or the phase (or x's life)
+   ends within that window.
+
+Lemma 5 turns these into the ``O(log p)`` makespan bound, so the audit's
+measured constant — the largest gap normalized by ``z²·s·L/b_Q`` — is the
+empirical content of experiment E4.
+
+**Balanced** (Lemma 7).  (1) the schedule always reserves a constant
+fraction of memory; (2) within each phase the impact given to each
+remaining processor is equal up to additive poly(pk).  Balanced +
+well-rounded ⇒ the per-processor allocation is O(log p)-competitive green
+paging (Lemma 7), which is what gives Corollary 3 (mean completion time)
+for free; the balance audit reports the per-phase impact spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..parallel.events import BoxRecord, ParallelRunResult
+
+__all__ = ["WellRoundedReport", "audit_well_rounded", "BalanceReport", "audit_balance"]
+
+
+def _merge_intervals(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Merge overlapping/adjacent [start, end) intervals (sorted by start)."""
+    merged: List[Tuple[int, int]] = []
+    for st, en in sorted(intervals):
+        if merged and st <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], en))
+        else:
+            merged.append((st, en))
+    return merged
+
+
+def _gaps_within(
+    intervals: List[Tuple[int, int]], window_start: int, window_end: int
+) -> List[int]:
+    """Uncovered stretches of [window_start, window_end) given covering
+    intervals; includes leading and trailing gaps."""
+    if window_end <= window_start:
+        return []
+    merged = _merge_intervals(
+        [(max(st, window_start), min(en, window_end)) for st, en in intervals if en > window_start and st < window_end]
+    )
+    gaps: List[int] = []
+    cursor = window_start
+    for st, en in merged:
+        if st > cursor:
+            gaps.append(st - cursor)
+        cursor = max(cursor, en)
+    if cursor < window_end:
+        gaps.append(window_end - cursor)
+    return gaps
+
+
+@dataclass(frozen=True)
+class WellRoundedReport:
+    """Audit outcome for the well-rounded property.
+
+    Attributes
+    ----------
+    base_covered:
+        True iff property 1 held: every active processor held height
+        ≥ b_Q at every moment of every phase (up to its completion).
+    max_base_gap:
+        Largest uncovered stretch found for property 1 (0 when covered).
+    max_gap_factor:
+        Property 2's measured constant: the max over (phase, proc, z) of
+        ``gap · b_Q / (z² · s · L)``.  The algorithm is well-rounded with
+        constant c iff this is ≤ c.
+    worst:
+        (phase, proc, z, gap) achieving the max factor.
+    """
+
+    base_covered: bool
+    max_base_gap: int
+    max_gap_factor: float
+    worst: Tuple[int, int, int, int]
+
+
+def audit_well_rounded(result: ParallelRunResult) -> WellRoundedReport:
+    """Audit a simulation trace for the §3.3 well-rounded property.
+
+    Requires ``result.meta["phases"]`` (produced by DET-PAR) describing
+    per-phase base heights and start times; phase q ends where phase q+1
+    starts (the last ends at the makespan).
+    """
+    phases = result.meta.get("phases")
+    if not phases:
+        raise ValueError("result has no phase metadata; only phase-structured schedulers can be audited")
+    s = result.miss_cost
+    makespan = result.makespan
+    completion = result.completion_times
+    p = result.p
+
+    # group trace by processor once
+    by_proc: Dict[int, List[BoxRecord]] = {i: [] for i in range(p)}
+    for r in result.trace:
+        by_proc[r.proc].append(r)
+
+    max_factor = 0.0
+    worst = (-1, -1, -1, 0)
+    base_covered = True
+    max_base_gap = 0
+
+    for q, ph in enumerate(phases):
+        ph_start = ph.start_time
+        ph_end = phases[q + 1].start_time if q + 1 < len(phases) else makespan
+        b = ph.base_height
+        L = ph.levels
+        heights = [b << i for i in range(L)]
+        for i in range(p):
+            # the processor's audit window: phase ∩ its lifetime
+            w_start = ph_start
+            w_end = min(ph_end, int(completion[i]))
+            if w_end <= w_start:
+                continue
+            boxes = [(r.start, r.end, r.height) for r in by_proc[i]]
+            # property 1: coverage at height >= b
+            cover = [(st, en) for st, en, h in boxes if h >= b]
+            gaps = _gaps_within(cover, w_start, w_end)
+            if gaps:
+                base_covered = False
+                max_base_gap = max(max_base_gap, max(gaps))
+            # property 2: recurrence of each height z >= b
+            for z in heights:
+                tall = [(st, en) for st, en, h in boxes if h >= z]
+                for gap in _gaps_within(tall, w_start, w_end):
+                    factor = gap * b / (z * z * s * L)
+                    if factor > max_factor:
+                        max_factor = factor
+                        worst = (q, i, z, gap)
+    return WellRoundedReport(
+        base_covered=base_covered,
+        max_base_gap=max_base_gap,
+        max_gap_factor=max_factor,
+        worst=worst,
+    )
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """Audit outcome for Lemma 7's *balanced* property.
+
+    Attributes
+    ----------
+    min_reserved_fraction:
+        Over phases, the minimum of reserved height / cache_size —
+        property (1) of balance ("always allocates at least a constant
+        fraction of memory").
+    max_phase_spread:
+        Over phases, the maximum additive spread of per-processor impact
+        (max - min among processors active through the phase), normalized
+        by ``s·k²`` (one full-cache box); property (2) asks this to be
+        bounded by a constant independent of the phase length.
+    spreads:
+        Per-phase normalized spreads.
+    """
+
+    min_reserved_fraction: float
+    max_phase_spread: float
+    spreads: List[float]
+
+
+def audit_balance(result: ParallelRunResult) -> BalanceReport:
+    """Audit per-phase impact balance across processors (Lemma 7 premise)."""
+    phases = result.meta.get("phases")
+    if not phases:
+        raise ValueError("result has no phase metadata")
+    s = result.miss_cost
+    k = result.cache_size
+    makespan = result.makespan
+    completion = result.completion_times
+    p = result.p
+    spreads: List[float] = []
+    min_frac = float("inf")
+    for q, ph in enumerate(phases):
+        ph_start = ph.start_time
+        ph_end = phases[q + 1].start_time if q + 1 < len(phases) else makespan
+        reserved = getattr(ph, "reserved_height", None)
+        if reserved is not None:
+            min_frac = min(min_frac, reserved / k)
+        # processors active through the entire phase
+        survivors = [i for i in range(p) if completion[i] >= ph_end]
+        if not survivors or ph_end <= ph_start:
+            continue
+        impact = {i: 0 for i in survivors}
+        for r in result.trace:
+            if r.proc in impact:
+                lo, hi = max(r.start, ph_start), min(r.end, ph_end)
+                if hi > lo:
+                    impact[r.proc] += r.height * (hi - lo)
+        values = list(impact.values())
+        spread = (max(values) - min(values)) / (s * k * k)
+        spreads.append(spread)
+    return BalanceReport(
+        min_reserved_fraction=min_frac if min_frac != float("inf") else 0.0,
+        max_phase_spread=max(spreads) if spreads else 0.0,
+        spreads=spreads,
+    )

@@ -1,0 +1,35 @@
+"""Green paging substrate: impact accounting and the offline box-profile OPT.
+
+Green paging (paper §2) is the single-processor problem of servicing a
+request sequence with a dynamically resizable cache in ``[k/p, k]`` while
+minimizing *memory impact* — the integral of cache size over time.  The
+paper uses it as the engine room of parallel paging; this package provides:
+
+* :mod:`~repro.green.impact` — impact arithmetic and Definition 1's
+  greedily-green certification;
+* :mod:`~repro.green.offline` — the offline optimal compartmentalized box
+  profile (a DAG shortest path over sequence positions), the comparator for
+  every green-paging competitive ratio we measure.
+
+The online algorithms themselves (RAND-GREEN, DET-GREEN) live in
+:mod:`repro.core` because they are part of the paper's contribution.
+"""
+
+from .adaptive import AdaptiveGreen
+from .dynamic import DynamicGreen, ThresholdSchedule, survivor_schedule
+from .impact import GreedinessReport, box_impact, certify_greedily_green, profile_impact
+from .offline import OfflineGreenResult, optimal_box_profile, prefix_optimal_impacts
+
+__all__ = [
+    "AdaptiveGreen",
+    "DynamicGreen",
+    "ThresholdSchedule",
+    "survivor_schedule",
+    "GreedinessReport",
+    "box_impact",
+    "certify_greedily_green",
+    "profile_impact",
+    "OfflineGreenResult",
+    "optimal_box_profile",
+    "prefix_optimal_impacts",
+]

@@ -1,0 +1,98 @@
+"""Memory-impact accounting and greedily-green certification (paper §2, §4).
+
+*Memory impact* is the green-paging objective: the integral of allocated
+cache size over time.  For a compartmentalized box of height ``h`` this is
+``s·h²``; for a profile it is the sum over boxes.  This module centralizes
+the arithmetic so every algorithm and experiment charges impact the same
+way, and implements Definition 1's *greedily competitive* check used by the
+Theorem 4 experiment: an execution is ``g``-greedily green (with slack
+``g'``) if on **every prefix** of the request sequence it has incurred
+impact at most ``g · c_OPT(prefix) + g'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..paging.engine import ProfileRun
+
+__all__ = ["box_impact", "profile_impact", "GreedinessReport", "certify_greedily_green"]
+
+
+def box_impact(height: int, miss_cost: int) -> int:
+    """Memory impact ``s·h²`` of a single box."""
+    return int(miss_cost) * int(height) * int(height)
+
+
+def profile_impact(heights: Sequence[int], miss_cost: int) -> int:
+    """Total impact of a sequence of box heights."""
+    hs = np.asarray(list(heights), dtype=np.int64)
+    return int(miss_cost) * int(np.sum(hs * hs))
+
+
+@dataclass(frozen=True)
+class GreedinessReport:
+    """Outcome of a greedily-green certification.
+
+    Attributes
+    ----------
+    max_ratio:
+        The largest ``(impact_so_far - slack) / c_OPT(prefix)`` observed
+        over all box-boundary prefixes with ``c_OPT > 0``; the execution is
+        ``g``-greedily green iff ``max_ratio <= g``.
+    worst_position:
+        Sequence position achieving the max ratio.
+    ratios:
+        Per-box-boundary ratio trace (for plotting / fitting).
+    """
+
+    max_ratio: float
+    worst_position: int
+    ratios: np.ndarray
+
+
+def certify_greedily_green(
+    run: ProfileRun,
+    prefix_opt_costs: np.ndarray,
+    miss_cost: int,
+    slack: float = 0.0,
+) -> GreedinessReport:
+    """Check Definition 1 against an executed profile.
+
+    Parameters
+    ----------
+    run:
+        The executed profile (per-box progress records).
+    prefix_opt_costs:
+        ``prefix_opt_costs[q]`` = minimum offline impact to serve the first
+        ``q`` requests (from :func:`repro.green.offline.prefix_optimal_impacts`).
+    miss_cost:
+        Fault cost ``s``.
+    slack:
+        The additive ``g'`` of Definition 1.
+
+    Notes
+    -----
+    The check is evaluated at box boundaries (impact is only committed in
+    whole boxes, so these are the points where the algorithm's cumulative
+    impact changes).  Prefixes served mid-box are dominated by the next
+    boundary check.
+    """
+    impact_so_far = 0
+    max_ratio = 0.0
+    worst = 0
+    ratios = []
+    for box in run.runs:
+        impact_so_far += box_impact(box.height, miss_cost)
+        q = box.end  # requests served after this box
+        copt = float(prefix_opt_costs[q])
+        if copt > 0:
+            ratio = max(0.0, impact_so_far - slack) / copt
+            ratios.append(ratio)
+            if ratio > max_ratio:
+                max_ratio = ratio
+                worst = q
+    return GreedinessReport(max_ratio=max_ratio, worst_position=worst, ratios=np.asarray(ratios, dtype=np.float64))

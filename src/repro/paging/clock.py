@@ -1,0 +1,83 @@
+"""CLOCK (second-chance) replacement: the practical LRU approximation.
+
+CLOCK arranges frames in a ring with one reference bit each; on a fault
+the hand sweeps, clearing set bits, and evicts the first frame whose bit
+is already clear.  It approximates LRU with O(1) state per frame and no
+list maintenance — which is why real kernels use it — and is a marking
+algorithm, hence k-competitive.
+
+In this repository it is a substrate baseline (registered as ``"clock"``)
+rounding out the policy menu for E11-style ablations and the policies-tour
+example; the parallel machinery itself stays on exact LRU per the WLOG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .policies import register_policy
+
+__all__ = ["ClockCache"]
+
+
+@register_policy("clock")
+class ClockCache:
+    """Second-chance ring of at most ``capacity`` frames."""
+
+    __slots__ = ("capacity", "_frames", "_refbit", "_index", "_hand", "hits", "faults", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"CLOCK capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._frames: List[int] = []  # ring of resident pages
+        self._refbit: List[bool] = []
+        self._index: Dict[int, int] = {}  # page -> frame slot
+        self._hand = 0
+        self.hits = 0
+        self.faults = 0
+        self.evictions = 0
+
+    def touch(self, page: int) -> bool:
+        """Serve one request; return True on hit, False on fault."""
+        page = int(page)
+        slot = self._index.get(page)
+        if slot is not None:
+            self.hits += 1
+            self._refbit[slot] = True
+            return True
+        self.faults += 1
+        if len(self._frames) < self.capacity:
+            self._index[page] = len(self._frames)
+            self._frames.append(page)
+            self._refbit.append(True)
+            return False
+        # sweep: clear set bits until a clear one is found
+        while self._refbit[self._hand]:
+            self._refbit[self._hand] = False
+            self._hand = (self._hand + 1) % self.capacity
+        victim_slot = self._hand
+        del self._index[self._frames[victim_slot]]
+        self._frames[victim_slot] = page
+        self._refbit[victim_slot] = True
+        self._index[page] = victim_slot
+        self._hand = (victim_slot + 1) % self.capacity
+        self.evictions += 1
+        return False
+
+    def __contains__(self, page: int) -> bool:
+        return int(page) in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def clear(self) -> None:
+        """Empty the ring (compartmentalized cold start); keeps counters."""
+        self._frames.clear()
+        self._refbit.clear()
+        self._index.clear()
+        self._hand = 0
+
+    def reset_counters(self) -> None:
+        """Zero the hit/fault/eviction counters without touching contents."""
+        self.hits = self.faults = self.evictions = 0

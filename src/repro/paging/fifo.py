@@ -1,0 +1,71 @@
+"""FIFO replacement policy.
+
+FIFO evicts the page that has been resident the longest, regardless of use.
+It is a classical marking-free baseline: like LRU it is k/(k-h+1)-competitive
+for sequential paging, but it lacks the inclusion (stack) property, which
+makes it a useful *negative* fixture in the test suite (e.g. the
+stack-distance machinery of :mod:`repro.paging.stack` applies to LRU but not
+FIFO, and tests assert the difference on Belady-anomaly workloads).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Set
+
+from .policies import register_policy
+
+__all__ = ["FIFOCache"]
+
+
+@register_policy("fifo")
+class FIFOCache:
+    """First-in-first-out cache of at most ``capacity`` pages."""
+
+    __slots__ = ("capacity", "_resident", "_queue", "hits", "faults", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"FIFO capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._resident: Set[int] = set()
+        self._queue: Deque[int] = deque()
+        self.hits = 0
+        self.faults = 0
+        self.evictions = 0
+
+    def touch(self, page: int) -> bool:
+        """Serve one request; return True on hit, False on fault."""
+        if page in self._resident:
+            self.hits += 1
+            return True
+        self.faults += 1
+        if len(self._resident) >= self.capacity:
+            victim = self._queue.popleft()
+            self._resident.remove(victim)
+            self.evictions += 1
+        self._resident.add(page)
+        self._queue.append(page)
+        return False
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def clear(self) -> None:
+        """Empty the cache; keeps counters (mirrors LRUCache.clear)."""
+        self._resident.clear()
+        self._queue.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/fault/eviction counters without touching contents."""
+        self.hits = self.faults = self.evictions = 0
+
+    def pages_fifo_order(self) -> List[int]:
+        """Resident pages, oldest first (next victim first)."""
+        return list(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FIFOCache(capacity={self.capacity}, size={len(self)}, hits={self.hits}, faults={self.faults})"

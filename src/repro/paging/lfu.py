@@ -1,0 +1,85 @@
+"""LFU (least-frequently-used) replacement.
+
+LFU evicts the resident page with the fewest accesses since admission
+(ties broken by least-recent use).  It is the classical *frequency*
+counterpoint to LRU's *recency*: strong on stable popularity skew (Zipf),
+pathological when popularity shifts — old hot pages squat in the cache on
+stale counts.  Here it completes the substrate's policy menu for the
+policies-tour example and in-box ablations.
+
+Implementation: dict of per-page ``(count, last_use)`` plus a lazy
+min-heap of ``(count, last_use, page)`` snapshots; stale heap entries are
+discarded on pop (same lazy-deletion idiom as the Belady simulator), so
+``touch`` is O(log n) amortized.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from .policies import register_policy
+
+__all__ = ["LFUCache"]
+
+
+@register_policy("lfu")
+class LFUCache:
+    """Least-frequently-used cache of at most ``capacity`` pages."""
+
+    __slots__ = ("capacity", "_stats", "_heap", "_clock", "hits", "faults", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"LFU capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._stats: Dict[int, Tuple[int, int]] = {}  # page -> (count, last_use)
+        self._heap: List[Tuple[int, int, int]] = []  # (count, last_use, page)
+        self._clock = 0
+        self.hits = 0
+        self.faults = 0
+        self.evictions = 0
+
+    def touch(self, page: int) -> bool:
+        """Serve one request; return True on hit, False on fault."""
+        page = int(page)
+        self._clock += 1
+        stat = self._stats.get(page)
+        if stat is not None:
+            self.hits += 1
+            entry = (stat[0] + 1, self._clock)
+            self._stats[page] = entry
+            heapq.heappush(self._heap, (entry[0], entry[1], page))
+            return True
+        self.faults += 1
+        if len(self._stats) >= self.capacity:
+            while True:
+                count, last, victim = heapq.heappop(self._heap)
+                if self._stats.get(victim) == (count, last):
+                    del self._stats[victim]
+                    self.evictions += 1
+                    break
+        entry = (1, self._clock)
+        self._stats[page] = entry
+        heapq.heappush(self._heap, (1, self._clock, page))
+        return False
+
+    def frequency_of(self, page: int) -> int:
+        """Access count of a resident page (0 if not resident)."""
+        stat = self._stats.get(int(page))
+        return stat[0] if stat is not None else 0
+
+    def __contains__(self, page: int) -> bool:
+        return int(page) in self._stats
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def clear(self) -> None:
+        """Empty the cache (cold start); keeps counters."""
+        self._stats.clear()
+        self._heap.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/fault/eviction counters without touching contents."""
+        self.hits = self.faults = self.evictions = 0

@@ -1,0 +1,140 @@
+"""Marking algorithms: deterministic marking and randomized MARK.
+
+The marking family is the classical backbone of competitive paging
+analysis [Borodin & El-Yaniv, ch. 3–4]:
+
+* a **phase** ends when a (k+1)-st distinct page would enter the cache;
+* every page requested in the current phase is *marked*; victims are
+  chosen among unmarked pages only; at a phase boundary all marks clear.
+
+Any marking algorithm is k-competitive; choosing the unmarked victim
+uniformly at random (Fiat et al.'s MARK) is 2·H_k-competitive against an
+oblivious adversary — the exponential randomization gap that motivates the
+paper's interest in randomized-vs-deterministic parallel paging (its
+conclusion conjectures that, unlike in sequential paging, randomization
+does *not* help parallel makespan).
+
+These policies plug into the same :class:`~repro.paging.policies.ReplacementPolicy`
+protocol as LRU/FIFO and serve as substrate baselines and test oracles
+(LRU is itself a marking algorithm, which the tests exploit: its phase
+partition must coincide with the canonical one).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+import numpy as np
+
+from .policies import register_policy
+
+__all__ = ["MarkingCache", "RandomMarkCache", "phase_partition"]
+
+
+def phase_partition(requests, capacity: int) -> List[int]:
+    """Start indices of the canonical k-phases of a request sequence.
+
+    Phase boundaries are algorithm-independent: a new phase begins exactly
+    when the (capacity+1)-st distinct page since the current phase's start
+    is requested.  Returns the list of phase start positions (first is 0
+    for nonempty sequences).
+    """
+    starts: List[int] = []
+    distinct: Set[int] = set()
+    for i, page in enumerate(requests):
+        page = int(page)
+        if not starts:
+            starts.append(0)
+        if page not in distinct:
+            if len(distinct) == capacity:
+                starts.append(i)
+                distinct = set()
+            distinct.add(page)
+    return starts
+
+
+class _MarkingBase:
+    """Shared machinery: marked/unmarked bookkeeping and phase resets."""
+
+    __slots__ = ("capacity", "_resident", "_marked", "hits", "faults", "evictions", "phases")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"marking capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._resident: Set[int] = set()
+        self._marked: Set[int] = set()
+        self.hits = 0
+        self.faults = 0
+        self.evictions = 0
+        self.phases = 0  # completed phase resets
+
+    def _pick_victim(self, unmarked: List[int]) -> int:
+        raise NotImplementedError
+
+    def touch(self, page: int) -> bool:
+        page = int(page)
+        if page in self._resident:
+            self.hits += 1
+            self._marked.add(page)
+            return True
+        self.faults += 1
+        if len(self._resident) >= self.capacity:
+            unmarked = [q for q in self._resident if q not in self._marked]
+            if not unmarked:
+                # phase boundary: every resident page is marked and a new
+                # distinct page arrived — unmark everything and start over
+                self._marked.clear()
+                self.phases += 1
+                unmarked = sorted(self._resident)
+            victim = self._pick_victim(unmarked)
+            self._resident.remove(victim)
+            self.evictions += 1
+        self._resident.add(page)
+        self._marked.add(page)
+        return False
+
+    def __contains__(self, page: int) -> bool:
+        return int(page) in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def clear(self) -> None:
+        self._resident.clear()
+        self._marked.clear()
+
+    def marked_pages(self) -> Set[int]:
+        return set(self._marked)
+
+
+@register_policy("marking")
+class MarkingCache(_MarkingBase):
+    """Deterministic marking: evict the smallest-id unmarked page.
+
+    The tie-break is arbitrary for the competitive bound; smallest-id keeps
+    the policy fully deterministic and testable.
+    """
+
+    def _pick_victim(self, unmarked: List[int]) -> int:
+        return min(unmarked)
+
+
+class RandomMarkCache(_MarkingBase):
+    """Fiat et al.'s MARK: evict a uniformly random unmarked page.
+
+    2·H_k-competitive against oblivious adversaries — exponentially better
+    than any deterministic policy's k.  Takes an explicit Generator (no
+    registry entry: the registry's ``capacity -> policy`` factory signature
+    has no seed channel, and hidden global randomness is banned here).
+    """
+
+    __slots__ = ("rng",)
+
+    def __init__(self, capacity: int, rng: np.random.Generator) -> None:
+        super().__init__(capacity)
+        self.rng = rng
+
+    def _pick_victim(self, unmarked: List[int]) -> int:
+        unmarked.sort()  # make the distribution independent of set order
+        return int(unmarked[self.rng.integers(0, len(unmarked))])

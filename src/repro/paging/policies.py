@@ -1,0 +1,105 @@
+"""Replacement-policy protocol and registry for the sequential paging substrate.
+
+A *replacement policy* manages a bounded set of pages (the cache contents)
+under a stream of page requests.  The parallel-paging machinery in
+:mod:`repro.core` only ever needs LRU (the paper's WLOG reduction lets every
+processor run LRU inside its allocated boxes), but the substrate also ships
+FIFO and Belady's offline-optimal MIN so that baselines, lower bounds, and
+workload characterization have something to stand on.
+
+The protocol is deliberately minimal and allocation-free per request:
+
+``touch(page) -> bool``
+    Serve one request.  Returns ``True`` on a hit, ``False`` on a fault.
+    On a fault the policy admits the page, evicting per its rule if full.
+
+Policies are registered by name in :data:`POLICY_REGISTRY` so simulators,
+the CLI, and experiments can select them by string.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Protocol, runtime_checkable
+
+__all__ = [
+    "ReplacementPolicy",
+    "POLICY_REGISTRY",
+    "register_policy",
+    "make_policy",
+    "count_faults",
+]
+
+
+@runtime_checkable
+class ReplacementPolicy(Protocol):
+    """Structural type for cache replacement policies.
+
+    Implementations must expose a ``capacity`` attribute (maximum number of
+    resident pages, ``>= 1``), a ``touch`` method serving one request, a
+    ``__contains__`` for residency queries, a ``__len__`` for occupancy, and
+    a ``clear`` that empties the cache (used for compartmentalized
+    cold-starts at box boundaries).
+    """
+
+    capacity: int
+
+    def touch(self, page: int) -> bool:
+        """Serve one request for ``page``; return True on hit."""
+        ...
+
+    def __contains__(self, page: int) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def clear(self) -> None:
+        """Empty the cache (compartmentalized cold start)."""
+        ...
+
+
+#: Mapping from policy name to a factory ``capacity -> ReplacementPolicy``.
+POLICY_REGISTRY: Dict[str, Callable[[int], ReplacementPolicy]] = {}
+
+
+def register_policy(name: str) -> Callable[[Callable[..., ReplacementPolicy]], Callable[..., ReplacementPolicy]]:
+    """Class decorator registering a policy factory under ``name``.
+
+    The decorated class must be constructible as ``cls(capacity)``.
+    Registration is idempotent per name; re-registering a name raises
+    ``ValueError`` to catch accidental collisions early.
+    """
+
+    def decorator(cls: Callable[..., ReplacementPolicy]) -> Callable[..., ReplacementPolicy]:
+        if name in POLICY_REGISTRY:
+            raise ValueError(f"policy {name!r} already registered")
+        POLICY_REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def make_policy(name: str, capacity: int) -> ReplacementPolicy:
+    """Instantiate a registered policy by name.
+
+    Raises ``KeyError`` with the list of known policies if ``name`` is
+    unknown, so CLI typos fail with an actionable message.
+    """
+    try:
+        factory = POLICY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICY_REGISTRY))
+        raise KeyError(f"unknown policy {name!r}; known policies: {known}") from None
+    return factory(capacity)
+
+
+def count_faults(policy: ReplacementPolicy, requests: Iterable[int]) -> int:
+    """Run ``requests`` through ``policy`` and return the number of faults.
+
+    Convenience used all over the tests and the workload characterization
+    tooling; the policy is *not* cleared first, so warm-cache counts are
+    possible by design.
+    """
+    faults = 0
+    for page in requests:
+        if not policy.touch(int(page)):
+            faults += 1
+    return faults

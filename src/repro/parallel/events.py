@@ -1,0 +1,174 @@
+"""Shared record types for parallel-paging simulations.
+
+Every parallel algorithm in this repository — RAND-PAR, DET-PAR, the
+black-box packing baseline, and the structured OPT schedules — produces the
+same artifact: a :class:`ParallelRunResult` holding per-processor
+completion times plus a full :class:`BoxRecord` trace.  The trace is what
+makes the theory auditable: the well-roundedness checker (§3.3), the
+balance checker (Lemma 7), and the capacity ledger all operate on it
+without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["BoxRecord", "ParallelRunResult", "peak_concurrent_height", "capacity_profile"]
+
+
+@dataclass(frozen=True)
+class BoxRecord:
+    """One box as actually executed by one processor.
+
+    Attributes
+    ----------
+    proc:
+        Processor index.
+    height:
+        Box height (pages).
+    start, end:
+        Wall-clock interval during which the box's memory was reserved.
+        ``end - start`` can be shorter than the nominal ``s·height`` when a
+        box was preempted by a taller one or cut by a phase boundary.
+    served_start, served_end:
+        Request positions served inside the box.
+    hits, faults:
+        Service counts inside the box.
+    phase:
+        Phase index the box belongs to (algorithm-specific; -1 if unused).
+    tag:
+        Free-form origin label ("primary", "secondary", "base", "strip",
+        "singleton", "green", …) used by the audits and reports.
+    """
+
+    proc: int
+    height: int
+    start: int
+    end: int
+    served_start: int
+    served_end: int
+    hits: int
+    faults: int
+    phase: int = -1
+    tag: str = ""
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    @property
+    def served(self) -> int:
+        return self.served_end - self.served_start
+
+    @property
+    def reserved_impact(self) -> int:
+        """Impact actually charged: height × reserved duration."""
+        return self.height * self.duration
+
+
+@dataclass
+class ParallelRunResult:
+    """Outcome of one parallel-paging simulation.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the scheduler that produced the run.
+    completion_times:
+        Per-processor completion times (int64 array, length p).
+    trace:
+        Every executed box, in start-time order (ties arbitrary).
+    cache_size:
+        Total cache the algorithm was allowed to reserve (``ξ·k``).
+    miss_cost:
+        Fault cost ``s``.
+    meta:
+        Scheduler-specific extras (phase boundaries, seeds, draw counts…).
+    """
+
+    algorithm: str
+    completion_times: np.ndarray
+    trace: List[BoxRecord]
+    cache_size: int
+    miss_cost: int
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def p(self) -> int:
+        return len(self.completion_times)
+
+    @property
+    def makespan(self) -> int:
+        """Maximum completion time (the paper's primary objective)."""
+        return int(self.completion_times.max()) if self.p else 0
+
+    @property
+    def mean_completion_time(self) -> float:
+        """Average completion time (the Corollary 3 objective)."""
+        return float(self.completion_times.mean()) if self.p else 0.0
+
+    def total_impact(self) -> int:
+        """Total reserved impact across the whole trace."""
+        return sum(r.reserved_impact for r in self.trace)
+
+    def impact_by_proc(self) -> np.ndarray:
+        """Reserved impact per processor (int64 array, length p)."""
+        out = np.zeros(self.p, dtype=np.int64)
+        for r in self.trace:
+            out[r.proc] += r.reserved_impact
+        return out
+
+    def boxes_of(self, proc: int) -> List[BoxRecord]:
+        """All boxes executed by one processor, in trace order."""
+        return [r for r in self.trace if r.proc == proc]
+
+    def validate(self) -> None:
+        """Structural sanity: intervals well-formed, service contiguous."""
+        by_proc: Dict[int, List[BoxRecord]] = {}
+        for r in self.trace:
+            if r.end < r.start:
+                raise AssertionError(f"box with negative duration: {r}")
+            if r.served_end < r.served_start:
+                raise AssertionError(f"box with negative service: {r}")
+            if r.hits + r.faults != r.served:
+                raise AssertionError(f"hits+faults != served: {r}")
+            by_proc.setdefault(r.proc, []).append(r)
+        for proc, boxes in by_proc.items():
+            boxes.sort(key=lambda r: (r.start, r.served_start))
+            pos = None
+            for r in boxes:
+                if pos is not None and r.served_start != pos:
+                    raise AssertionError(
+                        f"proc {proc}: service not contiguous at position {pos} vs {r.served_start}"
+                    )
+                pos = r.served_end
+
+
+def capacity_profile(trace: Sequence[BoxRecord]) -> Tuple[np.ndarray, np.ndarray]:
+    """Step function of total reserved height over time.
+
+    Returns ``(times, heights)`` where ``heights[i]`` is the reserved total
+    in ``[times[i], times[i+1])``.  Used by the capacity-ledger tests and
+    the utilization metric.
+    """
+    if not trace:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    deltas: Dict[int, int] = {}
+    for r in trace:
+        if r.duration == 0:
+            continue
+        deltas[r.start] = deltas.get(r.start, 0) + r.height
+        deltas[r.end] = deltas.get(r.end, 0) - r.height
+    times = np.array(sorted(deltas), dtype=np.int64)
+    heights = np.cumsum([deltas[int(t)] for t in times]).astype(np.int64)
+    return times, heights
+
+
+def peak_concurrent_height(trace: Sequence[BoxRecord]) -> int:
+    """Maximum total height reserved at any instant (the memory the
+    algorithm actually needed; divide by k for measured ξ)."""
+    _, heights = capacity_profile(trace)
+    return int(heights.max()) if len(heights) else 0

@@ -1,0 +1,104 @@
+"""Fairness diagnostics across processors.
+
+Makespan and mean completion are aggregates; fairness asks how the pain is
+*distributed*.  The paper's balance property (Lemma 7) is an impact-side
+fairness condition; these metrics are the completion-time side, used by
+the examples and the E6 discussion:
+
+* **slowdown** per processor: completion time divided by its certified
+  isolation lower bound (alone, full cache, Belady) — "how much did
+  sharing cost *me*";
+* **Jain's fairness index** over slowdowns: 1 = perfectly equal,
+  1/p = one processor absorbs everything;
+* **spread**: max/min completion among non-trivial processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..paging.belady import min_service_time
+from ..workloads.trace import ParallelWorkload
+from .events import ParallelRunResult
+
+__all__ = ["FairnessReport", "fairness_report", "jain_index"]
+
+
+def jain_index(values: np.ndarray) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` over positive values.
+
+    1.0 means all equal; 1/n means a single value dominates.  Returns 1.0
+    for empty input.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    x = x[x > 0]
+    if len(x) == 0:
+        return 1.0
+    return float(x.sum() ** 2 / (len(x) * np.square(x).sum()))
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Per-run fairness summary.
+
+    Attributes
+    ----------
+    slowdowns:
+        Per-processor completion / isolation-LB (NaN for empty sequences).
+    jain:
+        Jain index over finite slowdowns.
+    max_slowdown, mean_slowdown:
+        Tail and average individual cost of sharing.
+    completion_spread:
+        max/min completion time among processors with nonempty sequences.
+    """
+
+    slowdowns: np.ndarray
+    jain: float
+    max_slowdown: float
+    mean_slowdown: float
+    completion_spread: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Rounded dict form for table rendering."""
+        return {
+            "jain": round(self.jain, 3),
+            "max_slowdown": round(self.max_slowdown, 3),
+            "mean_slowdown": round(self.mean_slowdown, 3),
+            "completion_spread": round(self.completion_spread, 3),
+        }
+
+
+def fairness_report(
+    result: ParallelRunResult,
+    workload: ParallelWorkload,
+    k: int,
+) -> FairnessReport:
+    """Compute fairness diagnostics for a finished run.
+
+    ``k`` is the un-augmented cache used for the per-processor isolation
+    bounds (same convention as the makespan lower bound).
+    """
+    s = result.miss_cost
+    p = result.p
+    slow = np.full(p, np.nan, dtype=np.float64)
+    for i, seq in enumerate(workload.sequences):
+        if len(seq) == 0:
+            continue
+        iso = min_service_time(seq, k, s)
+        slow[i] = float(result.completion_times[i]) / max(1, iso)
+    finite = slow[np.isfinite(slow)]
+    completions = np.asarray(
+        [result.completion_times[i] for i in range(p) if len(workload.sequences[i])], dtype=np.float64
+    )
+    spread = float(completions.max() / max(1.0, completions.min())) if len(completions) else 1.0
+    return FairnessReport(
+        slowdowns=slow,
+        jain=jain_index(finite),
+        max_slowdown=float(finite.max()) if len(finite) else 1.0,
+        mean_slowdown=float(finite.mean()) if len(finite) else 1.0,
+        completion_spread=spread,
+    )

@@ -1,0 +1,59 @@
+"""The scheduler protocol shared by all parallel-paging algorithms.
+
+Every algorithm in this repository — RAND-PAR, DET-PAR, the black-box
+packing construction, and the baselines — is a *parallel paging algorithm*
+in the paper's sense: given ``p`` disjoint request sequences and a physical
+cache budget, it decides who holds how much cache when, and yields a
+:class:`~repro.parallel.events.ParallelRunResult`.  The protocol below is
+the single structural interface the analysis harness and the CLI program
+against; registering implementations by name keeps experiment configs
+declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Protocol, runtime_checkable
+
+from ..workloads.trace import ParallelWorkload
+from .events import ParallelRunResult
+
+__all__ = ["ParallelPager", "ALGORITHM_REGISTRY", "register_algorithm", "make_algorithm"]
+
+
+@runtime_checkable
+class ParallelPager(Protocol):
+    """Structural type for parallel paging algorithms.
+
+    Implementations expose a class-level ``name`` and a ``run`` method
+    mapping a workload to a result.  Constructor signatures vary (seeds,
+    distribution kinds, …), so registry factories close over them.
+    """
+
+    name: str
+    cache_size: int
+    miss_cost: int
+
+    def run(self, workload: ParallelWorkload) -> ParallelRunResult:
+        """Simulate the algorithm on a workload to completion."""
+        ...
+
+
+#: name -> factory(cache_size, miss_cost, seed) -> ParallelPager
+ALGORITHM_REGISTRY: Dict[str, Callable[[int, int, int], ParallelPager]] = {}
+
+
+def register_algorithm(name: str, factory: Callable[[int, int, int], ParallelPager]) -> None:
+    """Register an algorithm factory under ``name`` for harness/CLI lookup."""
+    if name in ALGORITHM_REGISTRY:
+        raise ValueError(f"algorithm {name!r} already registered")
+    ALGORITHM_REGISTRY[name] = factory
+
+
+def make_algorithm(name: str, cache_size: int, miss_cost: int, seed: int = 0) -> ParallelPager:
+    """Instantiate a registered algorithm; raises with the known list on typos."""
+    try:
+        factory = ALGORITHM_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHM_REGISTRY))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+    return factory(cache_size, miss_cost, seed)

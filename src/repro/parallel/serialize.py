@@ -1,0 +1,90 @@
+"""Archival (de)serialization of simulation results.
+
+Experiments that take minutes should not need re-running to re-analyze:
+this module round-trips a :class:`~repro.parallel.events.ParallelRunResult`
+— completion times, full box trace, parameters, and JSON-safe metadata —
+through a single ``.npz`` file.  The audits (`audit_well_rounded`,
+`era_analysis`, `render_gantt`, …) all run off the stored trace, so a
+saved result is fully re-analyzable.
+
+Scheduler-specific metadata objects (phase records, chunk stats) are
+stored in a JSON-safe projection: dataclasses become dicts, tuples become
+lists; consumers that need the exact original objects should re-run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+import numpy as np
+
+from .events import BoxRecord, ParallelRunResult
+
+__all__ = ["save_result", "load_result"]
+
+_TRACE_FIELDS = ("proc", "height", "start", "end", "served_start", "served_end", "hits", "faults", "phase")
+
+
+def _json_safe(obj: Any) -> Any:
+    """Project metadata into JSON-encodable structures."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {k: _json_safe(v) for k, v in dataclasses.asdict(obj).items()}
+    if isinstance(obj, dict):
+        return {str(k): _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def save_result(result: ParallelRunResult, path: str | Path) -> None:
+    """Write a result (trace included) to ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    trace_mat = np.array(
+        [[getattr(r, f) for f in _TRACE_FIELDS] for r in result.trace], dtype=np.int64
+    ).reshape(len(result.trace), len(_TRACE_FIELDS))
+    tags = np.array([r.tag for r in result.trace], dtype=object) if result.trace else np.array([], dtype=object)
+    np.savez_compressed(
+        path,
+        algorithm=np.array(result.algorithm),
+        completion_times=result.completion_times,
+        cache_size=np.array(result.cache_size),
+        miss_cost=np.array(result.miss_cost),
+        trace=trace_mat,
+        trace_tags=tags,
+        meta=np.array(json.dumps(_json_safe(result.meta))),
+    )
+
+
+def load_result(path: str | Path) -> ParallelRunResult:
+    """Load a result written by :func:`save_result`.
+
+    Metadata comes back as the JSON-safe projection (dicts/lists), not the
+    original dataclasses.
+    """
+    with np.load(Path(path), allow_pickle=True) as data:
+        trace_mat = data["trace"]
+        tags = data["trace_tags"]
+        trace: List[BoxRecord] = []
+        for row, tag in zip(trace_mat, tags):
+            kwargs: Dict[str, int] = {f: int(v) for f, v in zip(_TRACE_FIELDS, row)}
+            trace.append(BoxRecord(tag=str(tag), **kwargs))
+        return ParallelRunResult(
+            algorithm=str(data["algorithm"]),
+            completion_times=np.asarray(data["completion_times"], dtype=np.int64),
+            trace=trace,
+            cache_size=int(data["cache_size"]),
+            miss_cost=int(data["miss_cost"]),
+            meta=json.loads(str(data["meta"])),
+        )

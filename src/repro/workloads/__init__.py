@@ -1,0 +1,51 @@
+"""Workload generation: synthetic patterns, parallel instances, adversarial §4 construction."""
+
+from .adversarial import AdversarialInstance, build_adversarial_instance, lemma8_opt_makespan
+from .formats import read_address_trace, read_sequence_text, read_trace_text, write_sequence_text, write_trace_text
+from .generators import (
+    WORKLOAD_KINDS,
+    cyclic,
+    make_parallel_workload,
+    make_shared_workload,
+    mixed_locality,
+    multiscale_cycles,
+    phased_working_sets,
+    polluted_cycle,
+    sawtooth,
+    scan,
+    uniform,
+    zipf,
+)
+from .stats import SequenceStats, characterize, marginal_benefit, pollution_level, working_set_sizes
+from .trace import PAGE_STRIDE, ParallelWorkload, disjointify
+
+__all__ = [
+    "AdversarialInstance",
+    "build_adversarial_instance",
+    "lemma8_opt_makespan",
+    "WORKLOAD_KINDS",
+    "cyclic",
+    "make_parallel_workload",
+    "make_shared_workload",
+    "mixed_locality",
+    "multiscale_cycles",
+    "phased_working_sets",
+    "polluted_cycle",
+    "sawtooth",
+    "scan",
+    "uniform",
+    "zipf",
+    "SequenceStats",
+    "characterize",
+    "marginal_benefit",
+    "pollution_level",
+    "working_set_sizes",
+    "read_address_trace",
+    "read_sequence_text",
+    "read_trace_text",
+    "write_sequence_text",
+    "write_trace_text",
+    "PAGE_STRIDE",
+    "ParallelWorkload",
+    "disjointify",
+]

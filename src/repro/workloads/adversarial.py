@@ -1,0 +1,228 @@
+"""The Theorem 4 adversarial instance (§4 + appendix) and Lemma 8's OPT.
+
+The lower-bound construction that shows *any* parallel paging algorithm
+built on a greedily-green black box loses a ``Ω(log p / log log p)`` factor
+on makespan.  Structure (appendix, with our parameter names):
+
+* ``p = 2^(ℓ+1) - 1`` sequences share a cache of ``k = p·2^(a-1)`` (we round
+  ``k`` up to the next power of two for lattice compatibility and report
+  both).
+* Every sequence ends with a **suffix** of ``4·log₂ ℓ`` phases, each of
+  ``γ·(k-1)`` requests to brand-new pages (pure polluters — no cache size
+  helps, so suffixes progress at the same speed regardless of allocation;
+  they carry the bulk of the impact and the key to optimality is running
+  them *in parallel*).
+* Only ``~p/ℓ`` sequences are **prefixed**.  Prefixed sequences form
+  families ``F_0 … F_{ℓ-log ℓ}``; family ``F_i`` holds ``2^i`` isomorphic
+  sequences with ``ℓ - log ℓ - i + 1`` prefix phases ``σ^0 … σ^{ℓ-logℓ-i}``.
+* Phase ``σ^j`` is ``γ`` cycles over the same ``k-1`` repeater pages with
+  every ``n_j = p/2^j``-th request replaced by a fresh polluter: pollution
+  doubles phase over phase, calibrated so a greedily-green allocator can
+  never justify a big box (the big box's impact exceeds ``c`` times the
+  minimal-box cost) — while an allocator *willing to waste impact* can
+  blast through each prefix with the full cache almost hit-free.
+
+Lemma 8's OPT: run the prefixes one at a time with the full cache, then run
+every suffix in parallel with one page each; total
+``O(α·s·k²·log log p)``.  A greedily-green PAR is instead forced to serve
+prefixes with minimal boxes, stretching execution to
+``Ω(α·s·k²·log p)`` — the separation experiment E7 measures.
+
+Scaling knobs: ``alpha`` multiplies the paper's ``γ = 2kα`` (laptop-sized
+instances need ``α < 1``); the theorem wants ``s > c·k`` — use
+:meth:`AdversarialInstance.recommended_miss_cost`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .trace import ParallelWorkload
+
+__all__ = ["AdversarialInstance", "build_adversarial_instance", "lemma8_opt_makespan"]
+
+
+@dataclass(frozen=True)
+class AdversarialInstance:
+    """A fully built Theorem 4 instance plus its structural metadata.
+
+    Attributes
+    ----------
+    workload:
+        The ``p`` disjoint request sequences.
+    k:
+        Cache size of the construction (lower-bound side; algorithms get
+        ``c·k`` per the theorem).
+    ell:
+        The ``ℓ`` parameter (``p = 2^(ℓ+1) - 1``).
+    gamma:
+        Cycles per phase (``≈ 2kα``).
+    prefix_lengths:
+        Per-processor request count of the prefix part (0 for suffix-only).
+    family_of:
+        Per-processor family index (-1 for suffix-only sequences).
+    phase_pollution_periods:
+        ``n_j`` per prefix-phase index ``j``.
+    suffix_phases:
+        Number of suffix phases (``4·log₂ ℓ``, min 1).
+    """
+
+    workload: ParallelWorkload
+    k: int
+    ell: int
+    gamma: int
+    prefix_lengths: Tuple[int, ...]
+    family_of: Tuple[int, ...]
+    phase_pollution_periods: Tuple[int, ...]
+    suffix_phases: int
+
+    @property
+    def p(self) -> int:
+        return self.workload.p
+
+    def recommended_miss_cost(self, c: int = 1) -> int:
+        """A miss cost satisfying the theorem's ``s > c·k`` requirement."""
+        return c * self.k + 1
+
+
+def build_adversarial_instance(
+    ell: int,
+    alpha: float = 1.0,
+    a: int = 1,
+    min_gamma: int = 2,
+    suffix_phase_multiplier: int = 4,
+) -> AdversarialInstance:
+    """Construct the §4 instance for ``p = 2^(ℓ+1) - 1`` sequences.
+
+    Parameters
+    ----------
+    ell:
+        Size exponent (``ℓ >= 2``); ``p = 2^(ℓ+1) - 1``.
+    alpha:
+        The paper's ``α``; ``γ = max(min_gamma, round(2kα))``.  Scale below
+        1 to keep laptop instances tractable — the separation shape only
+        needs every phase to be long enough for its pollution period.
+    a:
+        ``k = p·2^(a-1)`` rounded up to a power of two.
+    suffix_phase_multiplier:
+        Suffix phases = ``multiplier × log₂ ℓ``.  The paper uses 4, which
+        makes the asymptotic separation ``≈ ℓ / (4·log ℓ)`` — below 1 for
+        every ℓ reachable on a laptop (the constant only dies at
+        astronomically large p).  Experiment E7 uses 1 so the *growth* of
+        the separation with p — the actual claim, ``Θ(log p/log log p)`` —
+        is visible at small scale; EXPERIMENTS.md documents the
+        substitution.
+    """
+    if ell < 2:
+        raise ValueError(f"need ell >= 2, got {ell}")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    if suffix_phase_multiplier < 1:
+        raise ValueError("suffix_phase_multiplier must be >= 1")
+    p = (1 << (ell + 1)) - 1
+    k_raw = p * (1 << (a - 1))
+    k = 1 << (k_raw - 1).bit_length()  # round up to a power of two
+    gamma = max(min_gamma, int(round(2 * k * alpha)))
+    log_ell = max(1, int(round(math.log2(ell))))
+    suffix_phases = suffix_phase_multiplier * log_ell
+    phase_len = gamma * (k - 1)
+    n_prefix_phase_kinds = ell - log_ell + 1  # σ^0 .. σ^{ℓ - log ℓ}
+    pollution_periods = tuple(
+        max(2, p // (1 << j)) for j in range(n_prefix_phase_kinds)
+    )
+
+    sequences: List[np.ndarray] = []
+    prefix_lengths: List[int] = []
+    family_of: List[int] = []
+
+    def build_sequence(n_prefix_phases: int) -> Tuple[np.ndarray, int]:
+        """One sequence: ``n_prefix_phases`` polluted-cycle phases then the
+        suffix scan.  Local page ids: repeaters 0..k-2; polluters from k."""
+        parts: List[np.ndarray] = []
+        next_polluter = k  # local id space
+        repeaters = np.arange(k - 1, dtype=np.int64)
+        for j in range(n_prefix_phases):
+            n_j = pollution_periods[j]
+            reps = -(-phase_len // (k - 1))
+            phase = np.tile(repeaters, reps)[:phase_len].copy()
+            idx = np.arange(n_j - 1, phase_len, n_j, dtype=np.int64)
+            phase[idx] = next_polluter + np.arange(len(idx), dtype=np.int64)
+            next_polluter += len(idx)
+            parts.append(phase)
+        prefix_len = phase_len * n_prefix_phases
+        suffix = next_polluter + np.arange(suffix_phases * phase_len, dtype=np.int64)
+        parts.append(suffix)
+        return np.concatenate(parts), prefix_len
+
+    # families F_i: 2^i sequences with (ℓ - log ℓ - i + 1) prefix phases
+    n_families = ell - log_ell + 1
+    for i in range(n_families):
+        phases_in_family = ell - log_ell - i + 1
+        for _ in range(1 << i):
+            if len(sequences) >= p:
+                break
+            seq, plen = build_sequence(phases_in_family)
+            sequences.append(seq)
+            prefix_lengths.append(plen)
+            family_of.append(i)
+    # remaining sequences are suffix-only
+    while len(sequences) < p:
+        seq, plen = build_sequence(0)
+        sequences.append(seq)
+        prefix_lengths.append(plen)
+        family_of.append(-1)
+
+    workload = ParallelWorkload.from_local(
+        sequences,
+        name=f"adversarial[ell={ell},alpha={alpha}]",
+        meta={"ell": ell, "alpha": alpha, "a": a, "k": k, "gamma": gamma},
+    )
+    return AdversarialInstance(
+        workload=workload,
+        k=k,
+        ell=ell,
+        gamma=gamma,
+        prefix_lengths=tuple(prefix_lengths),
+        family_of=tuple(family_of),
+        phase_pollution_periods=pollution_periods,
+        suffix_phases=suffix_phases,
+    )
+
+
+def lemma8_opt_makespan(instance: AdversarialInstance, miss_cost: int) -> int:
+    """Makespan of Lemma 8's explicit OPT schedule (an upper bound on OPT).
+
+    Stage 1 — prefixes, one sequence at a time, full cache ``k``, LRU:
+    charged at actual service time (hits + s·faults), simulated exactly.
+    Stage 2 — all suffixes in parallel, one page per processor: every
+    suffix request misses, so the stage lasts ``s × (longest suffix)``.
+
+    Stage 2 requires ``k >= p`` (every processor needs a page), which the
+    construction guarantees.
+    """
+    from ..paging.lru import LRUCache
+
+    s = int(miss_cost)
+    if instance.k < instance.p:
+        raise ValueError("construction violated k >= p; cannot run suffixes in parallel")
+    stage1 = 0
+    for i, seq in enumerate(instance.workload.sequences):
+        plen = instance.prefix_lengths[i]
+        if plen == 0:
+            continue
+        cache = LRUCache(instance.k)
+        hits = 0
+        prefix = seq[:plen]
+        for page in prefix:
+            if cache.touch(int(page)):
+                hits += 1
+        stage1 += hits + s * (plen - hits)
+    longest_suffix = max(
+        len(seq) - plen for seq, plen in zip(instance.workload.sequences, instance.prefix_lengths)
+    )
+    stage2 = s * longest_suffix
+    return stage1 + stage2

@@ -1,0 +1,119 @@
+"""Plain-text trace format: import/export of request sequences.
+
+A minimal interchange format so real traces (or hand-written fixtures)
+can flow in and out of the simulators:
+
+* one request per line: an integer page id, optionally
+  ``processor_id page_id`` for parallel traces;
+* blank lines and ``#`` comments ignored;
+* the parallel form groups lines by processor id, preserving per-processor
+  request order (interleaving across processors carries no timing meaning
+  — the model's schedulers control timing).
+
+``.npz`` (``ParallelWorkload.save``/``load``) remains the efficient native
+format; this one is for humans and foreign tooling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from .trace import ParallelWorkload
+
+__all__ = [
+    "write_trace_text",
+    "read_trace_text",
+    "write_sequence_text",
+    "read_sequence_text",
+    "read_address_trace",
+]
+
+
+def write_sequence_text(seq: np.ndarray, path: str | Path, comment: str = "") -> None:
+    """Write one request sequence, one page id per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"# {line}\n")
+        for page in np.asarray(seq, dtype=np.int64):
+            fh.write(f"{int(page)}\n")
+
+
+def read_sequence_text(path: str | Path) -> np.ndarray:
+    """Read a single-processor trace written by :func:`write_sequence_text`."""
+    out: List[int] = []
+    for raw in Path(path).read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 1:
+            raise ValueError(f"expected one page id per line, got {raw!r}")
+        out.append(int(parts[0]))
+    return np.asarray(out, dtype=np.int64)
+
+
+def write_trace_text(workload: ParallelWorkload, path: str | Path) -> None:
+    """Write a parallel workload as ``processor_id page_id`` lines."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        fh.write(f"# workload: {workload.name}\n")
+        fh.write(f"# processors: {workload.p}\n")
+        for i, seq in enumerate(workload.sequences):
+            for page in seq:
+                fh.write(f"{i} {int(page)}\n")
+
+
+def read_trace_text(path: str | Path, name: str = "text-trace", allow_shared: bool = False) -> ParallelWorkload:
+    """Read a parallel trace written by :func:`write_trace_text`.
+
+    Processor ids may appear in any interleaving; per-processor order is
+    the file order.  Missing intermediate processor ids yield empty
+    sequences (ids are treated as dense 0..max).
+    """
+    by_proc: Dict[int, List[int]] = {}
+    for raw in Path(path).read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"expected 'processor page' per line, got {raw!r}")
+        proc, page = int(parts[0]), int(parts[1])
+        if proc < 0:
+            raise ValueError(f"negative processor id in line {raw!r}")
+        by_proc.setdefault(proc, []).append(page)
+    if not by_proc:
+        return ParallelWorkload(sequences=[], name=name, allow_shared=allow_shared)
+    p = max(by_proc) + 1
+    sequences = [np.asarray(by_proc.get(i, []), dtype=np.int64) for i in range(p)]
+    return ParallelWorkload(sequences=sequences, name=name, allow_shared=allow_shared)
+
+
+def read_address_trace(path: str | Path, page_size: int = 4096) -> np.ndarray:
+    """Convert a raw memory-address trace to a page-request sequence.
+
+    One address per line (decimal, or hex with a ``0x`` prefix); blank
+    lines and ``#`` comments ignored.  Each address maps to page
+    ``address // page_size`` — the standard adapter for feeding real
+    program traces (e.g. from a pintool or valgrind's lackey) into the
+    simulators.
+    """
+    if page_size < 1:
+        raise ValueError("page_size must be >= 1")
+    pages: List[int] = []
+    for raw in Path(path).read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        addr = int(line, 16) if line.lower().startswith("0x") else int(line)
+        if addr < 0:
+            raise ValueError(f"negative address in line {raw!r}")
+        pages.append(addr // page_size)
+    return np.asarray(pages, dtype=np.int64)

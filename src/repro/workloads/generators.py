@@ -1,0 +1,327 @@
+"""Synthetic request-sequence generators.
+
+These are the building blocks of every experiment: the paper's own lower
+bound (§4) is assembled from exactly two access patterns — *repeaters*
+(cyclic reuse) and *polluters* (use-once streams) — which it notes "are
+common access patterns, and not at all pathological".  We provide those,
+plus standard locality models (Zipf, phased working sets, sawtooth scans)
+used to exercise the algorithms on non-adversarial inputs.
+
+All generators emit **processor-local** page ids starting at 0; assemble
+parallel instances with :func:`repro.workloads.trace.ParallelWorkload.from_local`
+or the :func:`make_parallel_workload` convenience, which relabel to
+globally disjoint ids.
+
+Every stochastic generator takes an explicit ``numpy.random.Generator`` —
+no hidden global state, per the reproducibility policy in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .trace import ParallelWorkload
+
+__all__ = [
+    "cyclic",
+    "scan",
+    "polluted_cycle",
+    "zipf",
+    "uniform",
+    "sawtooth",
+    "phased_working_sets",
+    "mixed_locality",
+    "make_parallel_workload",
+    "WORKLOAD_KINDS",
+]
+
+
+def cyclic(n_requests: int, cycle_len: int) -> np.ndarray:
+    """Pure repeaters: ``0,1,…,cycle_len-1`` repeated (cache-friendly once
+    the cycle fits; thrashes LRU when it is one page too big)."""
+    if cycle_len < 1:
+        raise ValueError("cycle_len must be >= 1")
+    reps = -(-n_requests // cycle_len)
+    return np.tile(np.arange(cycle_len, dtype=np.int64), reps)[:n_requests]
+
+
+def scan(n_requests: int, start_page: int = 0) -> np.ndarray:
+    """Pure polluters: every page requested exactly once (no cache helps)."""
+    return np.arange(start_page, start_page + n_requests, dtype=np.int64)
+
+
+def polluted_cycle(
+    n_requests: int,
+    cycle_len: int,
+    pollution_period: int,
+    polluter_start: Optional[int] = None,
+) -> np.ndarray:
+    """The paper's prefix phase ``σ^j``: cycle over ``cycle_len`` repeaters,
+    with every ``pollution_period``-th request replaced by a fresh polluter.
+
+    Pollution level = ``1/pollution_period``; §4 doubles it phase by phase
+    to keep the green algorithm pinned to minimum-size boxes.
+
+    Parameters
+    ----------
+    polluter_start:
+        First polluter page id; defaults to ``cycle_len`` (just above the
+        repeater ids) and increments per polluter.
+    """
+    if cycle_len < 1 or pollution_period < 1:
+        raise ValueError("cycle_len and pollution_period must be >= 1")
+    out = cyclic(n_requests, cycle_len)
+    polluter = cycle_len if polluter_start is None else int(polluter_start)
+    # positions pollution_period-1, 2*pollution_period-1, ... get polluters
+    idx = np.arange(pollution_period - 1, n_requests, pollution_period, dtype=np.int64)
+    out[idx] = polluter + np.arange(len(idx), dtype=np.int64)
+    return out
+
+
+def zipf(n_requests: int, n_pages: int, alpha: float, rng: np.random.Generator) -> np.ndarray:
+    """Zipfian page popularity: page ``r`` drawn with weight ``(r+1)^-alpha``.
+
+    The classic skewed-popularity model; with moderate ``alpha`` the miss
+    ratio curve decays smoothly, giving the non-trivial marginal-benefit
+    structure the paper's introduction discusses.
+    """
+    if n_pages < 1:
+        raise ValueError("n_pages must be >= 1")
+    weights = (np.arange(1, n_pages + 1, dtype=np.float64)) ** (-float(alpha))
+    probs = weights / weights.sum()
+    return rng.choice(n_pages, size=n_requests, p=probs).astype(np.int64)
+
+
+def uniform(n_requests: int, n_pages: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniformly random requests over ``n_pages`` pages (locality-free)."""
+    if n_pages < 1:
+        raise ValueError("n_pages must be >= 1")
+    return rng.integers(0, n_pages, size=n_requests, dtype=np.int64)
+
+
+def sawtooth(n_requests: int, width: int) -> np.ndarray:
+    """Sweep ``0..width-1`` then back down — the classic LRU-adversarial
+    pattern whose stack distances concentrate just above the turning width."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    tooth = np.concatenate(
+        [np.arange(width, dtype=np.int64), np.arange(width - 2, 0, -1, dtype=np.int64)]
+    )
+    reps = -(-n_requests // len(tooth))
+    return np.tile(tooth, reps)[:n_requests]
+
+
+def phased_working_sets(
+    n_phases: int,
+    phase_len: int,
+    working_set: int,
+    rng: np.random.Generator,
+    overlap: float = 0.0,
+) -> np.ndarray:
+    """Working-set phases: each phase cycles over its own page set.
+
+    ``overlap`` in [0,1) carries that fraction of pages between adjacent
+    phases.  This produces exactly the "marginal benefit fluctuates
+    unpredictably over time" behaviour the introduction motivates: the
+    useful cache size jumps at phase boundaries.
+    """
+    if not (0.0 <= overlap < 1.0):
+        raise ValueError("overlap must be in [0, 1)")
+    if working_set < 1:
+        raise ValueError("working_set must be >= 1")
+    carried = int(overlap * working_set)
+    pages = np.arange(working_set, dtype=np.int64)
+    out: List[np.ndarray] = []
+    next_fresh = working_set
+    for _ in range(n_phases):
+        order = pages[rng.permutation(working_set)]
+        reps = -(-phase_len // working_set)
+        out.append(np.tile(order, reps)[:phase_len])
+        keep = pages[rng.permutation(working_set)[:carried]] if carried else np.empty(0, dtype=np.int64)
+        fresh = np.arange(next_fresh, next_fresh + working_set - carried, dtype=np.int64)
+        next_fresh += working_set - carried
+        pages = np.concatenate([keep, fresh])
+    return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+
+
+def mixed_locality(
+    n_requests: int,
+    rng: np.random.Generator,
+    hot_pages: int = 16,
+    cold_pages: int = 4096,
+    hot_fraction: float = 0.8,
+) -> np.ndarray:
+    """80/20-style mix: most requests to a small hot set, the rest scattered."""
+    hot = rng.integers(0, hot_pages, size=n_requests, dtype=np.int64)
+    cold = rng.integers(hot_pages, hot_pages + cold_pages, size=n_requests, dtype=np.int64)
+    mask = rng.random(n_requests) < hot_fraction
+    return np.where(mask, hot, cold)
+
+
+def multiscale_cycles(
+    n_requests: int,
+    k: int,
+    p: int,
+    rng: np.random.Generator,
+    passes_per_phase: int = 6,
+) -> np.ndarray:
+    """Phases of cycles whose working set sweeps every box-height scale.
+
+    Phase ``i`` cycles over ``(k/p)·2^i / 2`` pages (half a lattice height,
+    so a box of that height fits the cycle with room to warm up), repeated
+    ``passes_per_phase`` times, with scales visited in a random order and
+    fresh pages each phase.  This is the workload for which the paper's
+    height lattice genuinely matters: the optimal box height changes phase
+    by phase, so any algorithm stuck at one height pays at some scale.
+    """
+    if k < p or p < 1:
+        raise ValueError("need k >= p >= 1")
+    base = max(1, k // p)
+    scales = []
+    c = max(1, base // 2)
+    while c <= k // 2:
+        scales.append(c)
+        c *= 2
+    if not scales:
+        scales = [1]
+    out: List[np.ndarray] = []
+    next_page = 0
+    total = 0
+    while total < n_requests:
+        for i in rng.permutation(len(scales)):
+            cyc = int(scales[i])
+            phase_len = cyc * passes_per_phase
+            pages = np.arange(next_page, next_page + cyc, dtype=np.int64)
+            next_page += cyc
+            out.append(np.tile(pages, passes_per_phase))
+            total += phase_len
+            if total >= n_requests:
+                break
+    return np.concatenate(out)[:n_requests]
+
+
+def make_shared_workload(
+    p: int,
+    n_requests: int,
+    shared_pages: int,
+    private_pages: int,
+    shared_fraction: float,
+    rng: np.random.Generator,
+) -> ParallelWorkload:
+    """A workload where processors *share* a common hot set (future work).
+
+    Every processor draws ``shared_fraction`` of its requests from one
+    common pool of ``shared_pages`` pages (Zipf-skewed) and the rest from
+    a private uniform pool — the "processors share pages" model the
+    paper's conclusion poses as an open problem.  Sharing-oblivious
+    schemes (static partitions, per-processor boxes) duplicate the hot
+    set p times; a globally shared cache stores it once, which is the
+    advantage experiment E10 quantifies.
+    """
+    if not (0.0 <= shared_fraction <= 1.0):
+        raise ValueError("shared_fraction must be in [0, 1]")
+    if shared_pages < 1 or private_pages < 1:
+        raise ValueError("page pools must be >= 1")
+    weights = (np.arange(1, shared_pages + 1, dtype=np.float64)) ** (-1.0)
+    probs = weights / weights.sum()
+    sequences = []
+    for i in range(p):
+        shared = rng.choice(shared_pages, size=n_requests, p=probs).astype(np.int64)
+        lo = shared_pages + i * private_pages
+        private = rng.integers(lo, lo + private_pages, size=n_requests, dtype=np.int64)
+        mask = rng.random(n_requests) < shared_fraction
+        sequences.append(np.where(mask, shared, private))
+    return ParallelWorkload(
+        sequences=sequences,
+        name=f"shared[p={p},frac={shared_fraction}]",
+        meta={
+            "shared_pages": shared_pages,
+            "private_pages": private_pages,
+            "shared_fraction": shared_fraction,
+        },
+        allow_shared=True,
+    )
+
+
+#: Per-processor generator menu used by :func:`make_parallel_workload`.
+WORKLOAD_KINDS = (
+    "cyclic",
+    "scan",
+    "polluted_cycle",
+    "zipf",
+    "uniform",
+    "sawtooth",
+    "phased",
+    "mixed",
+    "multiscale",
+    "bigcycle",
+)
+
+
+def make_parallel_workload(
+    p: int,
+    n_requests: int,
+    k: int,
+    rng: np.random.Generator,
+    kind: str = "mixed_kinds",
+    name: Optional[str] = None,
+) -> ParallelWorkload:
+    """Assemble a disjoint ``p``-processor workload.
+
+    ``kind``:
+
+    * a single generator name from :data:`WORKLOAD_KINDS` — every processor
+      gets an (independently randomized) instance of that pattern, sized
+      relative to the cache ``k`` so cache pressure is non-trivial;
+    * ``"mixed_kinds"`` — processors round-robin through the menu, the
+      heterogeneous default used by the makespan experiments (different
+      processors *should* want different cache).
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    kinds = list(WORKLOAD_KINDS) if kind == "mixed_kinds" else [kind]
+    locals_: List[np.ndarray] = []
+    for i in range(p):
+        kd = kinds[i % len(kinds)]
+        if kd == "cyclic":
+            # cycle sized between k/p and k so box height genuinely matters
+            cl = max(2, int(rng.integers(max(2, k // p), max(3, k))))
+            locals_.append(cyclic(n_requests, cl))
+        elif kd == "scan":
+            locals_.append(scan(n_requests))
+        elif kd == "polluted_cycle":
+            cl = max(2, k - 1)
+            period = int(rng.integers(2, max(3, p + 1)))
+            locals_.append(polluted_cycle(n_requests, cl, period))
+        elif kd == "zipf":
+            locals_.append(zipf(n_requests, max(2, 4 * k), 1.1, rng))
+        elif kd == "uniform":
+            locals_.append(uniform(n_requests, max(2, 2 * k), rng))
+        elif kd == "sawtooth":
+            locals_.append(sawtooth(n_requests, max(2, int(rng.integers(max(2, k // p), max(3, k))))))
+        elif kd == "phased":
+            ws = max(1, k // 2)
+            phase_len = max(1, n_requests // 8)
+            n_ph = -(-n_requests // phase_len)
+            locals_.append(phased_working_sets(n_ph, phase_len, ws, rng)[:n_requests])
+        elif kd == "mixed":
+            locals_.append(mixed_locality(n_requests, rng, hot_pages=max(2, k // 4), cold_pages=4 * k))
+        elif kd == "multiscale":
+            locals_.append(multiscale_cycles(n_requests, k, p, rng))
+        elif kd == "bigcycle":
+            # working set k/2 per processor — individually cache-friendly,
+            # collectively p/2 times oversubscribed: a static k/p split
+            # thrashes everyone, while time-multiplexed full-height boxes
+            # serve each processor at hit speed for s ≫ p
+            cl = max(2, k // 2)
+            phase = int(rng.integers(0, cl))
+            locals_.append(np.roll(cyclic(n_requests, cl), -phase))
+        else:
+            raise ValueError(f"unknown workload kind {kd!r}")
+    return ParallelWorkload.from_local(
+        locals_,
+        name=name or f"{kind}[p={p},n={n_requests},k={k}]",
+        meta={"kind": kind, "p": p, "n_requests": n_requests, "k": k},
+    )

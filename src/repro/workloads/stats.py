@@ -1,0 +1,103 @@
+"""Workload characterization: the structure the scheduler must reason about.
+
+The paper's introduction frames parallel paging's difficulty in terms of
+per-processor *marginal benefit* of cache — non-monotonic in size,
+fluctuating over time.  This module computes exactly those diagnostics
+from a request sequence, powering the examples, the workload-design notes
+in EXPERIMENTS.md, and sanity tests on the generators:
+
+* reuse-distance (stack-distance) histograms and summary quantiles;
+* working-set size over sliding windows (Denning's W(t, τ));
+* pollution level (fraction of use-once pages — the §4 polluters);
+* the marginal-benefit curve Δfaults(c→c+1) from the miss-ratio curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..paging.stack import miss_ratio_curve, stack_distances
+
+__all__ = ["SequenceStats", "characterize", "working_set_sizes", "pollution_level", "marginal_benefit"]
+
+
+def working_set_sizes(requests: Sequence[int], window: int) -> np.ndarray:
+    """Denning working-set sizes: distinct pages in each length-``window``
+    sliding window (stride = window, i.e. tumbling, which is what the
+    phase-structure diagnostics need)."""
+    reqs = np.asarray(requests, dtype=np.int64)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    out = []
+    for start in range(0, len(reqs), window):
+        out.append(len(np.unique(reqs[start : start + window])))
+    return np.asarray(out, dtype=np.int64)
+
+
+def pollution_level(requests: Sequence[int]) -> float:
+    """Fraction of requests to pages used exactly once (§4's polluters)."""
+    reqs = np.asarray(requests, dtype=np.int64)
+    if len(reqs) == 0:
+        return 0.0
+    _, counts = np.unique(reqs, return_counts=True)
+    return float((counts == 1).sum()) / len(reqs)
+
+
+def marginal_benefit(requests: Sequence[int], max_capacity: int) -> np.ndarray:
+    """``Δfaults[c] = faults(c) - faults(c+1)`` for c = 1..max_capacity-1.
+
+    The marginal value of one more cache page under LRU.  Non-monotonic in
+    general (e.g. cyclic workloads have a cliff at the cycle length) —
+    the phenomenon the paper's introduction calls out.
+    """
+    curve = miss_ratio_curve(requests, max_capacity=max_capacity)
+    faults = curve.faults[1 : max_capacity + 1].astype(np.int64)
+    return faults[:-1] - faults[1:]
+
+
+@dataclass(frozen=True)
+class SequenceStats:
+    """One-stop summary of a request sequence."""
+
+    n_requests: int
+    distinct_pages: int
+    pollution: float
+    reuse_median: float
+    reuse_p90: float
+    max_working_set: int
+    mean_working_set: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Rounded dict form for table rendering."""
+        return {
+            "n_requests": self.n_requests,
+            "distinct_pages": self.distinct_pages,
+            "pollution": round(self.pollution, 3),
+            "reuse_median": round(self.reuse_median, 1),
+            "reuse_p90": round(self.reuse_p90, 1),
+            "max_working_set": self.max_working_set,
+            "mean_working_set": round(self.mean_working_set, 1),
+        }
+
+
+def characterize(requests: Sequence[int], window: int = 256) -> SequenceStats:
+    """Compute a :class:`SequenceStats` summary (one pass per diagnostic)."""
+    reqs = np.asarray(requests, dtype=np.int64)
+    n = len(reqs)
+    if n == 0:
+        return SequenceStats(0, 0, 0.0, 0.0, 0.0, 0, 0.0)
+    dists = stack_distances(reqs)
+    warm = dists[dists > 0]
+    ws = working_set_sizes(reqs, min(window, n))
+    return SequenceStats(
+        n_requests=n,
+        distinct_pages=int(len(np.unique(reqs))),
+        pollution=pollution_level(reqs),
+        reuse_median=float(np.median(warm)) if len(warm) else 0.0,
+        reuse_p90=float(np.percentile(warm, 90)) if len(warm) else 0.0,
+        max_working_set=int(ws.max()),
+        mean_working_set=float(ws.mean()),
+    )

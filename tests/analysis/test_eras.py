@@ -1,0 +1,74 @@
+"""Tests for the era (survivor-halving) analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import era_analysis, survivors_over_time
+from repro.parallel import ParallelRunResult
+
+
+def result_with(completions):
+    return ParallelRunResult(
+        algorithm="x",
+        completion_times=np.asarray(completions, dtype=np.int64),
+        trace=[],
+        cache_size=8,
+        miss_cost=4,
+    )
+
+
+class TestSurvivorsOverTime:
+    def test_step_function(self):
+        res = result_with([10, 20, 20, 40])
+        times, counts = survivors_over_time(res)
+        assert times.tolist() == [0, 10, 20, 40]
+        assert counts.tolist() == [4, 3, 1, 0]
+
+    def test_empty_sequences_finish_at_zero(self):
+        res = result_with([0, 15])
+        times, counts = survivors_over_time(res)
+        assert times.tolist() == [0, 15]
+        assert counts.tolist() == [1, 0]
+
+
+class TestEraAnalysis:
+    def test_empty(self):
+        report = era_analysis(result_with([]))
+        assert report.boundaries == ()
+
+    def test_single_processor(self):
+        report = era_analysis(result_with([30]))
+        assert report.boundaries == (30,)
+        assert report.durations == (30,)
+
+    def test_halving_boundaries(self):
+        # 8 processors: boundaries at 4th, 6th, 7th completions; final = makespan
+        completions = [10, 20, 30, 40, 50, 60, 70, 80]
+        report = era_analysis(result_with(completions))
+        assert report.boundaries == (40, 60, 70, 80)
+        assert report.durations == (40, 20, 10, 10)
+
+    def test_balance_of_equal_eras(self):
+        completions = [10, 10, 20, 20, 30, 30, 40, 40]
+        report = era_analysis(result_with(completions))
+        # halving at 4th (20), 6th (30), 7th (40) completion; end 40
+        assert report.boundaries[0] == 20
+        assert report.balance >= 1.0
+
+    def test_simultaneous_finish(self):
+        report = era_analysis(result_with([50, 50, 50, 50]))
+        assert report.boundaries[-1] == 50
+        assert sum(report.durations) == 50
+
+    def test_adversarial_run_has_eras(self):
+        """End-to-end: the §4 instance produces a multi-era structure."""
+        from repro.core import BlackBoxPar
+        from repro.workloads import build_adversarial_instance
+
+        inst = build_adversarial_instance(3, alpha=0.25, suffix_phase_multiplier=1)
+        s = inst.recommended_miss_cost()
+        res = BlackBoxPar(2 * inst.k, s).run(inst.workload)
+        report = era_analysis(res)
+        assert len(report.boundaries) >= 2
+        assert sum(report.durations) == res.makespan

@@ -1,0 +1,88 @@
+"""Tests for growth-model fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import best_model, fit_growth, normalized_constants
+from repro.analysis.fitting import MODELS, _feature
+
+
+class TestFeatures:
+    def test_models_enumerated(self):
+        assert set(MODELS) == {"const", "log", "log2", "log_over_loglog"}
+
+    def test_feature_values(self):
+        p = np.array([4.0, 16.0])
+        assert np.allclose(_feature("log", p), [2, 4])
+        assert np.allclose(_feature("log2", p), [4, 16])
+        assert np.allclose(_feature("const", p), [0, 0])
+
+    def test_log_over_loglog_guard(self):
+        # p=2 -> log2 p = 1 -> inner log clamped, no division by zero
+        vals = _feature("log_over_loglog", np.array([2.0, 4.0, 256.0]))
+        assert np.all(np.isfinite(vals))
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            _feature("cubic", np.array([2.0]))
+
+
+class TestFitGrowth:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_growth([4], [1.0], "log")
+
+    def test_exact_log_recovery(self):
+        ps = [2, 4, 8, 16, 32, 64]
+        ys = [1.5 + 0.7 * np.log2(p) for p in ps]
+        fit = fit_growth(ps, ys, "log")
+        assert fit.intercept == pytest.approx(1.5, abs=1e-9)
+        assert fit.slope == pytest.approx(0.7, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_const_recovery(self):
+        fit = fit_growth([2, 4, 8], [3.0, 3.0, 3.0], "const")
+        assert fit.intercept == pytest.approx(3.0)
+        assert fit.rss == pytest.approx(0.0)
+
+    def test_predict(self):
+        fit = fit_growth([2, 4, 8, 16], [1 + np.log2(p) for p in (2, 4, 8, 16)], "log")
+        assert fit.predict([32])[0] == pytest.approx(6.0, abs=1e-8)
+
+
+class TestBestModel:
+    def test_picks_log_for_log_data(self):
+        ps = [2, 4, 8, 16, 32, 64, 128]
+        ys = [2 + 1.3 * np.log2(p) for p in ps]
+        assert best_model(ps, ys).model == "log"
+
+    def test_picks_log2_for_log2_data(self):
+        ps = [2, 4, 8, 16, 32, 64, 128]
+        ys = [1 + 0.4 * np.log2(p) ** 2 for p in ps]
+        assert best_model(ps, ys).model == "log2"
+
+    def test_picks_const_for_flat_data(self):
+        ps = [2, 4, 8, 16, 32]
+        ys = [5.0, 5.0, 5.0, 5.0, 5.0]
+        assert best_model(ps, ys).model == "const"
+
+    def test_parsimony_prefers_simpler(self):
+        """Nearly-flat data with a whisper of noise should stay 'const'."""
+        rng = np.random.default_rng(0)
+        ps = [2, 4, 8, 16, 32, 64]
+        ys = 3.0 + rng.normal(0, 0.01, size=len(ps))
+        assert best_model(ps, list(ys)).model == "const"
+
+
+class TestNormalizedConstants:
+    def test_flat_for_matching_model(self):
+        ps = [4, 16, 64]
+        ys = [2 * np.log2(p) for p in ps]
+        norm = normalized_constants(ps, ys, "log")
+        assert np.allclose(norm, 2.0)
+
+    def test_guards_zero_feature(self):
+        norm = normalized_constants([1, 2], [5.0, 5.0], "log")  # log2(1)=0 guarded
+        assert np.all(np.isfinite(norm))

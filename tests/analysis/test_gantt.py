@@ -1,0 +1,83 @@
+"""Tests for the Gantt and memory-profile renderers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_gantt, render_memory_profile
+from repro.parallel import BoxRecord, ParallelRunResult
+
+
+def rec(proc, height, start, end):
+    return BoxRecord(
+        proc=proc, height=height, start=start, end=end,
+        served_start=0, served_end=0, hits=0, faults=0,
+    )
+
+
+def result_with(trace, completions, cache=16):
+    return ParallelRunResult(
+        algorithm="x",
+        completion_times=np.asarray(completions, dtype=np.int64),
+        trace=trace,
+        cache_size=cache,
+        miss_cost=4,
+    )
+
+
+class TestGantt:
+    def test_empty(self):
+        assert "no box trace" in render_gantt(result_with([], [0]))
+
+    def test_height_levels_rendered(self):
+        res = result_with([rec(0, 8, 0, 50), rec(0, 2, 50, 100)], [100])
+        text = render_gantt(res, width=20)
+        assert "3" in text  # log2(8)
+        assert "1" in text  # log2(2)
+        assert text.splitlines()[0].startswith("p0")
+
+    def test_idle_time_dotted(self):
+        res = result_with([rec(0, 4, 0, 10)], [100])
+        text = render_gantt(res, width=20)
+        assert "." in text.splitlines()[0]
+
+    def test_completion_marker(self):
+        res = result_with([rec(0, 4, 0, 100)], [100])
+        text = render_gantt(res, width=20)
+        assert "|" in text.splitlines()[0]
+
+    def test_proc_subset(self):
+        res = result_with([rec(0, 4, 0, 10), rec(1, 4, 0, 10)], [10, 10])
+        text = render_gantt(res, procs=[1], width=10)
+        assert "p1" in text and "p0" not in text
+
+    def test_title(self):
+        res = result_with([rec(0, 4, 0, 10)], [10])
+        assert render_gantt(res, title="T").startswith("T")
+
+    def test_overlapping_boxes_show_tallest(self):
+        res = result_with([rec(0, 2, 0, 100), rec(0, 16, 40, 60)], [100])
+        text = render_gantt(res, width=10)
+        row = text.splitlines()[0]
+        assert "4" in row  # log2(16) visible in the overlap bins
+        assert "1" in row
+
+
+class TestMemoryProfile:
+    def test_empty(self):
+        assert "no box trace" in render_memory_profile(result_with([], [0]))
+
+    def test_peak_labelled(self):
+        res = result_with([rec(0, 4, 0, 10), rec(1, 8, 5, 15)], [10, 15])
+        text = render_memory_profile(res, width=20, height=4)
+        assert "peak=12" in text
+        assert "cache=16" in text
+
+    def test_skyline_monotone_rows(self):
+        """Higher rows of the skyline are subsets of lower rows."""
+        res = result_with([rec(0, 4, 0, 10), rec(1, 8, 5, 15), rec(0, 2, 10, 30)], [30, 15])
+        text = render_memory_profile(res, width=24, height=5)
+        rows = [l.split("|")[1] for l in text.splitlines() if l.count("|") == 2]
+        for upper, lower in zip(rows, rows[1:]):
+            for cu, cl in zip(upper, lower):
+                assert not (cu == "█" and cl == " ")

@@ -1,0 +1,66 @@
+"""Tests for the ASCII plotting primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert "(no data)" in line_chart({})
+        assert "(no data)" in line_chart({"a": {}})
+
+    def test_contains_markers_and_legend(self):
+        text = line_chart({"det": {2: 1.0, 8: 3.0}, "eq": {2: 1.0, 8: 5.0}}, width=30, height=6)
+        assert "o=det" in text and "x=eq" in text
+        assert "o" in text.splitlines()[0] or any("o" in l for l in text.splitlines())
+
+    def test_y_range_labels(self):
+        text = line_chart({"a": {2: 1.5, 4: 9.5}}, width=20, height=5)
+        assert "9.50" in text and "1.50" in text
+
+    def test_log_x_axis_labels(self):
+        text = line_chart({"a": {2: 1.0, 32: 2.0}}, width=20, height=4, log_x=True)
+        assert "2" in text and "32" in text and "log scale" in text
+
+    def test_linear_axis(self):
+        text = line_chart({"a": {0: 1.0, 10: 2.0}}, width=20, height=4, log_x=False)
+        assert "log scale" not in text
+
+    def test_constant_series_does_not_crash(self):
+        text = line_chart({"a": {4: 2.0, 8: 2.0}}, width=10, height=4)
+        assert "|" in text
+
+    def test_title(self):
+        assert line_chart({"a": {2: 1.0, 4: 2.0}}, title="T").startswith("T")
+
+    def test_grid_dimensions(self):
+        text = line_chart({"a": {2: 1.0, 4: 2.0}}, width=24, height=7)
+        rows = [l for l in text.splitlines() if l.rstrip().endswith("|")]
+        assert len(rows) == 7
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert "(no data)" in bar_chart({})
+
+    def test_scaling(self):
+        text = bar_chart({"small": 1.0, "big": 2.0}, width=10)
+        lines = text.splitlines()
+        small = next(l for l in lines if l.startswith("small"))
+        big = next(l for l in lines if l.startswith("  big"))
+        assert small.count("█") == 5
+        assert big.count("█") == 10
+
+    def test_values_formatted(self):
+        text = bar_chart({"x": 1.2345}, fmt="{:.1f}")
+        assert "1.2" in text
+
+    def test_zero_max(self):
+        text = bar_chart({"x": 0.0})
+        assert "█" not in text
+
+    def test_title(self):
+        assert bar_chart({"x": 1.0}, title="My Bars").startswith("My Bars")

@@ -1,0 +1,71 @@
+"""Tests for table rendering and CSV export."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.analysis import render_table, write_csv, write_report
+
+
+ROWS = [
+    {"algorithm": "det-par", "p": 8, "ratio": 1.234567},
+    {"algorithm": "global-lru", "p": 8, "ratio": None},
+]
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert "(no rows)" in render_table([])
+        assert "## T" in render_table([], title="T")
+
+    def test_columns_and_alignment(self):
+        text = render_table(ROWS)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("| algorithm")
+        assert all(len(l) == len(lines[0]) for l in lines)  # aligned
+        assert "1.235" in text  # floats formatted to 3 decimals
+        assert "-" in lines[-1]  # None rendered as '-'
+
+    def test_title(self):
+        text = render_table(ROWS, title="My Table")
+        assert text.startswith("## My Table")
+
+    def test_explicit_column_subset(self):
+        text = render_table(ROWS, columns=["p", "algorithm"])
+        header = text.splitlines()[0]
+        assert header.index("p") < header.index("algorithm")
+        assert "ratio" not in header
+
+    def test_markdown_parseable(self):
+        text = render_table(ROWS)
+        lines = text.strip().splitlines()
+        assert lines[1].replace("|", "").replace("-", "").strip() == ""
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out" / "rows.csv"
+        write_csv(ROWS, path)
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["algorithm"] == "det-par"
+        assert rows[0]["p"] == "8"
+        assert rows[1]["ratio"] == ""
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv([], path)
+        assert path.read_text() == ""
+
+
+class TestWriteReport:
+    def test_persists_and_echoes(self, tmp_path, capsys):
+        path = tmp_path / "deep" / "report.md"
+        write_report("hello table", path, echo=True)
+        assert path.read_text() == "hello table"
+        assert "hello table" in capsys.readouterr().out
+
+    def test_silent(self, tmp_path, capsys):
+        path = tmp_path / "r.md"
+        write_report("quiet", path, echo=False)
+        assert capsys.readouterr().out == ""

@@ -1,0 +1,16 @@
+"""Shared pytest configuration: markers and deterministic hypothesis profile."""
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: heavier end-to-end experiment tests")

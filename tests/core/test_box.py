@@ -1,0 +1,165 @@
+"""Tests for boxes, the height lattice, and box profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Box, BoxProfile, HeightLattice, is_power_of_two
+
+
+class TestPowerOfTwo:
+    def test_positives(self):
+        assert all(is_power_of_two(1 << i) for i in range(20))
+
+    def test_negatives(self):
+        for x in (0, -1, -2, 3, 5, 6, 7, 12, 100):
+            assert not is_power_of_two(x)
+
+
+class TestHeightLattice:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeightLattice(k=100, p=4)  # k not power of two
+        with pytest.raises(ValueError):
+            HeightLattice(k=64, p=3)  # p not power of two
+        with pytest.raises(ValueError):
+            HeightLattice(k=4, p=8)  # p > k
+
+    def test_heights(self):
+        lat = HeightLattice(k=64, p=8)
+        assert lat.heights == (8, 16, 32, 64)
+        assert lat.min_height == 8
+        assert lat.max_height == 64
+        assert lat.levels == 4
+
+    def test_p_equals_one(self):
+        lat = HeightLattice(k=16, p=1)
+        assert lat.heights == (16,)
+        assert lat.levels == 1
+
+    def test_p_equals_k(self):
+        lat = HeightLattice(k=8, p=8)
+        assert lat.heights == (1, 2, 4, 8)
+
+    def test_level_of(self):
+        lat = HeightLattice(k=64, p=8)
+        assert [lat.level_of(h) for h in lat.heights] == [0, 1, 2, 3]
+        for bad in (4, 7, 12, 24, 65, 128):
+            with pytest.raises(ValueError):
+                lat.level_of(bad)
+
+    def test_contains(self):
+        lat = HeightLattice(k=64, p=8)
+        assert lat.contains(16)
+        assert not lat.contains(17)
+        assert not lat.contains(4)
+
+    def test_round_up(self):
+        lat = HeightLattice(k=64, p=8)
+        assert lat.round_up(1) == 8
+        assert lat.round_up(8) == 8
+        assert lat.round_up(9) == 16
+        assert lat.round_up(17) == 32
+        assert lat.round_up(33) == 64
+        assert lat.round_up(64) == 64
+        assert lat.round_up(1000) == 64  # clamped to max
+
+    def test_restrict(self):
+        lat = HeightLattice(k=64, p=16)
+        half = lat.restrict(8)
+        assert half.min_height == 8
+        assert half.k == 64
+
+    def test_iteration(self):
+        lat = HeightLattice(k=32, p=4)
+        assert list(lat) == [8, 16, 32]
+
+    @given(st.integers(0, 10), st.integers(0, 10))
+    @settings(max_examples=60)
+    def test_round_up_is_idempotent_and_dominating(self, a, b):
+        k = 1 << max(a, b)
+        p = 1 << min(a, b)
+        lat = HeightLattice(k=k, p=p)
+        for h in range(1, k + 2):
+            r = lat.round_up(h)
+            assert lat.contains(r)
+            assert lat.round_up(r) == r
+            assert r >= min(h, lat.max_height) or r == lat.min_height
+
+
+class TestBox:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Box(0)
+
+    def test_duration_and_impact(self):
+        b = Box(8)
+        assert b.duration(10) == 80
+        assert b.impact(10) == 640
+
+
+class TestBoxProfile:
+    def test_construction_and_append(self):
+        bp = BoxProfile([2, 4])
+        bp.append(8)
+        bp.extend([2, 2])
+        assert list(bp) == [2, 4, 8, 2, 2]
+        assert len(bp) == 5
+        assert bp[2] == 8
+
+    def test_rejects_bad_heights(self):
+        with pytest.raises(ValueError):
+            BoxProfile([0])
+        bp = BoxProfile()
+        with pytest.raises(ValueError):
+            bp.append(-1)
+
+    def test_impact_and_wall_time(self):
+        bp = BoxProfile([2, 4])
+        assert bp.impact(10) == 10 * (4 + 16)
+        assert bp.wall_time(10) == 10 * 6
+
+    def test_equality(self):
+        assert BoxProfile([1, 2]) == BoxProfile([1, 2])
+        assert BoxProfile([1, 2]) != BoxProfile([2, 1])
+
+    def test_validate_on_lattice(self):
+        lat = HeightLattice(k=16, p=4)
+        BoxProfile([4, 8, 16]).validate_on(lat)
+        with pytest.raises(ValueError):
+            BoxProfile([4, 5]).validate_on(lat)
+
+    def test_subsequence(self):
+        assert BoxProfile([2, 8]).is_subsequence_of(BoxProfile([2, 4, 8]))
+        assert BoxProfile([]).is_subsequence_of(BoxProfile([]))
+        assert not BoxProfile([8, 2]).is_subsequence_of(BoxProfile([2, 4, 8]))
+        assert not BoxProfile([2, 2]).is_subsequence_of(BoxProfile([2]))
+
+    def test_count_level_usage(self):
+        lat = HeightLattice(k=16, p=4)
+        bp = BoxProfile([4, 4, 8, 16, 4])
+        assert bp.count_level_usage(lat).tolist() == [3, 1, 1]
+
+    @given(
+        st.lists(st.sampled_from([1, 2, 4, 8]), max_size=30),
+        st.lists(st.sampled_from([1, 2, 4, 8]), max_size=30),
+    )
+    @settings(max_examples=100)
+    def test_subsequence_matches_reference(self, a, b):
+        def naive(x, y):
+            i = 0
+            for v in y:
+                if i < len(x) and x[i] == v:
+                    i += 1
+            return i == len(x)
+
+        assert BoxProfile(a).is_subsequence_of(BoxProfile(b)) == naive(a, b)
+
+    @given(st.lists(st.sampled_from([1, 2, 4, 8]), max_size=30))
+    @settings(max_examples=50)
+    def test_profile_is_subsequence_of_itself(self, a):
+        bp = BoxProfile(a)
+        assert bp.is_subsequence_of(bp)

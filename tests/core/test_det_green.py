@@ -1,0 +1,117 @@
+"""Tests for DET-GREEN and the deficit credit scheduler."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import DetGreen, HeightLattice, credit_schedule, make_distribution
+from repro.green import optimal_box_profile
+from repro.workloads import cyclic, scan
+
+
+class TestCreditSchedule:
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            next(credit_schedule(np.array([1.0, 0.0])))
+
+    def test_frequencies_match_weights(self):
+        w = np.array([1.0, 0.25, 0.0625])
+        sched = credit_schedule(w)
+        n = 30_000
+        counts = Counter(next(sched) for _ in range(n))
+        total = w.sum()
+        for level, weight in enumerate(w):
+            assert abs(counts[level] / n - weight / total) < 0.01, level
+
+    def test_gap_bound(self):
+        """Consecutive emissions of level i are at most ~Z/w_i apart."""
+        w = np.array([1.0, 0.25, 0.0625, 0.015625])
+        z = w.sum()
+        sched = credit_schedule(w)
+        emissions = [next(sched) for _ in range(50_000)]
+        last = {}
+        max_gap = {}
+        for t, lev in enumerate(emissions):
+            if lev in last:
+                gap = t - last[lev]
+                max_gap[lev] = max(max_gap.get(lev, 0), gap)
+            last[lev] = t
+        for level, weight in enumerate(w):
+            # deficit scheduling keeps per-level credit within ±1 of its
+            # running quota, so consecutive emissions of level i are at most
+            # ~2Z/w_i apart (credit must climb from about -1 back past the
+            # rest of the field)
+            bound = int(np.ceil(2 * z / weight)) + 2
+            assert max_gap[level] <= bound, (level, max_gap[level], bound)
+
+    def test_start_index_offsets_stream(self):
+        w = np.array([1.0, 0.5])
+        a = credit_schedule(w, start_index=0)
+        b = credit_schedule(w, start_index=3)
+        base = [next(a) for _ in range(20)]
+        shifted = [next(b) for _ in range(17)]
+        assert base[3:] == shifted
+
+    def test_deterministic(self):
+        w = np.array([1.0, 0.25, 0.0625])
+        s1 = [next(credit_schedule(w)) for _ in range(1)]
+        a = credit_schedule(w)
+        b = credit_schedule(w)
+        assert [next(a) for _ in range(200)] == [next(b) for _ in range(200)]
+
+
+class TestDetGreen:
+    def test_rejects_bad_miss_cost(self):
+        with pytest.raises(ValueError):
+            DetGreen(HeightLattice(16, 4), miss_cost=1)
+
+    def test_heights_on_lattice_with_right_frequencies(self):
+        lat = HeightLattice(64, 8)
+        g = DetGreen(lat, miss_cost=4)
+        stream = g.boxes()
+        heights = [next(stream) for _ in range(20_000)]
+        assert set(heights) <= set(lat.heights)
+        counts = Counter(heights)
+        pmf = make_distribution(lat, "inverse_square").pmf
+        for h, q in zip(lat.heights, pmf):
+            assert abs(counts[h] / len(heights) - q) < 0.01
+
+    def test_run_completes_and_accounts(self):
+        lat = HeightLattice(16, 4)
+        g = DetGreen(lat, miss_cost=5)
+        seq = cyclic(400, 10)
+        res = g.run(seq)
+        assert res.completed
+        assert res.impact == res.profile.impact(5)
+
+    def test_fully_deterministic(self):
+        lat = HeightLattice(32, 8)
+        seq = cyclic(500, 20)
+        r1 = DetGreen(lat, 4).run(seq)
+        r2 = DetGreen(lat, 4).run(seq)
+        assert list(r1.profile) == list(r2.profile)
+
+    def test_oblivious_to_request_sequence(self):
+        """The emitted height stream must not depend on the input at all."""
+        lat = HeightLattice(32, 8)
+        a = DetGreen(lat, 4).run(cyclic(300, 5))
+        b = DetGreen(lat, 4).run(scan(300))
+        n = min(len(a.profile), len(b.profile))
+        assert list(a.profile)[:n] == list(b.profile)[:n]
+
+    def test_competitive_ratio_modest(self):
+        """DET-GREEN ratio should be within a small multiple of log2 p (E9)."""
+        s = 6
+        for p in (4, 8, 16):
+            k = 4 * p
+            lat = HeightLattice(k, p)
+            seq = scan(1200)
+            opt = optimal_box_profile(seq, lat, s).impact
+            res = DetGreen(lat, s).run(seq)
+            ratio = res.impact / opt
+            # min boxes are optimal for scans; deficit scheduling wastes at
+            # most the equalized impact of the other log p levels
+            assert ratio <= 2.5 * lat.levels, (p, ratio)

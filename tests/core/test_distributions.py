@@ -1,0 +1,105 @@
+"""Tests for the inverse-square height distribution and Lemma 1 identities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HeightLattice, inverse_square_distribution, make_distribution
+
+
+def lat(k, p):
+    return HeightLattice(k=k, p=p)
+
+
+class TestInverseSquare:
+    def test_pmf_sums_to_one(self):
+        d = inverse_square_distribution(lat(64, 8))
+        assert np.isclose(sum(d.pmf), 1.0)
+
+    def test_pmf_ratios_are_quarters(self):
+        d = inverse_square_distribution(lat(64, 16))
+        for i in range(len(d.pmf) - 1):
+            assert np.isclose(d.pmf[i + 1] / d.pmf[i], 0.25)
+
+    def test_single_level(self):
+        d = inverse_square_distribution(lat(16, 1))
+        assert d.pmf == (1.0,)
+        rng = np.random.default_rng(0)
+        assert d.sample(rng) == 16
+
+    def test_lemma1_equalization_exact(self):
+        """Pr[j]·s·j² is the same constant for every lattice height."""
+        d = inverse_square_distribution(lat(256, 32))
+        s = 7
+        values = [d.expected_useful_impact(h, s) for h in d.lattice.heights]
+        assert np.allclose(values, values[0])
+
+    def test_lemma1_total_is_levels_times_constant(self):
+        """E[s·j²] = (#levels) × the per-level constant — the Θ(log p) factor."""
+        d = inverse_square_distribution(lat(128, 16))
+        s = 5
+        const = d.expected_useful_impact(d.lattice.min_height, s)
+        assert np.isclose(d.expected_impact_per_box(s), d.lattice.levels * const)
+
+    def test_sampling_distribution(self):
+        d = inverse_square_distribution(lat(64, 8))
+        rng = np.random.default_rng(42)
+        draws = d.sample(rng, size=200_000)
+        heights, counts = np.unique(draws, return_counts=True)
+        emp = dict(zip(heights.tolist(), (counts / len(draws)).tolist()))
+        for h, q in zip(d.lattice.heights, d.pmf):
+            assert abs(emp.get(h, 0.0) - q) < 0.01
+
+    def test_sample_single_returns_int(self):
+        d = inverse_square_distribution(lat(64, 8))
+        h = d.sample(np.random.default_rng(1))
+        assert isinstance(h, int)
+        assert h in d.lattice.heights
+
+    def test_probability_of_off_lattice_raises(self):
+        d = inverse_square_distribution(lat(64, 8))
+        with pytest.raises(ValueError):
+            d.probability_of(9)
+
+
+class TestAblationVariants:
+    def test_uniform(self):
+        d = make_distribution(lat(64, 8), "uniform")
+        assert np.allclose(d.pmf, 1.0 / 4)
+
+    def test_inverse_linear(self):
+        d = make_distribution(lat(64, 8), "inverse_linear")
+        for i in range(len(d.pmf) - 1):
+            assert np.isclose(d.pmf[i + 1] / d.pmf[i], 0.5)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_distribution(lat(64, 8), "cauchy")  # type: ignore[arg-type]
+
+    def test_uniform_does_not_equalize_impact(self):
+        """Only the inverse-square law satisfies Lemma 1's equalization."""
+        d = make_distribution(lat(64, 8), "uniform")
+        v = [d.expected_useful_impact(h, 3) for h in d.lattice.heights]
+        assert v[-1] > v[0] * 10
+
+    @given(st.integers(0, 8), st.integers(2, 10))
+    @settings(max_examples=40)
+    def test_all_kinds_normalized(self, logp, s):
+        lattice = lat(1 << max(logp, 3), 1 << min(logp, 3))
+        for kind in ("inverse_square", "inverse_linear", "uniform"):
+            d = make_distribution(lattice, kind)
+            assert np.isclose(sum(d.pmf), 1.0)
+            assert d.expected_impact_per_box(s) > 0
+            assert d.expected_duration_per_box(s) >= s * lattice.min_height
+
+
+class TestExpectedDuration:
+    def test_matches_manual(self):
+        d = inverse_square_distribution(lat(8, 4))
+        # heights 2,4,8 with weights 1,1/4,1/16 -> Z=21/16
+        z = 1 + 0.25 + 0.0625
+        expect = (2 * 1 + 4 * 0.25 + 8 * 0.0625) / z
+        assert np.isclose(d.expected_duration_per_box(1), expect)

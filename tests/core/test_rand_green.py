@@ -1,0 +1,104 @@
+"""Tests for RAND-GREEN (§3.1) — behaviour, accounting, and Theorem 1's shape."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HeightLattice, RandGreen
+from repro.green import optimal_box_profile
+from repro.workloads import cyclic, polluted_cycle, scan
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestBasics:
+    def test_rejects_bad_miss_cost(self):
+        with pytest.raises(ValueError):
+            RandGreen(HeightLattice(16, 4), miss_cost=1, rng=rng())
+
+    def test_box_stream_heights_on_lattice(self):
+        lat = HeightLattice(64, 8)
+        g = RandGreen(lat, miss_cost=4, rng=rng(1))
+        stream = g.boxes()
+        for _ in range(500):
+            assert next(stream) in lat.heights
+
+    def test_run_completes(self):
+        lat = HeightLattice(16, 4)
+        g = RandGreen(lat, miss_cost=4, rng=rng(2))
+        seq = cyclic(200, 6)
+        res = g.run(seq)
+        assert res.completed
+        assert res.impact == res.profile.impact(4)
+        assert res.wall_time == res.profile.wall_time(4)
+        assert res.run.position == len(seq)
+
+    def test_deterministic_given_seed(self):
+        lat = HeightLattice(16, 4)
+        seq = cyclic(300, 10)
+        r1 = RandGreen(lat, 4, rng(7)).run(seq)
+        r2 = RandGreen(lat, 4, rng(7)).run(seq)
+        assert list(r1.profile) == list(r2.profile)
+        assert r1.impact == r2.impact
+
+    def test_different_seeds_differ(self):
+        lat = HeightLattice(64, 16)
+        seq = cyclic(400, 30)
+        r1 = RandGreen(lat, 4, rng(1)).run(seq)
+        r2 = RandGreen(lat, 4, rng(2)).run(seq)
+        assert list(r1.profile) != list(r2.profile)
+
+    def test_never_worse_than_all_min_boxes_by_much(self):
+        """Impact is at most O(log p) × the all-min-box cost in expectation;
+        check a loose deterministic-ish bound over several seeds."""
+        lat = HeightLattice(32, 8)
+        s = 5
+        seq = scan(300)  # min boxes are optimal here
+        opt = optimal_box_profile(seq, lat, s).impact
+        ratios = []
+        for seed in range(10):
+            res = RandGreen(lat, s, rng(seed)).run(seq)
+            ratios.append(res.impact / opt)
+        # log2(p)=3, so the mean ratio should be modest (constant × 4 levels)
+        assert np.mean(ratios) < 16
+
+
+class TestTheorem1Shape:
+    def test_competitive_on_mixed_workload(self):
+        """Mean measured ratio stays within a small multiple of log2 p."""
+        s = 6
+        for p, budget in [(4, 8), (16, 14)]:
+            k = 4 * p
+            lat = HeightLattice(k, p)
+            seq = polluted_cycle(1500, k - 1, max(2, p // 2))
+            opt = optimal_box_profile(seq, lat, s).impact
+            ratios = []
+            for seed in range(8):
+                res = RandGreen(lat, s, rng(seed)).run(seq)
+                ratios.append(res.impact / opt)
+            assert np.mean(ratios) <= budget, (p, np.mean(ratios))
+
+    def test_useful_subsequence_completion(self):
+        """If OPT's profile is a subsequence of the drawn prefix, RAND-GREEN
+        has certainly finished by then (the Theorem 1 coupling argument)."""
+        lat = HeightLattice(16, 4)
+        s = 4
+        seq = cyclic(150, 12)
+        optp = optimal_box_profile(seq, lat, s).profile
+        g = RandGreen(lat, s, rng(3))
+        res = g.run(seq)
+        # find the prefix of the drawn profile that contains OPT's profile
+        drawn = list(res.profile)
+        i = 0
+        needed = list(optp)
+        for count, h in enumerate(drawn, start=1):
+            if i < len(needed) and h == needed[i]:
+                i += 1
+            if i == len(needed):
+                assert count >= len(res.profile) or res.completed
+                break
+        # regardless, the run completed
+        assert res.completed

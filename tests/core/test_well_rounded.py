@@ -1,0 +1,194 @@
+"""Unit tests for the well-roundedness / balance audit machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.well_rounded import (
+    BalanceReport,
+    WellRoundedReport,
+    _gaps_within,
+    _merge_intervals,
+    audit_balance,
+    audit_well_rounded,
+)
+from repro.parallel import BoxRecord, ParallelRunResult
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert _merge_intervals([]) == []
+
+    def test_disjoint(self):
+        assert _merge_intervals([(5, 7), (0, 2)]) == [(0, 2), (5, 7)]
+
+    def test_overlapping(self):
+        assert _merge_intervals([(0, 5), (3, 8)]) == [(0, 8)]
+
+    def test_adjacent_merge(self):
+        assert _merge_intervals([(0, 5), (5, 8)]) == [(0, 8)]
+
+    def test_nested(self):
+        assert _merge_intervals([(0, 10), (2, 4)]) == [(0, 10)]
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 50)).map(lambda t: (min(t), max(t))), max_size=20))
+    @settings(max_examples=100)
+    def test_merged_cover_same_points(self, intervals):
+        merged = _merge_intervals(list(intervals))
+        # same point coverage
+        def covered(iv, x):
+            return any(a <= x < b for a, b in iv)
+        for x in range(51):
+            assert covered(intervals, x) == covered(merged, x)
+        # and merged intervals are disjoint, sorted, non-adjacent
+        for (a1, b1), (a2, b2) in zip(merged, merged[1:]):
+            assert b1 < a2
+
+
+class TestGapsWithin:
+    def test_no_cover_is_one_gap(self):
+        assert _gaps_within([], 0, 10) == [10]
+
+    def test_full_cover(self):
+        assert _gaps_within([(0, 10)], 0, 10) == []
+
+    def test_leading_and_trailing(self):
+        assert _gaps_within([(3, 6)], 0, 10) == [3, 4]
+
+    def test_internal_gap(self):
+        assert _gaps_within([(0, 2), (5, 10)], 0, 10) == [3]
+
+    def test_window_clipping(self):
+        assert _gaps_within([(-5, 3), (8, 20)], 0, 10) == [5]
+
+    def test_empty_window(self):
+        assert _gaps_within([(0, 1)], 5, 5) == []
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 40), st.integers(0, 40)).map(lambda t: (min(t), max(t))), max_size=10),
+        st.integers(0, 20),
+        st.integers(20, 40),
+    )
+    @settings(max_examples=100)
+    def test_gaps_sum_matches_uncovered_measure(self, intervals, lo, hi):
+        gaps = _gaps_within(list(intervals), lo, hi)
+        uncovered = sum(
+            1 for x in range(lo, hi) if not any(a <= x < b for a, b in intervals)
+        )
+        assert sum(gaps) == uncovered
+        assert all(g > 0 for g in gaps)
+
+
+def _phase(index=0, start_time=0, active=2, base=2, k_int=8, levels=3, slots=None, reserved=8):
+    from repro.core.det_par import _PhaseInfo
+
+    return _PhaseInfo(
+        index=index,
+        start_time=start_time,
+        active_at_start=active,
+        base_height=base,
+        k_int=k_int,
+        levels=levels,
+        strip_slots=slots or {},
+        reserved_height=reserved,
+    )
+
+
+def _result(trace, completions, phases, cache=16, s=4):
+    return ParallelRunResult(
+        algorithm="synthetic",
+        completion_times=np.asarray(completions, dtype=np.int64),
+        trace=trace,
+        cache_size=cache,
+        miss_cost=s,
+        meta={"phases": phases},
+    )
+
+
+def _box(proc, height, start, end, phase=0, tag="base"):
+    return BoxRecord(
+        proc=proc, height=height, start=start, end=end,
+        served_start=0, served_end=0, hits=0, faults=0, phase=phase, tag=tag,
+    )
+
+
+class TestAuditWellRounded:
+    def test_requires_phase_metadata(self):
+        res = ParallelRunResult("x", np.asarray([1]), [], 8, 4)
+        with pytest.raises(ValueError):
+            audit_well_rounded(res)
+        with pytest.raises(ValueError):
+            audit_balance(res)
+
+    def test_perfectly_covered_synthetic_trace(self):
+        # one processor, base boxes back to back covering [0, 100)
+        trace = [_box(0, 2, t, t + 10) for t in range(0, 100, 10)]
+        res = _result(trace, [100], [_phase(active=1)])
+        report = audit_well_rounded(res)
+        assert report.base_covered
+        assert report.max_base_gap == 0
+
+    def test_uncovered_stretch_detected(self):
+        trace = [_box(0, 2, 0, 10), _box(0, 2, 30, 100)]
+        res = _result(trace, [100], [_phase(active=1)])
+        report = audit_well_rounded(res)
+        assert not report.base_covered
+        assert report.max_base_gap == 20
+
+    def test_short_boxes_below_base_do_not_count(self):
+        trace = [_box(0, 1, t, t + 10) for t in range(0, 100, 10)]  # height 1 < base 2
+        res = _result(trace, [100], [_phase(active=1, base=2)])
+        report = audit_well_rounded(res)
+        assert not report.base_covered
+
+    def test_gap_factor_scales_with_missing_tall_boxes(self):
+        """Base coverage without any height-8 box for a long window yields a
+        large normalized factor for z=8."""
+        s, b, L = 4, 2, 3
+        horizon = 4000
+        trace = [_box(0, 2, t, t + 8) for t in range(0, horizon, 8)]
+        res = _result(trace, [horizon], [_phase(active=1, base=b, levels=L)], s=s)
+        report = audit_well_rounded(res)
+        # heights 4 and 8 never appear; both gaps equal the horizon, and the
+        # normalization z² makes the *smallest* missing height the worst
+        expected = horizon * b / (4 * 4 * s * L)
+        assert report.max_gap_factor == pytest.approx(expected)
+        assert report.worst[2] == 4
+
+    def test_audit_window_ends_at_completion(self):
+        """Boxes are only required while the processor is alive."""
+        trace = [_box(0, 2, 0, 10)]
+        res = _result(trace, [10], [_phase(active=1)])
+        report = audit_well_rounded(res)
+        assert report.base_covered
+
+
+class TestAuditBalance:
+    def test_spread_zero_for_identical_processors(self):
+        trace = [_box(0, 4, 0, 50), _box(1, 4, 0, 50)]
+        res = _result(trace, [50, 50], [_phase(active=2)])
+        report = audit_balance(res)
+        assert report.max_phase_spread == 0.0
+
+    def test_spread_detects_imbalance(self):
+        trace = [_box(0, 8, 0, 100), _box(1, 1, 0, 100)]
+        res = _result(trace, [100, 100], [_phase(active=2)], cache=8, s=4)
+        report = audit_balance(res)
+        # spread = (800 - 100) / (s * k^2) = 700 / 256
+        assert report.max_phase_spread == pytest.approx(700 / 256)
+
+    def test_reserved_fraction(self):
+        res = _result([], [1], [_phase(reserved=12)], cache=16)
+        report = audit_balance(res)
+        assert report.min_reserved_fraction == pytest.approx(0.75)
+
+    def test_early_finishers_excluded(self):
+        """Only processors surviving the whole phase enter the spread."""
+        trace = [_box(0, 8, 0, 10), _box(1, 1, 0, 100)]
+        res = _result(trace, [10, 100], [_phase(active=2)], cache=8, s=4)
+        report = audit_balance(res)
+        # proc 0 finished at 10 < phase end (100): spread over proc 1 only = 0
+        assert report.max_phase_spread == 0.0

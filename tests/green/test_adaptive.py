@@ -1,0 +1,94 @@
+"""Tests for the adaptive (progress-driven) green paging algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HeightLattice
+from repro.green import AdaptiveGreen, optimal_box_profile
+from repro.workloads import cyclic, multiscale_cycles, scan
+
+
+def lat(k=64, p=16):
+    return HeightLattice(k, p)
+
+
+class TestValidation:
+    def test_miss_cost(self):
+        with pytest.raises(ValueError):
+            AdaptiveGreen(lat(), 1)
+
+    def test_thresholds(self):
+        with pytest.raises(ValueError):
+            AdaptiveGreen(lat(), 8, thrash_fraction=0.2, descend_fraction=0.5)
+
+
+class TestBehaviour:
+    def test_completes(self):
+        g = AdaptiveGreen(lat(), 128)
+        res = g.run(cyclic(800, 20))
+        assert res.completed
+        assert res.impact == res.profile.impact(128)
+
+    def test_mostly_min_boxes_on_scan(self):
+        """No reuse -> probes fail -> exponential backoff keeps the stream
+        dominated by minimum boxes."""
+        g = AdaptiveGreen(lat(), 128)
+        res = g.run(scan(5000))
+        heights = np.asarray(list(res.profile))
+        min_fraction = float((heights == lat().min_height).mean())
+        assert min_fraction >= 0.6, min_fraction
+        # and the wasted probe impact stays a bounded multiple of baseline
+        base = len(heights) * 128 * lat().min_height ** 2
+        assert res.impact <= 40 * base
+
+    def test_climbs_to_fit_cycle(self):
+        """A cycle needing height ~2c makes the ladder climb and stay."""
+        k, p, s = 64, 16, 256
+        g = AdaptiveGreen(HeightLattice(k, p), s)
+        res = g.run(cyclic(3000, 14))  # needs height >= 16ish to hit
+        heights = list(res.profile)
+        assert max(heights) >= 16
+        # the tail should be dominated by boxes that produce hits
+        tail = heights[len(heights) // 2 :]
+        assert np.mean(tail) >= 8
+
+    def test_max_boxes_guard(self):
+        g = AdaptiveGreen(lat(), 8)
+        res = g.run(scan(10_000), max_boxes=5)
+        assert not res.completed
+        assert len(res.profile) == 5
+
+    def test_deterministic(self):
+        seq = multiscale_cycles(1500, 64, 16, np.random.default_rng(0))
+        a = AdaptiveGreen(lat(), 128).run(seq)
+        b = AdaptiveGreen(lat(), 128).run(seq)
+        assert list(a.profile) == list(b.profile)
+
+
+class TestCompetitiveness:
+    @pytest.mark.parametrize("p", [4, 8, 16])
+    def test_ratio_reasonable_on_multiscale(self, p):
+        k = 4 * p
+        s = 2 * k
+        lattice = HeightLattice(k, p)
+        seq = multiscale_cycles(1500, k, p, np.random.default_rng(p))
+        opt = optimal_box_profile(seq, lattice, s).impact
+        res = AdaptiveGreen(lattice, s).run(seq)
+        ratio = res.impact / opt
+        # adaptive climbing costs at most a geometric sum per phase change
+        assert ratio <= 4 * lattice.levels, ratio
+
+    def test_beats_oblivious_on_static_working_set(self):
+        """On a fixed-size cycle the adaptive ladder locks onto the right
+        height while oblivious DET-GREEN keeps paying the log p tax."""
+        from repro.core import DetGreen
+
+        k, p = 64, 16
+        s = 2 * k
+        lattice = HeightLattice(k, p)
+        seq = cyclic(4000, 14)
+        adaptive = AdaptiveGreen(lattice, s).run(seq).impact
+        oblivious = DetGreen(lattice, s).run(seq).impact
+        assert adaptive < oblivious

@@ -1,0 +1,126 @@
+"""Tests for green paging with time-varying thresholds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DetGreen, HeightLattice
+from repro.green.dynamic import DynamicGreen, ThresholdSchedule, survivor_schedule
+from repro.workloads import cyclic, scan
+
+
+def lat(k=32, p=8):
+    return HeightLattice(k, p)
+
+
+class TestThresholdSchedule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdSchedule(segments=())
+        with pytest.raises(ValueError):
+            ThresholdSchedule(segments=((5, lat()),))
+        with pytest.raises(ValueError):
+            ThresholdSchedule(segments=((0, lat()), (0, lat())))
+
+    def test_lattice_at(self):
+        a, b = lat(32, 8), lat(32, 4)
+        sched = ThresholdSchedule(segments=((0, a), (100, b)))
+        assert sched.lattice_at(0) is a
+        assert sched.lattice_at(99) is a
+        assert sched.lattice_at(100) is b
+        assert sched.lattice_at(10_000) is b
+
+    def test_segment_index(self):
+        sched = ThresholdSchedule(segments=((0, lat()), (50, lat(32, 4)), (80, lat(32, 2))))
+        assert sched.segment_index_at(0) == 0
+        assert sched.segment_index_at(60) == 1
+        assert sched.segment_index_at(80) == 2
+
+    def test_constant(self):
+        sched = ThresholdSchedule.constant(lat())
+        assert sched.lattice_at(12345) is sched.segments[0][1]
+
+
+class TestSurvivorSchedule:
+    def test_min_threshold_doubles(self):
+        sched = survivor_schedule(32, 8, [100, 200, 300])
+        mins = [l.min_height for _, l in sched.segments]
+        assert mins == [4, 8, 16, 32]
+
+    def test_stops_at_one_survivor(self):
+        sched = survivor_schedule(8, 4, [10, 20, 30, 40])
+        assert len(sched.segments) == 3  # p=4 -> 2 -> 1, then stop
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            survivor_schedule(32, 8, [100, 100])
+        with pytest.raises(ValueError):
+            survivor_schedule(32, 8, [0])
+
+
+class TestDynamicGreen:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicGreen(ThresholdSchedule.constant(lat()), 1)
+
+    def test_single_segment_matches_det_green(self):
+        lattice = lat(16, 4)
+        s = 8
+        seq = cyclic(400, 6)
+        dynamic = DynamicGreen(ThresholdSchedule.constant(lattice), s).run(seq)
+        plain = DetGreen(lattice, s).run(seq)
+        assert list(dynamic.profile) == list(plain.profile)
+        assert dynamic.impact == plain.impact
+
+    def test_heights_respect_active_lattice(self):
+        """After the halving time, boxes must come from the shrunken lattice."""
+        k, p = 32, 8
+        s = 4
+        halving = 2000
+        sched = survivor_schedule(k, p, [halving])
+        res = DynamicGreen(sched, s).run(scan(4000))
+        t = 0
+        for box in res.run.runs:
+            active = sched.lattice_at(t)
+            assert box.height in active.heights, (t, box.height)
+            t += s * box.height
+        # boxes started after the boundary have min height >= 8
+        t = 0
+        late_heights = []
+        for box in res.run.runs:
+            if t >= halving:
+                late_heights.append(box.height)
+            t += s * box.height
+        assert late_heights and min(late_heights) >= 8
+
+    def test_reboot_restarts_stream(self):
+        """The source is rebooted at the boundary: the post-boundary stream
+        is the fresh DET-GREEN prefix for the new lattice."""
+        k, p, s = 32, 8, 4
+        halving = 500
+        sched = survivor_schedule(k, p, [halving])
+        res = DynamicGreen(sched, s).run(scan(3000))
+        # collect heights of boxes starting at/after the boundary
+        t = 0
+        post = []
+        for box in res.run.runs:
+            if t >= halving:
+                post.append(box.height)
+            t += s * box.height
+        fresh = DetGreen(HeightLattice(k, p // 2), s)
+        expected = [h for h, _ in zip(fresh.boxes(), range(len(post)))]
+        assert post == expected
+
+    def test_completes_and_accounts(self):
+        sched = survivor_schedule(16, 4, [300, 900])
+        res = DynamicGreen(sched, 6).run(cyclic(800, 5))
+        assert res.completed
+        assert res.impact == res.profile.impact(6)
+        assert res.wall_time == res.profile.wall_time(6)
+
+    def test_max_boxes_guard(self):
+        sched = ThresholdSchedule.constant(lat())
+        res = DynamicGreen(sched, 4).run(scan(10_000), max_boxes=7)
+        assert not res.completed
+        assert len(res.profile) == 7

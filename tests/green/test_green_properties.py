@@ -1,0 +1,102 @@
+"""Cross-cutting property tests for every green-paging algorithm.
+
+Hypothesis drives RAND-GREEN, DET-GREEN, ADAPTIVE-GREEN, and DYNAMIC-GREEN
+over arbitrary sequences and lattice shapes, checking the invariants the
+theory takes for granted: completion, exact impact accounting, lattice
+legality, and domination by the offline optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DetGreen, HeightLattice, RandGreen
+from repro.green import AdaptiveGreen, DynamicGreen, ThresholdSchedule, optimal_box_profile
+from repro.green.dynamic import survivor_schedule
+
+
+@st.composite
+def green_cases(draw):
+    log_k = draw(st.integers(2, 5))
+    log_p = draw(st.integers(0, log_k))
+    k, p = 1 << log_k, 1 << log_p
+    n_pages = draw(st.integers(1, 12))
+    seq = draw(st.lists(st.integers(0, n_pages - 1), min_size=1, max_size=120))
+    s = draw(st.integers(2, 12))
+    return HeightLattice(k, p), np.asarray(seq, dtype=np.int64), s
+
+
+def algorithms_for(lattice, s):
+    yield "rand", RandGreen(lattice, s, np.random.default_rng(0))
+    yield "det", DetGreen(lattice, s)
+    yield "adaptive", AdaptiveGreen(lattice, s)
+    yield "dynamic", DynamicGreen(ThresholdSchedule.constant(lattice), s)
+
+
+class TestUniversalGreenInvariants:
+    @given(green_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_all_complete_with_exact_accounting(self, case):
+        lattice, seq, s = case
+        for name, alg in algorithms_for(lattice, s):
+            res = alg.run(seq)
+            assert res.completed, name
+            assert res.run.position == len(seq), name
+            assert res.impact == res.profile.impact(s), name
+            assert res.wall_time == res.profile.wall_time(s), name
+            # every served request is accounted once
+            assert sum(r.served for r in res.run.runs) == len(seq), name
+
+    @given(green_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_heights_on_lattice(self, case):
+        lattice, seq, s = case
+        for name, alg in algorithms_for(lattice, s):
+            res = alg.run(seq)
+            for h in res.profile:
+                assert h in lattice.heights, (name, h)
+
+    @given(green_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_never_beats_offline_optimum(self, case):
+        lattice, seq, s = case
+        opt = optimal_box_profile(seq, lattice, s).impact
+        for name, alg in algorithms_for(lattice, s):
+            res = alg.run(seq)
+            assert res.impact >= opt, (name, res.impact, opt)
+
+    @given(green_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_impact_at_least_minbox_floor(self, case):
+        """Any profile spends at least one min box, and at least ~n/(s·h)
+        boxes' worth of wall time to serve n requests."""
+        lattice, seq, s = case
+        h0 = lattice.min_height
+        for name, alg in algorithms_for(lattice, s):
+            res = alg.run(seq)
+            assert res.impact >= s * h0 * h0, name
+            assert res.wall_time >= len(seq), name  # each request takes >= 1 step
+
+
+class TestDynamicMatchesStaticWhenConstant:
+    @given(green_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_constant_schedule_equals_det_green(self, case):
+        lattice, seq, s = case
+        a = DynamicGreen(ThresholdSchedule.constant(lattice), s).run(seq)
+        b = DetGreen(lattice, s).run(seq)
+        assert list(a.profile) == list(b.profile)
+
+    @given(green_cases(), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_survivor_schedule_completes(self, case, halvings):
+        lattice, seq, s = case
+        if lattice.p == 1:
+            return
+        times = [200 * (i + 1) for i in range(halvings)]
+        sched = survivor_schedule(lattice.k, lattice.p, times)
+        res = DynamicGreen(sched, s).run(seq)
+        assert res.completed

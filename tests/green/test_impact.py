@@ -1,0 +1,74 @@
+"""Tests for impact accounting and greedily-green certification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DetGreen, HeightLattice, RandGreen
+from repro.green import (
+    box_impact,
+    certify_greedily_green,
+    optimal_box_profile,
+    prefix_optimal_impacts,
+    profile_impact,
+)
+from repro.workloads import cyclic, scan
+
+
+class TestArithmetic:
+    def test_box_impact(self):
+        assert box_impact(4, 10) == 160
+
+    def test_profile_impact(self):
+        assert profile_impact([1, 2, 3], 2) == 2 * (1 + 4 + 9)
+
+    def test_profile_impact_empty(self):
+        assert profile_impact([], 5) == 0
+
+
+class TestGreedyCertification:
+    def _setup(self, seq, lat, s, algo):
+        res = algo.run(seq)
+        opt = optimal_box_profile(seq, lat, s)
+        pref = prefix_optimal_impacts(opt)
+        return certify_greedily_green(res.run, pref, s)
+
+    def test_det_green_is_greedily_green(self):
+        """DET-GREEN's per-prefix ratio stays bounded by O(levels)."""
+        lat = HeightLattice(16, 8)
+        s = 5
+        seq = scan(600)
+        report = self._setup(seq, lat, s, DetGreen(lat, s))
+        assert report.max_ratio <= 4 * lat.levels
+        assert len(report.ratios) > 0
+
+    def test_rand_green_bounded_on_average(self):
+        lat = HeightLattice(16, 4)
+        s = 5
+        seq = cyclic(600, 12)
+        maxima = []
+        for seed in range(6):
+            report = self._setup(seq, lat, s, RandGreen(lat, s, np.random.default_rng(seed)))
+            maxima.append(report.max_ratio)
+        assert np.mean(maxima) <= 8 * lat.levels
+
+    def test_slack_reduces_ratio(self):
+        lat = HeightLattice(16, 4)
+        s = 5
+        seq = scan(200)
+        res = DetGreen(lat, s).run(seq)
+        opt = optimal_box_profile(seq, lat, s)
+        pref = prefix_optimal_impacts(opt)
+        tight = certify_greedily_green(res.run, pref, s, slack=0.0)
+        loose = certify_greedily_green(res.run, pref, s, slack=1e9)
+        assert loose.max_ratio <= tight.max_ratio
+        assert loose.max_ratio == 0.0
+
+    def test_worst_position_is_a_valid_prefix(self):
+        lat = HeightLattice(16, 4)
+        s = 4
+        seq = cyclic(300, 10)
+        res = DetGreen(lat, s).run(seq)
+        opt = optimal_box_profile(seq, lat, s)
+        report = certify_greedily_green(res.run, prefix_optimal_impacts(opt), s)
+        assert 0 <= report.worst_position <= len(seq)

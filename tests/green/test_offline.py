@@ -1,0 +1,145 @@
+"""Tests for the offline green-paging DP (optimal compartmentalized profile)."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HeightLattice
+from repro.green import optimal_box_profile, prefix_optimal_impacts
+from repro.paging import execute_profile, run_box
+
+
+def arr(xs):
+    return np.asarray(xs, dtype=np.int64)
+
+
+def brute_force_optimal_impact(seq, lattice, s, max_boxes=12):
+    """Enumerate all box profiles up to max_boxes (maximal service per box)."""
+    best = [None]
+
+    def go(pos, impact):
+        if pos >= len(seq):
+            if best[0] is None or impact < best[0]:
+                best[0] = impact
+            return
+        if best[0] is not None and impact >= best[0]:
+            return
+        for h in lattice.heights:
+            end = run_box(seq, pos, h, s * h, s).end
+            go(end, impact + s * h * h)
+
+    go(0, 0)
+    assert best[0] is not None
+    return best[0]
+
+
+class TestOptimalBoxProfile:
+    def test_single_request(self):
+        lat = HeightLattice(k=8, p=4)
+        res = optimal_box_profile(arr([0]), lat, miss_cost=5)
+        # one min box (height 2) suffices: impact 5*4
+        assert res.impact == 20
+        assert list(res.profile) == [2]
+
+    def test_profile_actually_completes(self):
+        lat = HeightLattice(k=16, p=8)
+        seq = arr([0, 1, 2, 3] * 25)
+        res = optimal_box_profile(seq, lat, miss_cost=4)
+        pr = execute_profile(seq, list(res.profile), miss_cost=4)
+        assert pr.completed
+        assert pr.impact == res.impact
+
+    def test_cycle_prefers_fitting_box_when_misses_are_expensive(self):
+        """For a long cycle, boxes that fit the cycle dominate once the miss
+        cost is large relative to box heights.
+
+        A height-h box that fits the cycle serves ~s·h hits for impact s·h²
+        (1/h impact per request); a thrashing min box serves h_min misses
+        for impact s·h_min² (s·h_min per request... i.e. s per miss-served
+        request).  Tall boxes win iff s ≫ cycle length — the same regime as
+        the paper's Theorem 4 assumption s > ck.
+        """
+        lat = HeightLattice(k=16, p=8)
+        s = 100
+        seq = arr((list(range(8)) * 100)[: 8 * 100])
+        res = optimal_box_profile(seq, lat, s)
+        heights = set(res.profile)
+        assert max(heights) >= 8
+
+    def test_cycle_prefers_min_boxes_when_misses_are_cheap(self):
+        """Same cycle, tiny s: thrashing min boxes are impact-optimal."""
+        lat = HeightLattice(k=16, p=8)
+        s = 2
+        seq = arr((list(range(8)) * 100)[: 8 * 100])
+        res = optimal_box_profile(seq, lat, s)
+        assert set(res.profile) == {lat.min_height}
+
+    def test_scan_prefers_min_boxes(self):
+        """Use-once streams gain nothing from height: min boxes are optimal."""
+        lat = HeightLattice(k=16, p=8)
+        s = 6
+        seq = arr(list(range(60)))
+        res = optimal_box_profile(seq, lat, s)
+        assert set(res.profile) == {lat.min_height}
+
+    def test_matches_brute_force_small(self):
+        lat = HeightLattice(k=4, p=4)
+        s = 3
+        for bits in product(range(3), repeat=7):
+            seq = arr(bits)
+            res = optimal_box_profile(seq, lat, s)
+            assert res.impact == brute_force_optimal_impact(seq, lat, s)
+
+    @given(
+        st.lists(st.integers(0, 5), min_size=1, max_size=40),
+        st.integers(2, 6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_brute_force_random(self, seq, s):
+        lat = HeightLattice(k=8, p=4)
+        res = optimal_box_profile(arr(seq), lat, s)
+        assert res.impact == brute_force_optimal_impact(arr(seq), lat, s)
+
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=60), st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_profile_reconstruction_consistent(self, seq, s):
+        lat = HeightLattice(k=8, p=8)
+        res = optimal_box_profile(arr(seq), lat, s)
+        assert res.profile.impact(s) == res.impact
+        pr = execute_profile(arr(seq), list(res.profile), miss_cost=s)
+        assert pr.completed and pr.impact == res.impact
+
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_opt_monotone_under_extension(self, seq):
+        """Appending requests can never decrease OPT impact."""
+        lat = HeightLattice(k=8, p=4)
+        s = 4
+        shorter = optimal_box_profile(arr(seq[: max(1, len(seq) // 2)]), lat, s)
+        longer = optimal_box_profile(arr(seq), lat, s)
+        assert longer.impact >= shorter.impact
+
+
+class TestPrefixOptimalImpacts:
+    def test_monotone_nondecreasing(self):
+        lat = HeightLattice(k=8, p=4)
+        seq = arr([0, 1, 2, 0, 1, 2, 3, 4, 5, 0, 1, 2])
+        res = optimal_box_profile(seq, lat, 5)
+        pref = prefix_optimal_impacts(res)
+        assert len(pref) == len(seq) + 1
+        assert pref[0] == 0
+        assert all(pref[i] <= pref[i + 1] for i in range(len(pref) - 1))
+        assert np.isfinite(pref).all()
+        assert pref[-1] == res.impact
+
+    def test_prefix_cost_bounded_by_total(self):
+        lat = HeightLattice(k=16, p=4)
+        seq = arr(list(range(30)) * 2)
+        res = optimal_box_profile(seq, lat, 3)
+        pref = prefix_optimal_impacts(res)
+        assert all(c <= res.impact for c in pref)

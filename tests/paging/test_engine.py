@@ -1,0 +1,200 @@
+"""Tests for the box execution engine (the hot path of the reproduction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paging import LRUCache, box_budget, execute_profile, run_box
+
+
+def arr(xs):
+    return np.asarray(xs, dtype=np.int64)
+
+
+class TestRunBoxBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_box(arr([1]), 0, 0, 10, 5)
+        with pytest.raises(ValueError):
+            run_box(arr([1]), 0, 1, 10, 1)
+
+    def test_empty_remainder(self):
+        r = run_box(arr([1, 2]), 2, 4, 40, 10)
+        assert r.served == 0 and r.time_used == 0 and r.end == 2
+
+    def test_single_miss(self):
+        r = run_box(arr([5]), 0, 1, box_budget(1, 10), 10)
+        assert r.faults == 1 and r.hits == 0
+        assert r.time_used == 10
+        assert r.end == 1
+
+    def test_budget_cuts_off_miss(self):
+        # budget 9 < miss cost 10: nothing can be served
+        r = run_box(arr([5, 5]), 0, 1, 9, 10)
+        assert r.served == 0 and r.time_used == 0
+
+    def test_hit_after_miss(self):
+        r = run_box(arr([5, 5, 5]), 0, 1, 12, 10)
+        # miss (10) + hit (1) + hit (1) = 12 exactly
+        assert r.served == 3 and r.faults == 1 and r.hits == 2
+        assert r.time_used == 12
+
+    def test_budget_boundary_exact(self):
+        r = run_box(arr([5, 5]), 0, 1, 11, 10)
+        assert r.served == 2 and r.time_used == 11
+        r = run_box(arr([5, 5]), 0, 1, 10, 10)
+        assert r.served == 1 and r.time_used == 10
+
+    def test_cycle_within_height(self):
+        # height 3 box over cycle of 3 pages: 3 misses then all hits
+        seq = arr([0, 1, 2] * 20)
+        s = 10
+        r = run_box(seq, 0, 3, box_budget(3, s), s)
+        assert r.faults == 3
+        # budget 30: misses use 30 exactly, so zero hits fit
+        assert r.served == 3
+
+    def test_cycle_thrashing_when_too_small(self):
+        # height 2 over cycle of 3: LRU misses every request
+        seq = arr([0, 1, 2] * 20)
+        s = 10
+        r = run_box(seq, 0, 2, box_budget(2, s), s)
+        assert r.hits == 0
+        assert r.served == 2  # two misses fill the 20-unit budget
+
+    def test_stalled_accounting(self):
+        seq = arr([7])
+        r = run_box(seq, 0, 4, box_budget(4, 10), 10)
+        assert r.time_used == 10
+        assert r.stalled == 30
+
+    def test_start_offset(self):
+        seq = arr([1, 2, 3, 4])
+        r = run_box(seq, 2, 4, 100, 5)
+        assert r.start == 2 and r.end == 4 and r.faults == 2
+
+    def test_fresh_cold_start_each_call(self):
+        seq = arr([9, 9])
+        r1 = run_box(seq, 0, 1, 10, 10)
+        assert r1.end == 1
+        # second box starts cold: position 1's request misses again
+        r2 = run_box(seq, r1.end, 1, 10, 10)
+        assert r2.faults == 1
+
+
+@st.composite
+def boxes_case(draw):
+    n_pages = draw(st.integers(min_value=1, max_value=8))
+    seq = draw(st.lists(st.integers(min_value=0, max_value=n_pages - 1), min_size=1, max_size=120))
+    height = draw(st.integers(min_value=1, max_value=10))
+    s = draw(st.integers(min_value=2, max_value=12))
+    budget = draw(st.integers(min_value=0, max_value=3 * s * height))
+    start = draw(st.integers(min_value=0, max_value=len(seq)))
+    return arr(seq), start, height, budget, s
+
+
+class TestRunBoxProperties:
+    @given(boxes_case())
+    @settings(max_examples=200)
+    def test_matches_lru_cache_reference(self, case):
+        """The inline LRU must agree with LRUCache served request by request."""
+        seq, start, height, budget, s = case
+        r = run_box(seq, start, height, budget, s)
+        ref = LRUCache(height)
+        t = 0
+        pos = start
+        hits = faults = 0
+        while pos < len(seq):
+            cost = 1 if int(seq[pos]) in ref else s
+            if t + cost > budget:
+                break
+            # touch mutates; outcome must agree with membership probe
+            outcome = ref.touch(int(seq[pos]))
+            assert outcome == (cost == 1)
+            t += cost
+            if outcome:
+                hits += 1
+            else:
+                faults += 1
+            pos += 1
+        assert (r.end, r.hits, r.faults, r.time_used) == (pos, hits, faults, t)
+
+    @given(boxes_case())
+    @settings(max_examples=150)
+    def test_accounting_invariants(self, case):
+        seq, start, height, budget, s = case
+        r = run_box(seq, start, height, budget, s)
+        assert r.hits + r.faults == r.served
+        assert r.time_used == r.hits + s * r.faults
+        assert 0 <= r.time_used <= budget
+        assert start <= r.end <= len(seq)
+
+    @given(boxes_case())
+    @settings(max_examples=100)
+    def test_progress_monotone_in_budget(self, case):
+        seq, start, height, budget, s = case
+        r1 = run_box(seq, start, height, budget, s)
+        r2 = run_box(seq, start, height, budget + s, s)
+        assert r2.end >= r1.end
+
+    @given(boxes_case())
+    @settings(max_examples=100)
+    def test_progress_monotone_in_height(self, case):
+        """More cache never hurts LRU progress under a fixed budget.
+
+        (LRU inclusion: contents at height h are a subset of contents at
+        h+1, so every hit stays a hit and service time never increases.)
+        """
+        seq, start, height, budget, s = case
+        r1 = run_box(seq, start, height, budget, s)
+        r2 = run_box(seq, start, height + 1, budget, s)
+        assert r2.end >= r1.end
+
+
+class TestExecuteProfile:
+    def test_completes_with_generous_boxes(self):
+        seq = arr([0, 1, 2, 0, 1, 2])
+        pr = execute_profile(seq, iter(lambda: 4, None), miss_cost=5)  # infinite 4s
+        assert pr.completed
+        assert pr.position == len(seq)
+        assert pr.impact == sum(5 * r.height * r.height for r in pr.runs)
+        assert pr.wall_time == sum(r.budget for r in pr.runs)
+
+    def test_impact_counts_full_boxes(self):
+        seq = arr([0])
+        pr = execute_profile(seq, [8], miss_cost=5)
+        assert pr.completed
+        assert pr.impact == 5 * 64
+        assert pr.wall_time == 40
+
+    def test_max_boxes_guard(self):
+        seq = arr(list(range(100)))
+        pr = execute_profile(seq, iter(lambda: 1, None), miss_cost=5, max_boxes=3)
+        assert not pr.completed
+        assert len(pr.runs) == 3
+
+    def test_finite_heights_exhausted(self):
+        seq = arr(list(range(50)))
+        pr = execute_profile(seq, [1, 1], miss_cost=5)
+        assert not pr.completed
+        assert pr.position == 2  # each height-1 box serves exactly 1 miss
+
+    def test_start_offset(self):
+        seq = arr([0, 1, 2, 3])
+        pr = execute_profile(seq, iter(lambda: 4, None), miss_cost=5, start=2)
+        assert pr.completed
+        assert pr.runs[0].start == 2
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=60),
+        st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=75)
+    def test_always_completes_with_infinite_min_boxes(self, seq, s):
+        """Height-1 boxes forever always finish: each serves >= 1 request."""
+        pr = execute_profile(arr(seq), iter(lambda: 1, None), miss_cost=s)
+        assert pr.completed
+        assert pr.position == len(seq)

@@ -1,0 +1,98 @@
+"""Unit and property tests for the FIFO cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paging import FIFOCache, LRUCache
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FIFOCache(0)
+
+    def test_eviction_order_is_fifo_not_lru(self):
+        c = FIFOCache(2)
+        c.touch(1)
+        c.touch(2)
+        c.touch(1)  # hit: does NOT refresh FIFO position
+        c.touch(3)  # evicts 1 (oldest arrival), unlike LRU which evicts 2
+        assert 1 not in c and 2 in c and 3 in c
+
+    def test_fifo_order(self):
+        c = FIFOCache(3)
+        for page in (5, 6, 7, 6):
+            c.touch(page)
+        assert c.pages_fifo_order() == [5, 6, 7]
+
+    def test_clear(self):
+        c = FIFOCache(2)
+        c.touch(1)
+        c.clear()
+        assert len(c) == 0 and 1 not in c
+        assert c.pages_fifo_order() == []
+
+    def test_counters(self):
+        c = FIFOCache(2)
+        for page in (1, 2, 1, 3, 1):
+            c.touch(page)
+        # 1 miss, 2 miss, 1 hit, 3 miss evicting 1, 1 miss evicting 2
+        assert c.faults == 4 and c.hits == 1 and c.evictions == 2
+
+    def test_belady_anomaly_exists(self):
+        """The classical sequence where FIFO with MORE capacity faults MORE.
+
+        This is the canonical witness that FIFO lacks the inclusion
+        property, and why the stack-distance machinery applies to LRU only.
+        """
+        seq = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+        f3 = FIFOCache(3)
+        f4 = FIFOCache(4)
+        for page in seq:
+            f3.touch(page)
+            f4.touch(page)
+        assert f3.faults == 9
+        assert f4.faults == 10
+        assert f4.faults > f3.faults
+
+
+@st.composite
+def request_sequences(draw):
+    n_pages = draw(st.integers(min_value=1, max_value=10))
+    return draw(st.lists(st.integers(min_value=0, max_value=n_pages - 1), max_size=150))
+
+
+class TestProperties:
+    @given(request_sequences(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=100)
+    def test_capacity_respected_and_counts_add_up(self, seq, capacity):
+        c = FIFOCache(capacity)
+        for page in seq:
+            c.touch(page)
+            assert len(c) <= capacity
+        assert c.hits + c.faults == len(seq)
+
+    @given(request_sequences(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=100)
+    def test_queue_and_set_agree(self, seq, capacity):
+        c = FIFOCache(capacity)
+        for page in seq:
+            c.touch(page)
+        order = c.pages_fifo_order()
+        assert len(order) == len(set(order)) == len(c)
+        assert all(page in c for page in order)
+
+    @given(request_sequences())
+    @settings(max_examples=50)
+    def test_fifo_equals_lru_when_everything_fits(self, seq):
+        """With capacity >= #distinct pages, no evictions: FIFO == LRU counts."""
+        capacity = max(1, len(set(seq)))
+        f = FIFOCache(capacity)
+        l = LRUCache(capacity)
+        for page in seq:
+            f.touch(page)
+            l.touch(page)
+        assert f.faults == l.faults == len(set(seq))

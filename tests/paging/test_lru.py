@@ -1,0 +1,153 @@
+"""Unit and property tests for the O(1) LRU cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paging import LRUCache
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+        with pytest.raises(ValueError):
+            LRUCache(-3)
+
+    def test_single_page_hit_miss(self):
+        c = LRUCache(1)
+        assert not c.touch(7)
+        assert c.touch(7)
+        assert c.touch(7)
+        assert c.hits == 2 and c.faults == 1
+
+    def test_eviction_order_is_lru(self):
+        c = LRUCache(2)
+        c.touch(1)
+        c.touch(2)
+        c.touch(1)  # 1 is now MRU, 2 is LRU
+        c.touch(3)  # evicts 2
+        assert 1 in c and 3 in c and 2 not in c
+        assert c.evictions == 1
+
+    def test_peek_victim(self):
+        c = LRUCache(3)
+        assert c.peek_victim() is None
+        for page in (4, 5, 6):
+            c.touch(page)
+        assert c.peek_victim() == 4
+        c.touch(4)
+        assert c.peek_victim() == 5
+
+    def test_mru_order(self):
+        c = LRUCache(3)
+        for page in (1, 2, 3, 2):
+            c.touch(page)
+        assert c.pages_mru_order() == [2, 3, 1]
+        assert list(c) == [2, 3, 1]
+
+    def test_clear_keeps_counters(self):
+        c = LRUCache(2)
+        c.touch(1)
+        c.touch(2)
+        c.clear()
+        assert len(c) == 0
+        assert c.faults == 2
+        assert not c.touch(1)  # cold again after clear
+
+    def test_reset_counters_keeps_contents(self):
+        c = LRUCache(2)
+        c.touch(1)
+        c.reset_counters()
+        assert c.faults == 0
+        assert 1 in c
+        assert c.touch(1)
+
+    def test_never_exceeds_capacity(self):
+        c = LRUCache(4)
+        for page in range(100):
+            c.touch(page)
+            assert len(c) <= 4
+
+    def test_cycle_thrashing(self):
+        """A cycle one page larger than capacity misses every time under LRU."""
+        c = LRUCache(3)
+        seq = [0, 1, 2, 3] * 10
+        for page in seq:
+            c.touch(page)
+        assert c.hits == 0
+        assert c.faults == len(seq)
+
+    def test_cycle_fits(self):
+        """A cycle that fits in capacity only misses on the first pass."""
+        c = LRUCache(4)
+        seq = [0, 1, 2, 3] * 10
+        for page in seq:
+            c.touch(page)
+        assert c.faults == 4
+        assert c.hits == len(seq) - 4
+
+
+@st.composite
+def request_sequences(draw):
+    n_pages = draw(st.integers(min_value=1, max_value=12))
+    length = draw(st.integers(min_value=0, max_value=200))
+    return draw(st.lists(st.integers(min_value=0, max_value=n_pages - 1), min_size=length, max_size=length))
+
+
+def _reference_lru(seq, capacity):
+    """Oracle: LRU via an explicit recency list (O(n*k), obviously correct)."""
+    recency: list[int] = []  # most recent first
+    hits = 0
+    for page in seq:
+        if page in recency:
+            hits += 1
+            recency.remove(page)
+        elif len(recency) >= capacity:
+            recency.pop()
+        recency.insert(0, page)
+    return hits, recency
+
+
+class TestProperties:
+    @given(request_sequences(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200)
+    def test_matches_reference_implementation(self, seq, capacity):
+        c = LRUCache(capacity)
+        for page in seq:
+            c.touch(page)
+        ref_hits, ref_recency = _reference_lru(seq, capacity)
+        assert c.hits == ref_hits
+        assert c.pages_mru_order() == ref_recency
+
+    @given(request_sequences(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100)
+    def test_inclusion_property(self, seq, capacity):
+        """LRU(c) contents are a subset of LRU(c+1) contents at every step."""
+        small = LRUCache(capacity)
+        big = LRUCache(capacity + 1)
+        for page in seq:
+            small.touch(page)
+            big.touch(page)
+            assert set(small.pages_mru_order()) <= set(big.pages_mru_order())
+
+    @given(request_sequences(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100)
+    def test_hits_monotone_in_capacity(self, seq, capacity):
+        small = LRUCache(capacity)
+        big = LRUCache(capacity + 3)
+        for page in seq:
+            small.touch(page)
+            big.touch(page)
+        assert big.hits >= small.hits
+
+    @given(request_sequences(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=100)
+    def test_counters_account_for_all_requests(self, seq, capacity):
+        c = LRUCache(capacity)
+        for page in seq:
+            c.touch(page)
+        assert c.hits + c.faults == len(seq)
+        assert len(c) == min(capacity, len(set(seq)))

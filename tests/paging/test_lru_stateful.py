@@ -1,0 +1,70 @@
+"""Stateful (rule-based) hypothesis testing of the LRU cache.
+
+The LRU implementation is the hottest data structure in the repository;
+this machine drives it through arbitrary interleavings of touches and
+clears while checking it against a brutally simple model after every
+step — contents, recency order, counters, and victim prediction.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.paging import LRUCache
+
+
+class LRUMachine(RuleBasedStateMachine):
+    """Model-based check: dict-free reference vs the linked-list LRU."""
+
+    def __init__(self):
+        super().__init__()
+        self.capacity = 4
+        self.cache = LRUCache(self.capacity)
+        self.model: list[int] = []  # most recent first
+        self.model_hits = 0
+        self.model_faults = 0
+
+    @rule(page=st.integers(min_value=0, max_value=9))
+    def touch(self, page):
+        """Serve a request in both implementations."""
+        hit = self.cache.touch(page)
+        if page in self.model:
+            self.model.remove(page)
+            self.model_hits += 1
+            assert hit
+        else:
+            self.model_faults += 1
+            assert not hit
+            if len(self.model) >= self.capacity:
+                self.model.pop()
+        self.model.insert(0, page)
+
+    @rule()
+    def clear(self):
+        """Cold-start both."""
+        self.cache.clear()
+        self.model.clear()
+
+    @invariant()
+    def contents_agree(self):
+        assert self.cache.pages_mru_order() == self.model
+
+    @invariant()
+    def victim_agrees(self):
+        expected = self.model[-1] if self.model else None
+        assert self.cache.peek_victim() == expected
+
+    @invariant()
+    def counters_agree(self):
+        assert self.cache.hits == self.model_hits
+        assert self.cache.faults == self.model_faults
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.cache) <= self.capacity
+
+
+LRUMachine.TestCase.settings = settings(max_examples=60, stateful_step_count=60, deadline=None)
+TestLRUStateful = LRUMachine.TestCase

@@ -1,0 +1,168 @@
+"""Tests for marking algorithms and the canonical phase partition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paging import LRUCache, belady_faults
+from repro.paging.marking import MarkingCache, RandomMarkCache, phase_partition
+from repro.paging.policies import make_policy
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+@st.composite
+def request_sequences(draw):
+    n_pages = draw(st.integers(min_value=1, max_value=10))
+    return draw(st.lists(st.integers(min_value=0, max_value=n_pages - 1), max_size=150))
+
+
+class TestPhasePartition:
+    def test_empty(self):
+        assert phase_partition([], 3) == []
+
+    def test_single_phase(self):
+        assert phase_partition([1, 2, 1, 2], 2) == [0]
+
+    def test_boundary_on_k_plus_first_distinct(self):
+        # capacity 2: phase 1 = {1,2}, new phase starts at the request to 3
+        assert phase_partition([1, 2, 1, 3, 4, 3], 2) == [0, 3]
+
+    def test_repeated_single_page(self):
+        assert phase_partition([5] * 10, 3) == [0]
+
+    @given(request_sequences(), st.integers(1, 5))
+    @settings(max_examples=100)
+    def test_each_phase_has_at_most_k_distinct(self, seq, k):
+        starts = phase_partition(seq, k)
+        bounds = starts + [len(seq)]
+        for a, b in zip(bounds, bounds[1:]):
+            assert len(set(seq[a:b])) <= k
+
+    @given(request_sequences(), st.integers(1, 5))
+    @settings(max_examples=100)
+    def test_phases_are_maximal(self, seq, k):
+        """Extending any phase by its following request would exceed k
+        distinct pages (that is what makes the partition canonical)."""
+        starts = phase_partition(seq, k)
+        bounds = starts + [len(seq)]
+        for i in range(len(starts) - 1):
+            a, b = bounds[i], bounds[i + 1]
+            assert len(set(seq[a : b + 1])) == k + 1
+
+
+class TestMarkingCache:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkingCache(0)
+
+    def test_registered(self):
+        policy = make_policy("marking", 4)
+        assert isinstance(policy, MarkingCache)
+
+    def test_basic_hit_miss(self):
+        c = MarkingCache(2)
+        assert not c.touch(1)
+        assert c.touch(1)
+        assert not c.touch(2)
+        assert not c.touch(3)  # evicts an unmarked... all marked -> phase reset
+        assert c.phases == 1
+
+    def test_never_evicts_marked_within_phase(self):
+        c = MarkingCache(3)
+        for page in (1, 2, 1, 2):  # 1 and 2 marked
+            c.touch(page)
+        c.touch(3)  # fills cache, marks 3
+        assert len(c) == 3
+        c.touch(4)  # phase boundary: unmark, evict one, admit 4
+        assert 4 in c
+        assert len(c) == 3
+
+    def test_phase_count_matches_partition(self):
+        seq = [1, 2, 3, 4, 1, 2, 5, 6, 7, 1]
+        k = 3
+        c = MarkingCache(k)
+        for page in seq:
+            c.touch(page)
+        assert c.phases == len(phase_partition(seq, k)) - 1
+
+    @given(request_sequences(), st.integers(1, 6))
+    @settings(max_examples=100)
+    def test_capacity_and_counters(self, seq, k):
+        c = MarkingCache(k)
+        for page in seq:
+            c.touch(page)
+            assert len(c) <= k
+        assert c.hits + c.faults == len(seq)
+
+    @given(request_sequences(), st.integers(1, 6))
+    @settings(max_examples=100)
+    def test_k_competitive_vs_belady(self, seq, k):
+        """Any marking algorithm faults at most k·OPT(k) + k per sequence."""
+        c = MarkingCache(k)
+        for page in seq:
+            c.touch(page)
+        opt = belady_faults(seq, k)
+        assert c.faults <= k * opt + k
+
+    @given(request_sequences(), st.integers(1, 6))
+    @settings(max_examples=75)
+    def test_lru_is_a_marking_algorithm(self, seq, k):
+        """LRU never faults more than k times per canonical phase."""
+        starts = phase_partition(seq, k)
+        bounds = starts + [len(seq)]
+        lru = LRUCache(k)
+        fault_positions = []
+        for i, page in enumerate(seq):
+            if not lru.touch(page):
+                fault_positions.append(i)
+        for a, b in zip(bounds, bounds[1:]):
+            assert sum(1 for f in fault_positions if a <= f < b) <= k
+
+
+class TestRandomMark:
+    def test_deterministic_given_seed(self):
+        seq = [1, 2, 3, 4, 1, 5, 2, 6] * 5
+        a = RandomMarkCache(3, rng(9))
+        b = RandomMarkCache(3, rng(9))
+        for page in seq:
+            assert a.touch(page) == b.touch(page)
+        assert a.faults == b.faults
+
+    @given(request_sequences(), st.integers(1, 6))
+    @settings(max_examples=75)
+    def test_capacity_and_counters(self, seq, k):
+        c = RandomMarkCache(k, rng(1))
+        for page in seq:
+            c.touch(page)
+            assert len(c) <= k
+        assert c.hits + c.faults == len(seq)
+
+    def test_mark_beats_deterministic_on_cycle(self):
+        """On the (k+1)-cycle MARK faults ~H_k per phase vs k for LRU."""
+        k = 8
+        seq = list(range(k + 1)) * 60
+        lru = LRUCache(k)
+        for page in seq:
+            lru.touch(page)
+        mark_faults = []
+        for seed in range(5):
+            m = RandomMarkCache(k, rng(seed))
+            for page in seq:
+                m.touch(page)
+            mark_faults.append(m.faults)
+        assert np.mean(mark_faults) < 0.75 * lru.faults
+
+    @given(request_sequences(), st.integers(1, 5))
+    @settings(max_examples=50)
+    def test_faults_within_marking_bound(self, seq, k):
+        c = RandomMarkCache(k, rng(3))
+        for page in seq:
+            c.touch(page)
+        opt = belady_faults(seq, k)
+        assert c.faults <= k * opt + k

@@ -1,0 +1,128 @@
+"""Tests for the black-box green→parallel packing construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BlackBoxPar, rand_green_source_factory
+from repro.parallel import peak_concurrent_height
+from repro.workloads import ParallelWorkload, cyclic, make_parallel_workload, scan
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def simple_workload(p=4, n=120):
+    return ParallelWorkload.from_local([cyclic(n, 4 + i) for i in range(p)])
+
+
+class TestValidation:
+    def test_cache_power_of_two(self):
+        with pytest.raises(ValueError):
+            BlackBoxPar(48, 4)
+
+    def test_miss_cost(self):
+        with pytest.raises(ValueError):
+            BlackBoxPar(64, 1)
+
+    def test_cache_too_small(self):
+        with pytest.raises(ValueError):
+            BlackBoxPar(8, 4).run(simple_workload(p=8))
+
+
+class TestExecution:
+    def test_completes_all(self):
+        res = BlackBoxPar(64, 8).run(simple_workload(p=4, n=200))
+        assert (res.completion_times > 0).all()
+        res.validate()
+
+    def test_deterministic_with_det_green(self):
+        wl = simple_workload()
+        a = BlackBoxPar(64, 8).run(wl)
+        b = BlackBoxPar(64, 8).run(wl)
+        assert (a.completion_times == b.completion_times).all()
+
+    def test_capacity_within_budget(self):
+        wl = make_parallel_workload(p=8, n_requests=250, k=64, rng=rng(1))
+        res = BlackBoxPar(64, 16).run(wl)
+        assert peak_concurrent_height(res.trace) <= 64
+
+    def test_green_heights_on_rebooted_lattices(self):
+        """Green boxes respect the minimum K/2v̂ threshold of the current
+        survivor count (boxes only get taller-or-equal minima as v halves)."""
+        locals_ = [cyclic(60 * (i + 1), 4) for i in range(8)]
+        wl = ParallelWorkload.from_local(locals_)
+        K = 64
+        res = BlackBoxPar(K, 8).run(wl)
+        green = [r for r in res.trace if r.tag == "green"]
+        assert green
+        assert all(r.height >= (K // 2) // 8 for r in green)
+
+    def test_fallback_boxes_exist_under_pressure(self):
+        """With a big green box hogging capacity, someone gets a fallback."""
+        wl = ParallelWorkload.from_local([cyclic(500, 3) for _ in range(8)])
+        res = BlackBoxPar(32, 8).run(wl)
+        tags = {r.tag for r in res.trace}
+        assert tags <= {"green", "fallback"}
+
+    def test_rand_green_source(self):
+        wl = simple_workload(p=4, n=100)
+        alg = BlackBoxPar(64, 8, source_factory=rand_green_source_factory(seed=3))
+        res = alg.run(wl)
+        assert (res.completion_times > 0).all()
+
+    def test_no_reboot_variant(self):
+        wl = simple_workload(p=4, n=100)
+        res = BlackBoxPar(64, 8, reboot=False).run(wl)
+        assert (res.completion_times > 0).all()
+        assert res.meta["reboot"] is False
+
+    def test_empty_sequences(self):
+        wl = ParallelWorkload.from_local([np.empty(0, dtype=np.int64), cyclic(50, 4)])
+        res = BlackBoxPar(32, 4).run(wl)
+        assert res.completion_times[0] == 0
+        assert res.completion_times[1] > 0
+
+    def test_single_processor(self):
+        wl = ParallelWorkload.from_local([cyclic(100, 6)])
+        res = BlackBoxPar(32, 4).run(wl)
+        assert res.completion_times[0] > 0
+
+
+class TestFairness:
+    def test_impact_stays_comparable(self):
+        """The packing is 'fair': accumulated impacts of survivors stay
+        within an additive slack of one another."""
+        p, K, s = 4, 64, 8
+        wl = ParallelWorkload.from_local([cyclic(2000, 3) for _ in range(p)])
+        res = BlackBoxPar(K, s).run(wl)
+        impacts = res.impact_by_proc()
+        slack = 2 * s * K * K  # fairness barrier is one full-cache box
+        assert impacts.max() - impacts.min() <= slack, impacts
+
+
+class TestRebootThresholds:
+    def test_reboot_happens_when_survivors_halve(self):
+        """After half the sequences finish, newly started green boxes obey
+        the doubled minimum threshold."""
+        # 4 short sequences and 4 long ones: survivors halve cleanly
+        locals_ = [cyclic(30, 3) for _ in range(4)] + [cyclic(1500, 3) for _ in range(4)]
+        wl = ParallelWorkload.from_local(locals_)
+        K, s = 64, 8
+        res = BlackBoxPar(K, s).run(wl)
+        # find the time the 4th processor finished
+        t_half = int(np.sort(res.completion_times)[3])
+        green_budget = K // 2
+        late_min = green_budget // 4  # v̂ = 4 survivors -> min height 8
+        late = [r for r in res.trace if r.tag == "green" and r.start > t_half + s * green_budget]
+        assert late, "expected green boxes after the halving"
+        assert min(r.height for r in late) >= late_min
+
+    def test_no_reboot_keeps_original_lattice(self):
+        locals_ = [cyclic(30, 3) for _ in range(4)] + [cyclic(800, 3) for _ in range(4)]
+        wl = ParallelWorkload.from_local(locals_)
+        res = BlackBoxPar(64, 8, reboot=False).run(wl)
+        green = [r for r in res.trace if r.tag == "green"]
+        assert min(r.height for r in green) == (64 // 2) // 8  # p=8 lattice floor

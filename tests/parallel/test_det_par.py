@@ -1,0 +1,184 @@
+"""Tests for DET-PAR: structure, capacity plan, well-roundedness, balance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DetPar, audit_balance, audit_well_rounded
+from repro.parallel import peak_concurrent_height
+from repro.workloads import ParallelWorkload, cyclic, make_parallel_workload, scan
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def simple_workload(p=4, n=120):
+    return ParallelWorkload.from_local([cyclic(n, 5 + i) for i in range(p)], name="cyc")
+
+
+class TestValidation:
+    def test_cache_power_of_two(self):
+        with pytest.raises(ValueError):
+            DetPar(48, 4)
+
+    def test_miss_cost(self):
+        with pytest.raises(ValueError):
+            DetPar(64, 1)
+
+    def test_cache_too_small(self):
+        with pytest.raises(ValueError):
+            DetPar(2, 4)._plan_phase(64)
+
+
+class TestPhasePlanning:
+    def test_plan_fits_budget(self):
+        alg = DetPar(256, 8)
+        for n_active in (1, 2, 3, 5, 8, 16, 33, 64):
+            k_int, b, slots, reserved = alg._plan_phase(n_active)
+            assert reserved <= 256
+            assert b >= 1
+            assert k_int >= 1
+            for z, m in slots.items():
+                assert z > b and m >= 1
+
+    def test_base_height_doubles_inverse_with_active(self):
+        alg = DetPar(256, 8)
+        _, b8, _, _ = alg._plan_phase(8)
+        _, b4, _, _ = alg._plan_phase(4)
+        assert b4 == 2 * b8
+
+    def test_single_processor_gets_full_internal_cache(self):
+        alg = DetPar(64, 8)
+        k_int, b, slots, reserved = alg._plan_phase(1)
+        assert b == min(2 * k_int, k_int) or b == 2 * k_int // 1 or b >= k_int
+        assert reserved <= 64
+
+
+class TestExecution:
+    def test_completes_all(self):
+        res = DetPar(64, 8).run(simple_workload(p=4, n=200))
+        assert (res.completion_times > 0).all()
+        res.validate()
+
+    def test_deterministic(self):
+        wl = simple_workload()
+        a = DetPar(64, 8).run(wl)
+        b = DetPar(64, 8).run(wl)
+        assert (a.completion_times == b.completion_times).all()
+        assert len(a.trace) == len(b.trace)
+
+    def test_capacity_within_budget(self):
+        wl = make_parallel_workload(p=8, n_requests=250, k=64, rng=rng(1))
+        res = DetPar(64, 16).run(wl)
+        # executed peak is at most the planned reservation, which fits
+        assert peak_concurrent_height(res.trace) <= 64
+        assert res.meta["reserved_peak"] <= 64
+
+    def test_empty_sequences(self):
+        wl = ParallelWorkload.from_local([np.empty(0, dtype=np.int64), cyclic(60, 4)])
+        res = DetPar(32, 4).run(wl)
+        assert res.completion_times[0] == 0
+        assert res.completion_times[1] > 0
+
+    def test_single_processor(self):
+        wl = ParallelWorkload.from_local([cyclic(100, 6)])
+        res = DetPar(32, 4).run(wl)
+        assert res.completion_times[0] > 0
+
+    def test_phases_recorded_and_halving(self):
+        locals_ = [cyclic(80 * (i + 1), 4) for i in range(8)]
+        wl = ParallelWorkload.from_local(locals_)
+        res = DetPar(64, 8).run(wl)
+        phases = res.meta["phases"]
+        assert len(phases) >= 2
+        actives = [ph.active_at_start for ph in phases]
+        assert all(actives[i] > actives[i + 1] for i in range(len(actives) - 1))
+        # base heights grow as processors finish
+        bases = [ph.base_height for ph in phases]
+        assert all(bases[i] <= bases[i + 1] for i in range(len(bases) - 1))
+
+    def test_tags_present(self):
+        res = DetPar(64, 8).run(simple_workload(p=4, n=300))
+        tags = {r.tag for r in res.trace}
+        assert "base" in tags
+        assert "strip" in tags
+
+
+class TestTheoryProperties:
+    def test_well_rounded(self):
+        """E4's core claim: DET-PAR's trace passes the §3.3 audit with a
+        small constant."""
+        wl = make_parallel_workload(p=8, n_requests=300, k=64, rng=rng(2))
+        res = DetPar(64, 16).run(wl)
+        report = audit_well_rounded(res)
+        assert report.base_covered, report
+        assert report.max_gap_factor <= 8.0, report
+
+    def test_well_rounded_uneven_lengths(self):
+        locals_ = [cyclic(60 * (i + 1), 4 + i) for i in range(8)]
+        wl = ParallelWorkload.from_local(locals_)
+        res = DetPar(64, 8).run(wl)
+        report = audit_well_rounded(res)
+        assert report.base_covered
+        assert report.max_gap_factor <= 8.0, report
+
+    def test_balanced(self):
+        """Lemma 7 premise: impact spread across survivors stays bounded."""
+        wl = ParallelWorkload.from_local([cyclic(400, 6) for _ in range(8)])
+        res = DetPar(64, 8).run(wl)
+        report = audit_balance(res)
+        assert report.max_phase_spread <= 4.0, report
+        assert report.min_reserved_fraction >= 0.25
+
+    def test_oblivious_to_request_content(self):
+        """Same lengths & completion pattern, different pages: while both
+        instances keep all processors alive the box schedule is identical."""
+        wl1 = ParallelWorkload.from_local([cyclic(200, 3) for _ in range(4)])
+        wl2 = ParallelWorkload.from_local([cyclic(200, 7) for _ in range(4)])
+        r1 = DetPar(32, 8).run(wl1)
+        r2 = DetPar(32, 8).run(wl2)
+        # compare reservation schedules (proc, height, start) during the
+        # overlap of both runs' first phases
+        horizon = min(r1.meta["phases"][0].start_time + 200, 200)
+        sched1 = sorted((r.proc, r.height, r.start) for r in r1.trace if r.start < horizon)
+        sched2 = sorted((r.proc, r.height, r.start) for r in r2.trace if r.start < horizon)
+        assert sched1 == sched2
+
+
+class TestRobustness:
+    def test_non_power_of_two_processor_count(self):
+        wl = ParallelWorkload.from_local([cyclic(90, 4 + i) for i in range(5)])
+        res = DetPar(64, 8).run(wl)
+        assert (res.completion_times > 0).all()
+        res.validate()
+
+    def test_minimal_viable_cache(self):
+        """Smallest cache the planner accepts for p=4 still completes."""
+        wl = ParallelWorkload.from_local([cyclic(60, 3) for _ in range(4)])
+        res = DetPar(8, 4).run(wl)
+        assert (res.completion_times > 0).all()
+
+    def test_wildly_uneven_lengths(self):
+        locals_ = [cyclic(5, 2), cyclic(2000, 6), cyclic(1, 1), cyclic(300, 10)]
+        wl = ParallelWorkload.from_local(locals_)
+        res = DetPar(64, 8).run(wl)
+        assert (res.completion_times > 0).all()
+        from repro.parallel import verify_trace
+
+        assert verify_trace(res, wl).ok
+
+    def test_rebuild_times_recorded(self):
+        locals_ = [cyclic(60 * (i + 1), 4) for i in range(8)]
+        wl = ParallelWorkload.from_local(locals_)
+        res = DetPar(64, 8).run(wl)
+        rebuilds = res.meta["rebuild_times"]
+        # phases after the first start at recorded rebuild instants
+        starts = [ph.start_time for ph in res.meta["phases"][1:]]
+        assert set(starts) <= set(rebuilds)
+
+    def test_single_page_sequences(self):
+        wl = ParallelWorkload.from_local([np.asarray([0], dtype=np.int64) for _ in range(4)])
+        res = DetPar(32, 4).run(wl)
+        assert (res.completion_times == 4).all()  # one miss each, in parallel

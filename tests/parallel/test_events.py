@@ -1,0 +1,99 @@
+"""Tests for run-result records and the capacity ledger."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import BoxRecord, ParallelRunResult, capacity_profile, peak_concurrent_height
+
+
+def rec(proc=0, height=4, start=0, end=10, ss=0, se=2, hits=1, faults=1, tag=""):
+    return BoxRecord(
+        proc=proc, height=height, start=start, end=end,
+        served_start=ss, served_end=se, hits=hits, faults=faults, tag=tag,
+    )
+
+
+class TestBoxRecord:
+    def test_derived_fields(self):
+        r = rec()
+        assert r.duration == 10
+        assert r.served == 2
+        assert r.reserved_impact == 40
+
+
+class TestCapacityProfile:
+    def test_empty(self):
+        times, heights = capacity_profile([])
+        assert len(times) == 0 and len(heights) == 0
+        assert peak_concurrent_height([]) == 0
+
+    def test_single_box(self):
+        times, heights = capacity_profile([rec(height=4, start=2, end=7)])
+        assert times.tolist() == [2, 7]
+        assert heights.tolist() == [4, 0]
+        assert peak_concurrent_height([rec(height=4, start=2, end=7)]) == 4
+
+    def test_overlapping_boxes(self):
+        trace = [rec(height=4, start=0, end=10), rec(proc=1, height=8, start=5, end=15)]
+        assert peak_concurrent_height(trace) == 12
+        times, heights = capacity_profile(trace)
+        assert times.tolist() == [0, 5, 10, 15]
+        assert heights.tolist() == [4, 12, 8, 0]
+
+    def test_zero_duration_boxes_ignored(self):
+        trace = [rec(height=4, start=3, end=3, se=0, hits=0, faults=0)]
+        assert peak_concurrent_height(trace) == 0
+
+    def test_adjacent_boxes_do_not_stack(self):
+        trace = [rec(height=4, start=0, end=5), rec(height=4, start=5, end=10)]
+        assert peak_concurrent_height(trace) == 4
+
+
+class TestParallelRunResult:
+    def _result(self, trace, completions=(12,)):
+        return ParallelRunResult(
+            algorithm="test",
+            completion_times=np.asarray(completions, dtype=np.int64),
+            trace=trace,
+            cache_size=16,
+            miss_cost=5,
+        )
+
+    def test_objectives(self):
+        res = self._result([], completions=(10, 20, 30))
+        assert res.makespan == 30
+        assert res.mean_completion_time == 20.0
+        assert res.p == 3
+
+    def test_impact_accounting(self):
+        trace = [rec(height=4, start=0, end=10), rec(proc=0, height=2, start=10, end=20, ss=2, se=4)]
+        res = self._result(trace)
+        assert res.total_impact() == 4 * 10 + 2 * 10
+        assert res.impact_by_proc().tolist() == [60]
+
+    def test_boxes_of(self):
+        trace = [rec(proc=0), rec(proc=1, ss=0, se=2)]
+        res = self._result(trace, completions=(5, 5))
+        assert len(res.boxes_of(0)) == 1
+
+    def test_validate_accepts_contiguous(self):
+        trace = [
+            rec(proc=0, start=0, end=10, ss=0, se=3, hits=2, faults=1),
+            rec(proc=0, start=10, end=20, ss=3, se=5, hits=0, faults=2),
+        ]
+        self._result(trace).validate()
+
+    def test_validate_rejects_service_gap(self):
+        trace = [
+            rec(proc=0, start=0, end=10, ss=0, se=3, hits=2, faults=1),
+            rec(proc=0, start=10, end=20, ss=4, se=5, hits=0, faults=1),
+        ]
+        with pytest.raises(AssertionError):
+            self._result(trace).validate()
+
+    def test_validate_rejects_bad_counts(self):
+        trace = [rec(hits=5, faults=5, ss=0, se=2)]
+        with pytest.raises(AssertionError):
+            self._result(trace).validate()

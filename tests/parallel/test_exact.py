@@ -1,0 +1,111 @@
+"""Tests for the exact two-processor OPT search (and LB soundness against it)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DetPar, RandPar
+from repro.parallel import makespan_lower_bound
+from repro.parallel.exact import exact_two_proc_makespan
+from repro.paging import min_service_time
+from repro.workloads import ParallelWorkload, cyclic, scan
+
+
+def wl_of(a, b):
+    return ParallelWorkload.from_local(
+        [np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)]
+    )
+
+
+S = 3
+K = 4
+
+
+class TestBasics:
+    def test_rejects_wrong_p(self):
+        wl = ParallelWorkload.from_local([np.asarray([0], dtype=np.int64)])
+        with pytest.raises(ValueError):
+            exact_two_proc_makespan(wl, K, S)
+
+    def test_both_empty(self):
+        assert exact_two_proc_makespan(wl_of([], []), K, S) == 0
+
+    def test_one_empty_reduces_to_solo(self):
+        opt = exact_two_proc_makespan(wl_of([0, 1, 0, 1], []), K, S)
+        # solo with full cache: 2 cold misses + 2 hits
+        assert opt == 2 * S + 2
+
+    def test_two_singletons_run_in_parallel(self):
+        opt = exact_two_proc_makespan(wl_of([0], [0]), K, S)
+        assert opt == S  # height-1 boxes side by side, early release
+
+    def test_two_scans_share_cache(self):
+        opt = exact_two_proc_makespan(wl_of(list(range(4)), list(range(4))), K, S)
+        assert opt == 4 * S  # all misses, fully parallel
+
+    def test_contention_forces_serialization(self):
+        """Two cycles of size k each: only one can hold its working set."""
+        n = 8
+        a = cyclic(n, K)
+        b = cyclic(n, K)
+        opt = exact_two_proc_makespan(wl_of(a, b), K, S)
+        # lower bound: each alone needs K*S + (n-K); sharing can't let both
+        # hold K pages at once, so opt exceeds the solo time
+        solo = K * S + (n - K)
+        assert opt > solo
+        # and serializing fully is an upper bound
+        assert opt <= 2 * solo + 2 * K * S
+
+
+@st.composite
+def tiny_instances(draw):
+    n1 = draw(st.integers(0, 8))
+    n2 = draw(st.integers(0, 8))
+    a = draw(st.lists(st.integers(0, 3), min_size=n1, max_size=n1))
+    b = draw(st.lists(st.integers(0, 3), min_size=n2, max_size=n2))
+    return wl_of(a, b)
+
+
+class TestSoundness:
+    @given(tiny_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_lower_bound_below_exact(self, wl):
+        """The certified LB must never exceed the exact box-model OPT."""
+        exact = exact_two_proc_makespan(wl, K, S)
+        lb = makespan_lower_bound(wl, K, S)
+        assert lb.value <= exact, (lb.breakdown(), exact)
+
+    @given(tiny_instances())
+    @settings(max_examples=15, deadline=None)
+    def test_exact_below_algorithms(self, wl):
+        """Every implemented box algorithm is a feasible schedule, so OPT
+        can only be faster (same cache, no augmentation here)."""
+        exact = exact_two_proc_makespan(wl, K, S)
+        for alg in (DetPar(K, S), RandPar(K, S, np.random.default_rng(0))):
+            res = alg.run(wl)
+            assert res.makespan >= exact, (alg.name, res.makespan, exact)
+
+    @given(tiny_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_exact_at_least_isolation_time(self, wl):
+        exact = exact_two_proc_makespan(wl, K, S)
+        iso = max(
+            (min_service_time(seq, K, S) for seq in wl.sequences if len(seq)),
+            default=0,
+        )
+        # isolation uses Belady (stronger than LRU boxes), so it stays below
+        assert exact >= iso or exact == 0
+
+    def test_exact_monotone_in_cache(self):
+        wl = wl_of(cyclic(8, 3), cyclic(8, 3))
+        small = exact_two_proc_makespan(wl, 2, S)
+        large = exact_two_proc_makespan(wl, 8, S)
+        assert large <= small
+
+    def test_state_guard(self):
+        wl = wl_of(list(range(8)), list(range(8)))
+        with pytest.raises(RuntimeError):
+            exact_two_proc_makespan(wl, K, S, max_states=1)

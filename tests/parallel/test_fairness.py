@@ -1,0 +1,72 @@
+"""Tests for the fairness diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DetPar
+from repro.parallel import EqualPartition, fairness_report, jain_index
+from repro.workloads import ParallelWorkload, cyclic, scan
+
+
+def wl_of(*locals_):
+    return ParallelWorkload.from_local([np.asarray(x, dtype=np.int64) for x in locals_])
+
+
+class TestJainIndex:
+    def test_equal_values(self):
+        assert jain_index(np.array([2.0, 2.0, 2.0])) == pytest.approx(1.0)
+
+    def test_single_dominant(self):
+        vals = np.array([100.0, 1e-9, 1e-9, 1e-9])
+        assert jain_index(vals) < 0.3
+
+    def test_empty(self):
+        assert jain_index(np.array([])) == 1.0
+
+    def test_ignores_nonpositive(self):
+        assert jain_index(np.array([1.0, 1.0, 0.0, -5.0])) == pytest.approx(1.0)
+
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            vals = rng.random(8) + 0.01
+            j = jain_index(vals)
+            assert 1 / 8 <= j <= 1.0
+
+
+class TestFairnessReport:
+    def test_slowdown_at_least_one(self):
+        wl = wl_of(cyclic(100, 4), scan(100))
+        res = EqualPartition(16, 8).run(wl)
+        report = fairness_report(res, wl, 16)
+        finite = report.slowdowns[np.isfinite(report.slowdowns)]
+        assert (finite >= 1.0 - 1e-9).all()
+
+    def test_empty_sequences_are_nan(self):
+        wl = wl_of([], cyclic(50, 3))
+        res = EqualPartition(8, 4).run(wl)
+        report = fairness_report(res, wl, 8)
+        assert np.isnan(report.slowdowns[0])
+        assert np.isfinite(report.slowdowns[1])
+
+    def test_equal_partition_fair_on_identical_programs(self):
+        wl = wl_of(*[cyclic(200, 4) for _ in range(4)])
+        res = EqualPartition(32, 8).run(wl)
+        report = fairness_report(res, wl, 32)
+        assert report.jain == pytest.approx(1.0)
+        assert report.completion_spread == pytest.approx(1.0)
+
+    def test_as_dict_keys(self):
+        wl = wl_of(cyclic(100, 3))
+        res = EqualPartition(8, 4).run(wl)
+        d = fairness_report(res, wl, 8).as_dict()
+        assert set(d) == {"jain", "max_slowdown", "mean_slowdown", "completion_spread"}
+
+    def test_det_par_reasonably_fair(self):
+        """DET-PAR's round-robin strips keep slowdowns comparable."""
+        wl = wl_of(*[cyclic(300, 6 + i) for i in range(8)])
+        res = DetPar(64, 16).run(wl)
+        report = fairness_report(res, wl, 32)
+        assert report.jain > 0.8

@@ -1,0 +1,119 @@
+"""Tests for the certified makespan / mean-completion lower bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DetPar, RandPar
+from repro.parallel import (
+    BestStaticPartition,
+    EqualPartition,
+    GlobalLRU,
+    makespan_lower_bound,
+    mean_completion_lower_bound,
+)
+from repro.workloads import ParallelWorkload, cyclic, make_parallel_workload, scan
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def wl_of(*locals_):
+    return ParallelWorkload.from_local([np.asarray(x, dtype=np.int64) for x in locals_])
+
+
+class TestComponents:
+    def test_length_bound(self):
+        wl = wl_of(cyclic(100, 2), cyclic(50, 2))
+        lb = makespan_lower_bound(wl, 8, 4, include_impact=False)
+        assert lb.length_bound == 100
+        assert lb.value >= 100
+
+    def test_isolation_bound_scan(self):
+        """A scan admits no caching: isolation bound = n*s exactly."""
+        wl = wl_of(scan(80))
+        lb = makespan_lower_bound(wl, 16, 7, include_impact=False)
+        assert lb.isolation_bound == 80 * 7
+        assert lb.value == 80 * 7
+
+    def test_isolation_bound_cyclic_fits(self):
+        """A cycle fitting in cache: cold misses then hits."""
+        wl = wl_of(cyclic(100, 4))
+        s = 7
+        lb = makespan_lower_bound(wl, 16, s, include_impact=False)
+        assert lb.isolation_bound == 4 * s + 96
+
+    def test_impact_bound_positive_for_heavy_workloads(self):
+        wl = wl_of(*[scan(100) for _ in range(8)])
+        lb = makespan_lower_bound(wl, 8, 6)
+        assert lb.impact_bound > 0
+        # 8 scans of 100 at min-height-1 impact 6*100 each = 4800 total,
+        # over cache 8 and normalization 4 -> 150
+        assert lb.impact_bound == 4800 // (8 * 4)
+
+    def test_breakdown_keys(self):
+        wl = wl_of(cyclic(30, 3))
+        lb = makespan_lower_bound(wl, 8, 4, include_impact=False)
+        assert set(lb.breakdown()) == {"length", "isolation", "impact", "value"}
+
+    def test_empty_workload_sequences(self):
+        wl = wl_of([], [])
+        lb = makespan_lower_bound(wl, 8, 4)
+        assert lb.value == 0
+
+
+class TestSoundness:
+    """The bound must be <= every achievable makespan (here: every
+    implemented algorithm's measured makespan — algorithms can't beat OPT,
+    and LB <= OPT)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_lb_below_all_algorithms(self, seed):
+        wl = make_parallel_workload(p=4, n_requests=150, k=32, rng=rng(seed))
+        K, s = 32, 8
+        lb = makespan_lower_bound(wl, K, s)
+        algs = [
+            RandPar(K, s, rng(seed + 10)),
+            DetPar(K, s),
+            EqualPartition(K, s),
+            BestStaticPartition(K, s),
+            GlobalLRU(K, s),
+        ]
+        for alg in algs:
+            res = alg.run(wl)
+            assert res.makespan >= lb.value, (res.algorithm, res.makespan, lb.breakdown())
+
+    def test_lb_below_best_static_with_augmentation(self):
+        """Even granting the algorithm 4x cache, LB(k) stays below."""
+        wl = make_parallel_workload(p=4, n_requests=150, k=16, rng=rng(7))
+        s = 8
+        lb = makespan_lower_bound(wl, 16, s)
+        res = BestStaticPartition(64, s).run(wl)
+        assert res.makespan >= lb.length_bound  # only the length bound survives augmentation
+
+    def test_isolation_dominates_impact_for_single_proc(self):
+        wl = wl_of(cyclic(200, 6))
+        lb = makespan_lower_bound(wl, 16, 8)
+        assert lb.value == lb.isolation_bound
+
+
+class TestMeanCompletion:
+    def test_mean_lb_formula(self):
+        wl = wl_of(scan(50), cyclic(100, 2))
+        s = 5
+        lb = mean_completion_lower_bound(wl, 16, s)
+        # scan: 250; cyclic: 2 cold misses + 98 hits = 108
+        assert lb == pytest.approx((250 + 108) / 2)
+
+    def test_mean_lb_below_algorithms(self):
+        wl = make_parallel_workload(p=4, n_requests=120, k=32, rng=rng(3))
+        K, s = 32, 8
+        lb = mean_completion_lower_bound(wl, K, s)
+        for alg in [DetPar(K, s), EqualPartition(K, s), GlobalLRU(K, s)]:
+            res = alg.run(wl)
+            assert res.mean_completion_time >= lb
+
+    def test_empty(self):
+        assert mean_completion_lower_bound(wl_of([]), 8, 4) == 0.0

@@ -1,0 +1,154 @@
+"""Tests for RAND-PAR: structure, accounting, capacity, Observation 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RandPar, next_power_of_two
+from repro.parallel import peak_concurrent_height
+from repro.workloads import ParallelWorkload, cyclic, make_parallel_workload, scan
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def simple_workload(p=4, n=100):
+    return ParallelWorkload.from_local([cyclic(n, 5 + i) for i in range(p)], name="cyc")
+
+
+class TestValidation:
+    def test_next_power_of_two(self):
+        assert [next_power_of_two(x) for x in (1, 2, 3, 4, 5, 17)] == [1, 2, 4, 4, 8, 32]
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    def test_cache_power_of_two(self):
+        with pytest.raises(ValueError):
+            RandPar(48, 4, rng())
+
+    def test_miss_cost(self):
+        with pytest.raises(ValueError):
+            RandPar(64, 1, rng())
+
+    def test_cache_too_small_for_p(self):
+        alg = RandPar(4, 4, rng())
+        wl = simple_workload(p=8)
+        with pytest.raises(ValueError):
+            alg.run(wl)
+
+
+class TestExecution:
+    def test_completes_all(self):
+        alg = RandPar(32, 8, rng(1))
+        wl = simple_workload(p=4, n=150)
+        res = alg.run(wl)
+        assert res.meta["finished"]
+        assert (res.completion_times > 0).all()
+        res.validate()
+
+    def test_makespan_is_max_completion(self):
+        res = RandPar(32, 8, rng(2)).run(simple_workload())
+        assert res.makespan == res.completion_times.max()
+
+    def test_trace_capacity_never_exceeds_cache(self):
+        wl = make_parallel_workload(p=8, n_requests=200, k=32, rng=rng(3))
+        res = RandPar(32, 8, rng(4)).run(wl)
+        assert peak_concurrent_height(res.trace) <= 32
+
+    def test_empty_sequences_complete_at_zero(self):
+        wl = ParallelWorkload.from_local([cyclic(50, 4), np.empty(0, dtype=np.int64)])
+        res = RandPar(16, 4, rng(5)).run(wl)
+        assert res.completion_times[1] == 0
+        assert res.completion_times[0] > 0
+
+    def test_deterministic_given_seed(self):
+        wl = simple_workload()
+        a = RandPar(32, 8, rng(9)).run(wl)
+        b = RandPar(32, 8, rng(9)).run(wl)
+        assert a.makespan == b.makespan
+        assert (a.completion_times == b.completion_times).all()
+
+    def test_single_processor(self):
+        wl = ParallelWorkload.from_local([cyclic(80, 6)])
+        res = RandPar(16, 4, rng(6)).run(wl)
+        assert res.meta["finished"]
+        # with one processor the primary boxes have the full cache height
+        primary = [r for r in res.trace if r.tag == "primary"]
+        assert all(r.height == 16 for r in primary)
+
+    def test_max_chunks_guard(self):
+        wl = simple_workload(p=4, n=5000)
+        res = RandPar(32, 8, rng(7)).run(wl, max_chunks=2)
+        assert not res.meta["finished"]
+        assert len(res.meta["chunks"]) == 2
+
+
+class TestChunkStructure:
+    def test_primary_heights_are_minimum(self):
+        wl = simple_workload(p=4, n=200)
+        res = RandPar(32, 8, rng(8)).run(wl)
+        for r in res.trace:
+            if r.tag == "primary":
+                assert r.height == 32 // 4  # K / r_pow while all 4 are active
+                break
+
+    def test_secondary_heights_on_lattice(self):
+        wl = simple_workload(p=4, n=300)
+        res = RandPar(32, 8, rng(10)).run(wl)
+        lattice_heights = {8, 16, 32}
+        secondary = {r.height for r in res.trace if r.tag == "secondary"}
+        assert secondary <= lattice_heights
+
+    def test_observation1_chunk_balance(self):
+        """Primary length is fixed; E[secondary length] matches it (E2).
+
+        We average the secondary/primary length ratio over many chunks with
+        all processors alive; Observation 1 says the expectation is 1.
+        """
+        p, K, s = 8, 64, 8
+        wl = ParallelWorkload.from_local([cyclic(20000, 3) for _ in range(p)])
+        res = RandPar(K, s, rng(11)).run(wl, max_chunks=300)
+        chunks = [c for c in res.meta["chunks"] if c.active_at_start == p]
+        assert len(chunks) >= 50
+        ratios = [c.secondary_length / c.primary_length for c in chunks]
+        mean = float(np.mean(ratios))
+        assert 0.5 < mean < 2.0, mean
+
+    def test_chunk_impact_recorded(self):
+        wl = simple_workload(p=4, n=100)
+        res = RandPar(32, 8, rng(12)).run(wl)
+        for c in res.meta["chunks"]:
+            assert c.primary_impact >= 0 and c.secondary_impact >= 0
+            assert c.drawn_height in (8, 16, 32)
+
+    def test_phases_halve(self):
+        """Phase boundaries appear as processors finish at staggered times."""
+        locals_ = [cyclic(100 * (i + 1), 4) for i in range(8)]
+        wl = ParallelWorkload.from_local(locals_)
+        res = RandPar(64, 8, rng(13)).run(wl)
+        assert res.meta["finished"]
+        assert len(res.meta["phase_bounds"]) >= 1
+
+
+class TestDistributionAblation:
+    """RAND-PAR accepts the E8 ablation distributions for its secondary part."""
+
+    def test_uniform_kind_runs(self):
+        wl = simple_workload(p=4, n=150)
+        res = RandPar(32, 8, rng(20), kind="uniform").run(wl)
+        assert res.meta["finished"]
+        assert res.meta["distribution"] == "uniform"
+
+    def test_uniform_draws_tall_boxes_more_often(self):
+        wl = ParallelWorkload.from_local([cyclic(4000, 3) for _ in range(4)])
+        inv = RandPar(32, 8, rng(21), kind="inverse_square").run(wl, max_chunks=120)
+        uni = RandPar(32, 8, rng(21), kind="uniform").run(wl, max_chunks=120)
+        tall_inv = sum(1 for c in inv.meta["chunks"] if c.drawn_height == 32)
+        tall_uni = sum(1 for c in uni.meta["chunks"] if c.drawn_height == 32)
+        assert tall_uni > tall_inv
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            RandPar(32, 8, rng(22), kind="nope").run(simple_workload())

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Examples are documentation that executes; these tests keep them honest as
+the library evolves.  Each runs in a subprocess exactly as a user would.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(SCRIPTS) >= 5
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"{script.name} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script.name} produced no output"
+
+
+@pytest.mark.slow
+def test_quickstart_mentions_ratio():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert "makespan_ratio" in proc.stdout
+    assert "lower bound" in proc.stdout

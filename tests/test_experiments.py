@@ -1,0 +1,125 @@
+"""Smoke + semantic tests for the E1–E9 experiment suite and the CLI.
+
+Each experiment runs at a tiny custom scale here (the "quick" scale is
+already CI-sized, but we further shrink where a knob exists) and we assert
+the *semantic* content: the columns exist, the claim-relevant quantities
+are in sane ranges, and reports render.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS, run_named_experiment
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert sorted(EXPERIMENTS) == sorted(f"e{i}" for i in range(1, 12))
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="known"):
+            run_named_experiment("e42")
+
+
+class TestExperimentSemantics:
+    def test_e1_ratios_positive_and_modest(self):
+        rows, text = run_named_experiment("e1")
+        assert "E1" in text
+        for r in rows:
+            assert r["ratio_mean"] >= 0.99  # can't beat OPT (up to rounding)
+            assert r["ratio_mean"] <= 4 * np.log2(r["p"]) + 8
+
+    def test_e2_analytic_ratio_near_one(self):
+        rows, text = run_named_experiment("e2")
+        for r in rows:
+            assert 0.5 <= r["analytic_len_ratio"] <= 2.0
+            assert r["chunks"] > 10
+
+    def test_e4_well_rounded_everywhere(self):
+        rows, text = run_named_experiment("e4")
+        for r in rows:
+            assert r["base_covered"] is True or r["base_covered"] == True  # noqa: E712
+            assert r["max_gap_factor"] <= 8.0
+            assert r["reserved_peak/k"] <= 2.0  # fits the xi=2 grant
+
+    def test_e7_separation_grows(self):
+        rows, text = run_named_experiment("e7")
+        ratios = [r["blackbox_ratio"] for r in rows]
+        assert ratios[-1] > ratios[0]
+        assert all(r["detpar_ratio"] >= 0.95 for r in rows)
+
+    def test_e8_inverse_square_wins_at_scale(self):
+        rows, text = run_named_experiment("e8")
+        last = rows[-1]
+        assert last["inverse_square"] < last["inverse_linear"] < last["uniform"]
+
+    def test_e9_det_matches_rand(self):
+        rows, text = run_named_experiment("e9")
+        for r in rows:
+            assert r["det/rand"] <= 2.0  # derandomization costs at most ~constant
+
+
+@pytest.mark.slow
+class TestSweepExperiments:
+    """The p-sweep experiments (heavier); still CI-runnable."""
+
+    def test_e3_ratio_bounded(self):
+        rows, text = run_named_experiment("e3")
+        for r in rows:
+            assert r["makespan_ratio"] <= 3 * np.log2(max(2, r["p"])) + 4
+
+    def test_e5_all_algorithms_present(self):
+        rows, text = run_named_experiment("e5")
+        algs = {r["algorithm"] for r in rows}
+        assert algs == {
+            "det-par",
+            "rand-par",
+            "black-box-green",
+            "equal-partition",
+            "best-static-partition",
+            "global-lru",
+        }
+
+    def test_e6_mean_ratio_columns(self):
+        rows, text = run_named_experiment("e6")
+        for r in rows:
+            if r["algorithm"] in ("det-par", "rand-par"):
+                assert r["mean_completion_ratio"] is not None
+                assert r["mean_completion_ratio"] <= 3 * np.log2(max(2, r["p"])) + 4
+
+
+class TestCli:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["e2", "--scale", "quick", "--seed", "5"])
+        assert args.experiment == "e2" and args.seed == 5
+
+    def test_main_runs_and_writes(self, tmp_path, capsys):
+        out = tmp_path / "e2.md"
+        csv_path = tmp_path / "e2.csv"
+        rc = main(["e2", "--out", str(out), "--csv", str(csv_path)])
+        assert rc == 0
+        assert out.exists() and "E2" in out.read_text()
+        assert csv_path.exists()
+        assert "E2" in capsys.readouterr().out
+
+    def test_main_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["e42"])
+
+
+class TestCliViz:
+    def test_viz_runs(self, capsys):
+        rc = main(["viz", "--algorithm", "det-par", "--p", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "schedule" in out and "reserved cache" in out
+
+    def test_list_runs(self, capsys):
+        rc = main(["list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "e1" in out and "e11" in out

@@ -1,0 +1,82 @@
+"""End-to-end integration tests: the whole pipeline at once.
+
+These are the "does the repository actually hang together" tests: full
+experiment dispatch through the CLI, moderately sized simulations with
+semantic replay, and cross-subsystem consistency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import DetPar, audit_balance, audit_well_rounded
+from repro.parallel import makespan_lower_bound, summarize, verify_trace
+from repro.workloads import make_parallel_workload
+
+
+@pytest.mark.slow
+class TestStress:
+    def test_det_par_p64_full_pipeline(self):
+        """p=64: simulate, audit, replay, summarize — everything at once."""
+        p, k, s = 64, 256, 16
+        wl = make_parallel_workload(p=p, n_requests=300, k=k, rng=np.random.default_rng(7), kind="multiscale")
+        res = DetPar(2 * k, s).run(wl)
+        res.validate()
+        assert verify_trace(res, wl).ok
+        wr = audit_well_rounded(res)
+        assert wr.base_covered
+        assert wr.max_gap_factor <= 10.0
+        bal = audit_balance(res)
+        assert bal.min_reserved_fraction >= 0.25
+        lb = makespan_lower_bound(wl, k, s, include_impact=False)
+        row = summarize(res, makespan_lb=lb)
+        assert row.makespan_ratio is not None
+        assert row.makespan_ratio <= 6 * np.log2(p)
+
+    def test_cli_all_quick_runs(self, tmp_path, capsys):
+        rc = main(["all", "--out", str(tmp_path), "--csv", str(tmp_path)])
+        assert rc == 0
+        for i in range(1, 12):
+            assert (tmp_path / f"e{i}.md").exists(), f"e{i} report missing"
+            assert (tmp_path / f"e{i}.csv").exists(), f"e{i} csv missing"
+
+
+class TestCrossSubsystemConsistency:
+    def test_summary_utilization_consistent_with_ledger(self):
+        from repro.parallel import capacity_profile
+
+        wl = make_parallel_workload(p=4, n_requests=200, k=32, rng=np.random.default_rng(3))
+        res = DetPar(64, 8).run(wl)
+        row = summarize(res)
+        times, heights = capacity_profile(res.trace)
+        manual = float(np.dot(heights[:-1], np.diff(times))) / ((times[-1] - times[0]) * 64)
+        assert row.utilization == pytest.approx(manual)
+
+    def test_impact_accounting_agrees_across_views(self):
+        wl = make_parallel_workload(p=4, n_requests=150, k=32, rng=np.random.default_rng(4))
+        res = DetPar(64, 8).run(wl)
+        assert res.total_impact() == int(res.impact_by_proc().sum())
+
+    def test_det_par_truncation_only_at_phase_rebuilds(self):
+        """Emergent alignment property of the Lemma 6 construction: within
+        a phase every box duration is a power-of-two multiple of the base
+        duration with a common origin, so strip "preemptions" land exactly
+        at box expiries.  The ONLY source of truncated boxes is a phase
+        rebuild (all running segments are finalized when the active count
+        halves), so every short box must end exactly at a phase start."""
+        any_truncated = False
+        for seed in range(6):
+            wl = make_parallel_workload(
+                p=8, n_requests=200 + 37 * seed, k=32, rng=np.random.default_rng(seed), kind="mixed_kinds"
+            )
+            s = 8
+            res = DetPar(64, s).run(wl)
+            rebuild_times = set(res.meta["rebuild_times"])
+            for r in res.trace:
+                if r.duration != s * r.height:
+                    any_truncated = True
+                    assert r.end in rebuild_times, r
+            assert verify_trace(res, wl).ok
+        assert any_truncated, "expected at least one phase-rebuild truncation across seeds"

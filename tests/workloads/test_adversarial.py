@@ -1,0 +1,120 @@
+"""Tests for the Theorem 4 adversarial construction and Lemma 8's OPT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BlackBoxPar
+from repro.workloads import build_adversarial_instance, lemma8_opt_makespan
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_adversarial_instance(1)
+        with pytest.raises(ValueError):
+            build_adversarial_instance(3, alpha=0)
+        with pytest.raises(ValueError):
+            build_adversarial_instance(3, suffix_phase_multiplier=0)
+
+    def test_shape_ell2(self):
+        inst = build_adversarial_instance(2, alpha=0.25)
+        assert inst.p == 7
+        assert inst.k >= inst.p  # k >= p so suffixes can run in parallel
+        assert inst.workload.p == 7
+        assert len(inst.prefix_lengths) == 7
+        assert len(inst.family_of) == 7
+
+    def test_family_sizes_and_phase_counts(self):
+        """Family F_i has 2^i sequences with ℓ - logℓ - i + 1 prefix phases."""
+        inst = build_adversarial_instance(4, alpha=0.1)
+        ell, log_ell = 4, 2
+        phase_len = inst.gamma * (inst.k - 1)
+        from collections import Counter
+
+        fam_sizes = Counter(f for f in inst.family_of if f >= 0)
+        for i, size in fam_sizes.items():
+            assert size == 1 << i, (i, size)
+        for fam, plen in zip(inst.family_of, inst.prefix_lengths):
+            if fam >= 0:
+                expected_phases = ell - log_ell - fam + 1
+                assert plen == expected_phases * phase_len
+            else:
+                assert plen == 0
+
+    def test_prefixed_fraction_is_small(self):
+        inst = build_adversarial_instance(4, alpha=0.1)
+        prefixed = sum(1 for f in inst.family_of if f >= 0)
+        assert prefixed < inst.p // 2  # most sequences are suffix-only
+
+    def test_pollution_doubles_per_phase(self):
+        """Period n_j = p/2^j (floored, clamped at 2): pollution doubles."""
+        inst = build_adversarial_instance(3, alpha=0.25)
+        for j, period in enumerate(inst.phase_pollution_periods):
+            assert period == max(2, inst.p >> j)
+
+    def test_suffix_is_all_fresh_pages(self):
+        inst = build_adversarial_instance(2, alpha=0.25)
+        for seq, plen in zip(inst.workload.sequences, inst.prefix_lengths):
+            suffix = seq[plen:]
+            assert len(np.unique(suffix)) == len(suffix)
+
+    def test_prefix_reuses_repeaters(self):
+        inst = build_adversarial_instance(3, alpha=0.5)
+        i = inst.family_of.index(0)  # longest prefix
+        seq = inst.workload.sequences[i]
+        prefix = seq[: inst.prefix_lengths[i]]
+        # most prefix requests are to the k-1 repeaters (reused heavily)
+        counts = np.unique(prefix, return_counts=True)[1]
+        assert counts.max() >= inst.gamma  # repeaters appear ~γ times per phase
+
+    def test_sequences_are_disjoint(self):
+        inst = build_adversarial_instance(2, alpha=0.25)
+        pages = [set(np.unique(s).tolist()) for s in inst.workload.sequences]
+        for i in range(len(pages)):
+            for j in range(i + 1, len(pages)):
+                assert pages[i].isdisjoint(pages[j])
+
+    def test_recommended_miss_cost(self):
+        inst = build_adversarial_instance(2)
+        assert inst.recommended_miss_cost() == inst.k + 1
+        assert inst.recommended_miss_cost(c=3) == 3 * inst.k + 1
+
+    def test_suffix_multiplier_scales_length(self):
+        a = build_adversarial_instance(2, alpha=0.25, suffix_phase_multiplier=1)
+        b = build_adversarial_instance(2, alpha=0.25, suffix_phase_multiplier=4)
+        assert b.suffix_phases == 4 * a.suffix_phases
+        assert b.workload.total_requests > a.workload.total_requests
+
+
+class TestLemma8Opt:
+    def test_opt_formula_structure(self):
+        """Stage 2 alone lower-bounds the schedule; both stages contribute."""
+        inst = build_adversarial_instance(2, alpha=0.25)
+        s = inst.recommended_miss_cost()
+        opt = lemma8_opt_makespan(inst, s)
+        longest_suffix = max(
+            len(seq) - pl for seq, pl in zip(inst.workload.sequences, inst.prefix_lengths)
+        )
+        assert opt >= s * longest_suffix
+        assert opt < 10 * s * longest_suffix  # prefixes are not the dominant cost
+
+    def test_opt_beats_greedily_green_algorithms(self):
+        """The separation: the Lemma-8 schedule (willing to waste impact)
+        beats the impact-constrained black-box construction."""
+        inst = build_adversarial_instance(3, alpha=0.25, suffix_phase_multiplier=1)
+        s = inst.recommended_miss_cost()
+        opt = lemma8_opt_makespan(inst, s)
+        bb = BlackBoxPar(2 * inst.k, s).run(inst.workload)
+        assert bb.makespan > 1.2 * opt
+
+    def test_separation_grows_with_p(self):
+        ratios = []
+        for ell in (2, 3):
+            inst = build_adversarial_instance(ell, alpha=0.25, suffix_phase_multiplier=1)
+            s = inst.recommended_miss_cost()
+            opt = lemma8_opt_makespan(inst, s)
+            bb = BlackBoxPar(2 * inst.k, s).run(inst.workload)
+            ratios.append(bb.makespan / opt)
+        assert ratios[1] > ratios[0]

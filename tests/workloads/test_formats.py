@@ -1,0 +1,131 @@
+"""Tests for the plain-text trace format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ParallelWorkload,
+    cyclic,
+    read_sequence_text,
+    read_trace_text,
+    write_sequence_text,
+    write_trace_text,
+)
+
+
+def arr(xs):
+    return np.asarray(xs, dtype=np.int64)
+
+
+class TestSequenceText:
+    def test_roundtrip(self, tmp_path):
+        seq = cyclic(50, 7)
+        path = tmp_path / "seq.txt"
+        write_sequence_text(seq, path, comment="a cycle\nof seven")
+        loaded = read_sequence_text(path)
+        assert (loaded == seq).all()
+        assert path.read_text().startswith("# a cycle\n# of seven\n")
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "s.txt"
+        path.write_text("# header\n\n1\n2  # trailing comment\n\n3\n")
+        assert read_sequence_text(path).tolist() == [1, 2, 3]
+
+    def test_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError):
+            read_sequence_text(path)
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "e.txt"
+        write_sequence_text(arr([]), path)
+        assert len(read_sequence_text(path)) == 0
+
+
+class TestTraceText:
+    def test_roundtrip(self, tmp_path):
+        wl = ParallelWorkload.from_local([cyclic(20, 3), cyclic(10, 2)], name="rt")
+        path = tmp_path / "trace.txt"
+        write_trace_text(wl, path)
+        loaded = read_trace_text(path)
+        assert loaded.p == 2
+        for a, b in zip(wl.sequences, loaded.sequences):
+            assert (a == b).all()
+
+    def test_interleaved_lines_grouped_by_processor(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("0 10\n1 20\n0 11\n1 21\n")
+        wl = read_trace_text(path)
+        assert wl.sequences[0].tolist() == [10, 11]
+        assert wl.sequences[1].tolist() == [20, 21]
+
+    def test_missing_processor_ids_give_empty_sequences(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("2 5\n")
+        wl = read_trace_text(path)
+        assert wl.p == 3
+        assert wl.lengths == (0, 0, 1)
+
+    def test_shared_pages_need_opt_in(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("0 5\n1 5\n")
+        with pytest.raises(ValueError):
+            read_trace_text(path)
+        wl = read_trace_text(path, allow_shared=True)
+        assert wl.is_shared
+
+    def test_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            read_trace_text(path)
+        path.write_text("-1 5\n")
+        with pytest.raises(ValueError):
+            read_trace_text(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        wl = read_trace_text(path)
+        assert wl.p == 0
+
+
+class TestAddressTrace:
+    def test_decimal_and_hex(self, tmp_path):
+        from repro.workloads import read_address_trace
+
+        path = tmp_path / "addr.txt"
+        path.write_text("# trace\n4096\n0x2000\n8191\n\n0x0\n")
+        pages = read_address_trace(path, page_size=4096)
+        assert pages.tolist() == [1, 2, 1, 0]
+
+    def test_page_size_validation(self, tmp_path):
+        from repro.workloads import read_address_trace
+
+        path = tmp_path / "a.txt"
+        path.write_text("1\n")
+        with pytest.raises(ValueError):
+            read_address_trace(path, page_size=0)
+
+    def test_negative_address(self, tmp_path):
+        from repro.workloads import read_address_trace
+
+        path = tmp_path / "a.txt"
+        path.write_text("-5\n")
+        with pytest.raises(ValueError):
+            read_address_trace(path)
+
+    def test_feeds_simulator(self, tmp_path):
+        from repro.paging import LRUCache
+        from repro.workloads import read_address_trace
+
+        path = tmp_path / "a.txt"
+        path.write_text("\n".join(str(4096 * (i % 5)) for i in range(100)))
+        pages = read_address_trace(path)
+        cache = LRUCache(5)
+        for page in pages:
+            cache.touch(int(page))
+        assert cache.faults == 5

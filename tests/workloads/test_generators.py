@@ -1,0 +1,181 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    WORKLOAD_KINDS,
+    cyclic,
+    make_parallel_workload,
+    mixed_locality,
+    phased_working_sets,
+    polluted_cycle,
+    sawtooth,
+    scan,
+    uniform,
+    zipf,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestCyclic:
+    def test_basic(self):
+        assert cyclic(7, 3).tolist() == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cyclic(5, 0)
+
+    def test_exact_multiple(self):
+        assert cyclic(6, 3).tolist() == [0, 1, 2] * 2
+
+    @given(st.integers(0, 500), st.integers(1, 50))
+    @settings(max_examples=60)
+    def test_length_and_range(self, n, c):
+        seq = cyclic(n, c)
+        assert len(seq) == n
+        if n:
+            assert seq.min() >= 0 and seq.max() < c
+
+
+class TestScan:
+    def test_all_distinct(self):
+        seq = scan(100)
+        assert len(np.unique(seq)) == 100
+
+    def test_start_page(self):
+        assert scan(3, start_page=10).tolist() == [10, 11, 12]
+
+
+class TestPollutedCycle:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            polluted_cycle(10, 0, 2)
+        with pytest.raises(ValueError):
+            polluted_cycle(10, 3, 0)
+
+    def test_pollution_positions(self):
+        seq = polluted_cycle(12, 4, 3)
+        # every 3rd request (positions 2,5,8,11) is a fresh polluter >= 4
+        for i, page in enumerate(seq):
+            if (i + 1) % 3 == 0:
+                assert page >= 4
+            else:
+                assert page < 4
+
+    def test_polluters_are_distinct(self):
+        seq = polluted_cycle(60, 5, 4)
+        polluters = seq[seq >= 5]
+        assert len(np.unique(polluters)) == len(polluters)
+
+    def test_pollution_level(self):
+        n = 1000
+        seq = polluted_cycle(n, 9, 10)
+        assert int((seq >= 9).sum()) == n // 10
+
+    def test_period_one_is_all_polluters(self):
+        seq = polluted_cycle(20, 5, 1)
+        assert (seq >= 5).all()
+
+    def test_custom_polluter_start(self):
+        seq = polluted_cycle(6, 2, 2, polluter_start=100)
+        assert seq[1] == 100 and seq[3] == 101 and seq[5] == 102
+
+
+class TestStochasticGenerators:
+    def test_zipf_skew(self):
+        seq = zipf(20_000, 100, 1.2, rng(0))
+        counts = np.bincount(seq, minlength=100)
+        assert counts[0] > counts[50] > 0 or counts[50] == 0
+        assert counts[0] > 3 * max(1, counts[10])
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf(10, 0, 1.0, rng())
+
+    def test_uniform_range(self):
+        seq = uniform(5000, 37, rng(1))
+        assert seq.min() >= 0 and seq.max() < 37
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform(10, 0, rng())
+
+    def test_reproducible(self):
+        a = zipf(100, 50, 1.0, rng(5))
+        b = zipf(100, 50, 1.0, rng(5))
+        assert (a == b).all()
+
+    def test_mixed_locality_hot_fraction(self):
+        seq = mixed_locality(20_000, rng(2), hot_pages=8, cold_pages=1000, hot_fraction=0.75)
+        hot = (seq < 8).mean()
+        assert 0.7 < hot < 0.8
+
+
+class TestSawtooth:
+    def test_shape(self):
+        assert sawtooth(8, 4).tolist() == [0, 1, 2, 3, 2, 1, 0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sawtooth(5, 1)
+
+
+class TestPhasedWorkingSets:
+    def test_phases_use_disjoint_fresh_pages(self):
+        seq = phased_working_sets(3, 20, 5, rng(0), overlap=0.0)
+        first = set(seq[:20].tolist())
+        second = set(seq[20:40].tolist())
+        assert first.isdisjoint(second)
+
+    def test_overlap_carries_pages(self):
+        seq = phased_working_sets(2, 30, 10, rng(1), overlap=0.5)
+        first = set(seq[:30].tolist())
+        second = set(seq[30:].tolist())
+        assert len(first & second) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phased_working_sets(2, 10, 5, rng(), overlap=1.0)
+        with pytest.raises(ValueError):
+            phased_working_sets(2, 10, 0, rng())
+
+    def test_empty(self):
+        assert len(phased_working_sets(0, 10, 5, rng())) == 0
+
+
+class TestMakeParallelWorkload:
+    def test_disjoint_and_sized(self):
+        wl = make_parallel_workload(p=8, n_requests=200, k=32, rng=rng(0))
+        assert wl.p == 8
+        assert all(len(s) == 200 for s in wl.sequences)
+        all_pages = [set(np.unique(s).tolist()) for s in wl.sequences]
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert all_pages[i].isdisjoint(all_pages[j])
+
+    def test_single_kind(self):
+        for kind in WORKLOAD_KINDS:
+            wl = make_parallel_workload(p=3, n_requests=64, k=16, rng=rng(1), kind=kind)
+            assert wl.p == 3
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_parallel_workload(p=2, n_requests=10, k=8, rng=rng(), kind="nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_parallel_workload(p=0, n_requests=10, k=8, rng=rng())
+
+    def test_reproducible(self):
+        a = make_parallel_workload(p=4, n_requests=100, k=16, rng=rng(9))
+        b = make_parallel_workload(p=4, n_requests=100, k=16, rng=rng(9))
+        for x, y in zip(a.sequences, b.sequences):
+            assert (x == y).all()

@@ -1,0 +1,98 @@
+"""Tests for workload characterization diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    characterize,
+    cyclic,
+    marginal_benefit,
+    pollution_level,
+    polluted_cycle,
+    scan,
+    working_set_sizes,
+)
+
+
+class TestWorkingSet:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            working_set_sizes([1, 2], 0)
+
+    def test_tumbling_windows(self):
+        ws = working_set_sizes([1, 1, 2, 2, 3, 3], 2)
+        assert ws.tolist() == [1, 1, 1]
+
+    def test_cycle_working_set_is_cycle_length(self):
+        ws = working_set_sizes(cyclic(100, 7), 14)
+        assert all(w == 7 for w in ws[:-1])
+
+    @given(st.lists(st.integers(0, 20), min_size=1, max_size=200), st.integers(1, 50))
+    @settings(max_examples=75)
+    def test_bounded_by_window_and_total(self, seq, window):
+        ws = working_set_sizes(seq, window)
+        assert all(1 <= w <= min(window, len(set(seq))) for w in ws)
+
+
+class TestPollution:
+    def test_scan_is_pure_pollution(self):
+        assert pollution_level(scan(50)) == 1.0
+
+    def test_cycle_is_clean(self):
+        assert pollution_level(cyclic(60, 5)) == 0.0
+
+    def test_empty(self):
+        assert pollution_level([]) == 0.0
+
+    def test_polluted_cycle_matches_period(self):
+        n, period = 1000, 10
+        seq = polluted_cycle(n, 9, period)
+        assert pollution_level(seq) == pytest.approx(1 / period, abs=0.01)
+
+
+class TestMarginalBenefit:
+    def test_cycle_cliff(self):
+        """All marginal benefit of a cycle sits at capacity == cycle size."""
+        seq = cyclic(400, 6)
+        mb = marginal_benefit(seq, 10)
+        # Δfaults going from 5 to 6 pages is the big one
+        assert mb[4] == mb.max()
+        assert mb[4] > 100
+
+    def test_scan_no_benefit(self):
+        mb = marginal_benefit(scan(100), 8)
+        assert (mb == 0).all()
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        seq = rng.integers(0, 30, size=500)
+        mb = marginal_benefit(seq, 16)
+        assert (mb >= 0).all()  # LRU inclusion: more cache never hurts
+
+
+class TestCharacterize:
+    def test_empty(self):
+        stats = characterize([])
+        assert stats.n_requests == 0
+        assert stats.as_dict()["pollution"] == 0.0
+
+    def test_cycle(self):
+        stats = characterize(cyclic(1000, 8), window=64)
+        assert stats.distinct_pages == 8
+        assert stats.pollution == 0.0
+        assert stats.reuse_median == 8.0  # every warm access has distance 8
+        assert stats.max_working_set == 8
+
+    def test_scan(self):
+        stats = characterize(scan(300), window=50)
+        assert stats.pollution == 1.0
+        assert stats.reuse_median == 0.0
+        assert stats.max_working_set == 50
+
+    def test_as_dict_keys(self):
+        d = characterize(cyclic(100, 4)).as_dict()
+        assert {"n_requests", "distinct_pages", "pollution", "reuse_median"} <= set(d)

@@ -1,0 +1,70 @@
+"""Tests for the ParallelWorkload container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import PAGE_STRIDE, ParallelWorkload, disjointify
+
+
+def arr(xs):
+    return np.asarray(xs, dtype=np.int64)
+
+
+class TestDisjointify:
+    def test_relabels_by_stride(self):
+        out = disjointify([arr([0, 1]), arr([0, 1])])
+        assert out[0].tolist() == [0, 1]
+        assert out[1].tolist() == [PAGE_STRIDE, PAGE_STRIDE + 1]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            disjointify([arr([PAGE_STRIDE])])
+        with pytest.raises(ValueError):
+            disjointify([arr([-1])])
+
+
+class TestParallelWorkload:
+    def test_rejects_overlapping_sequences(self):
+        with pytest.raises(ValueError):
+            ParallelWorkload([arr([1, 2]), arr([2, 3])])
+
+    def test_from_local_makes_disjoint(self):
+        wl = ParallelWorkload.from_local([arr([0, 1]), arr([0, 1])], name="t")
+        assert wl.p == 2
+        assert wl.name == "t"
+
+    def test_shape_properties(self):
+        wl = ParallelWorkload.from_local([arr([0, 1, 0]), arr([5])])
+        assert wl.lengths == (3, 1)
+        assert wl.total_requests == 4
+        assert wl.distinct_pages(0) == 2
+        assert wl.distinct_pages(1) == 1
+
+    def test_indexing_and_iteration(self):
+        wl = ParallelWorkload.from_local([arr([0]), arr([1])])
+        assert len(list(wl)) == 2
+        assert wl[0].tolist() == [0]
+
+    def test_describe_mentions_name_and_p(self):
+        wl = ParallelWorkload.from_local([arr([0, 1])], name="demo")
+        text = wl.describe()
+        assert "demo" in text and "p=1" in text
+
+    def test_save_load_roundtrip(self, tmp_path):
+        wl = ParallelWorkload.from_local(
+            [arr([0, 1, 2]), arr([0, 0])], name="rt", meta={"alpha": 1.5, "kind": "x"}
+        )
+        path = tmp_path / "wl.npz"
+        wl.save(path)
+        loaded = ParallelWorkload.load(path)
+        assert loaded.name == "rt"
+        assert loaded.meta == {"alpha": 1.5, "kind": "x"}
+        assert loaded.p == 2
+        for a, b in zip(wl.sequences, loaded.sequences):
+            assert (a == b).all()
+
+    def test_empty_sequences_allowed(self):
+        wl = ParallelWorkload.from_local([arr([]), arr([0])])
+        assert wl.lengths == (0, 1)
