@@ -5,11 +5,18 @@ table from DESIGN.md §5 and persist it under ``benchmarks/out/`` so the
 results survive pytest's output capture.  The ``scale`` is controlled with
 ``--repro-scale`` (default "quick"; pass "full" to reproduce the
 EXPERIMENTS.md numbers — several minutes).
+
+The execution engine is configurable the same way the CLI is:
+``--repro-jobs N`` fans experiment cells out over N worker processes and
+``--repro-cache`` enables the content-addressed result cache, so a warm
+second benchmark run measures only the harness overhead.
 """
 
 from pathlib import Path
 
 import pytest
+
+from repro.exec import execution
 
 OUT_DIR = Path(__file__).parent / "out"
 
@@ -22,11 +29,33 @@ def pytest_addoption(parser):
         choices=("quick", "full"),
         help="experiment scale for the eX benchmarks",
     )
+    parser.addoption(
+        "--repro-jobs",
+        action="store",
+        type=int,
+        default=1,
+        help="worker processes for experiment cells (default 1 = serial)",
+    )
+    parser.addoption(
+        "--repro-cache",
+        action="store_true",
+        default=False,
+        help="enable the content-addressed result cache during benchmarks",
+    )
 
 
 @pytest.fixture
 def repro_scale(request):
     return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture(autouse=True)
+def repro_execution(request):
+    """Scope every benchmark under the configured execution engine."""
+    jobs = request.config.getoption("--repro-jobs")
+    cache = request.config.getoption("--repro-cache")
+    with execution(jobs=jobs, cache=cache) as engine:
+        yield engine
 
 
 @pytest.fixture

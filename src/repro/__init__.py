@@ -14,8 +14,15 @@ The package implements the paper's algorithms and everything they stand on:
   engine, Mattson miss-ratio curves, offline green-paging OPT, certified
   makespan lower bounds, shared-cache baselines (equal partition, best
   static partition, global LRU);
-* an experiment harness (``repro e1`` … ``repro e9``) mapping every claim
-  of the paper to a measured table.
+* an experiment harness (``repro e1`` … ``repro e11``) mapping every
+  claim of the paper to a measured table, backed by a parallel execution
+  engine with a content-addressed result cache (``repro --jobs N``,
+  :mod:`repro.exec`).
+
+The stable experiment-runner surface is :class:`RunSpec` +
+:func:`run_experiment` + :func:`sweep_p` (rows are
+:class:`ExperimentRow`); plug in your own algorithm with
+:func:`register_algorithm`.
 
 Quickstart::
 
@@ -31,6 +38,8 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+from .analysis.harness import SCHEMA_VERSION, ExperimentRow, run_experiment
+from .analysis.sweep import SweepResult, sweep_p
 from .core import (
     BlackBoxPar,
     Box,
@@ -45,6 +54,7 @@ from .core import (
     inverse_square_distribution,
     make_distribution,
 )
+from .exec import ExecutionEngine, ResultCache, Telemetry, WorkUnit, execution
 from .green import optimal_box_profile, prefix_optimal_impacts
 from .paging import BeladySimulation, FIFOCache, LRUCache, belady_faults, miss_ratio_curve, run_box
 from .parallel import (
@@ -52,9 +62,11 @@ from .parallel import (
     EqualPartition,
     GlobalLRU,
     ParallelRunResult,
+    RunSpec,
     make_algorithm,
     makespan_lower_bound,
     mean_completion_lower_bound,
+    register_algorithm,
     summarize,
 )
 from .workloads import (
@@ -92,10 +104,22 @@ __all__ = [
     "EqualPartition",
     "GlobalLRU",
     "ParallelRunResult",
+    "RunSpec",
     "make_algorithm",
     "makespan_lower_bound",
     "mean_completion_lower_bound",
+    "register_algorithm",
     "summarize",
+    "SCHEMA_VERSION",
+    "ExperimentRow",
+    "run_experiment",
+    "SweepResult",
+    "sweep_p",
+    "ExecutionEngine",
+    "ResultCache",
+    "Telemetry",
+    "WorkUnit",
+    "execution",
     "AdversarialInstance",
     "ParallelWorkload",
     "build_adversarial_instance",

@@ -8,21 +8,45 @@ fixes the methodology once:
 * algorithms are granted ``ξ·k`` physical cache (resource augmentation is
   explicit, never hidden);
 * randomized algorithms are replicated over seeds and report mean/max.
+
+Execution is delegated to the :mod:`repro.exec` engine: every
+``(algorithm, seed)`` cell and every lower-bound computation is a cacheable
+work unit, run serially by default or fanned out over a process pool when
+an ``execution(jobs=N)`` scope (or CLI ``--jobs N``) is active — with
+row-for-row identical results either way.
+
+The stable calling convention passes :class:`~repro.parallel.RunSpec`
+objects; the historical ``(workload, names, k, miss_cost, …)`` signature
+remains as a deprecation shim.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..parallel.metrics import RunSummary, summarize
-from ..parallel.opt import MakespanLowerBound, makespan_lower_bound, mean_completion_lower_bound
-from ..parallel.schedulers import ParallelPager, make_algorithm
+from ..exec.engine import ExecutionEngine, current_engine
+from ..exec.units import WorkUnit
+from ..parallel.metrics import RunSummary
+from ..parallel.opt import MakespanLowerBound
+from ..parallel.schedulers import RunSpec
 from ..workloads.trace import ParallelWorkload
 
-__all__ = ["ExperimentRow", "run_experiment"]
+__all__ = ["ExperimentRow", "run_experiment", "round_optional", "SCHEMA_VERSION"]
+
+#: Version of the exported row schema (the ``as_dict`` key set and
+#: rounding rules).  Bumped to 2 when ``schema_version`` itself was added;
+#: bump again whenever a column is added, renamed, or re-rounded so CSV
+#: consumers can detect the change.
+SCHEMA_VERSION = 2
+
+
+def round_optional(value: Optional[float], ndigits: int = 3) -> Optional[float]:
+    """Round for stable CSV/Markdown export; ``None`` (no bound) passes through."""
+    return None if value is None else round(value, ndigits)
 
 
 @dataclass(frozen=True)
@@ -44,77 +68,208 @@ class ExperimentRow:
     utilization: float
 
     def as_dict(self) -> Dict[str, object]:
-        """Rounded dict form for table rendering / CSV export."""
-        rnd = lambda v: None if v is None else round(v, 3)
+        """Rounded dict form for table rendering / CSV export.
+
+        The key order and rounding are stable within a
+        :data:`SCHEMA_VERSION`; the version rides along in every row so
+        exported tables are self-describing.
+        """
         return {
             "algorithm": self.algorithm,
             "p": self.p,
             "seeds": self.seeds,
             "makespan": round(self.makespan, 1),
-            "makespan_ratio": rnd(self.makespan_ratio),
-            "max_makespan_ratio": rnd(self.max_makespan_ratio),
-            "mean_completion_ratio": rnd(self.mean_completion_ratio),
+            "makespan_ratio": round_optional(self.makespan_ratio),
+            "max_makespan_ratio": round_optional(self.max_makespan_ratio),
+            "mean_completion_ratio": round_optional(self.mean_completion_ratio),
             "xi_measured": round(self.xi_measured, 3),
             "utilization": round(self.utilization, 3),
+            "schema_version": SCHEMA_VERSION,
         }
+
+
+def _cell_unit(workload: ParallelWorkload, spec: RunSpec, seed: int) -> WorkUnit:
+    """The work unit for one (algorithm, workload, seed) simulation."""
+    return WorkUnit(
+        kind="parallel-run",
+        params={
+            "algorithm": spec.algorithm,
+            "cache_size": spec.cache_size,
+            "miss_cost": spec.miss_cost,
+            "seed": seed,
+            "workload": workload,
+        },
+        label=f"{spec.algorithm}/p={workload.p}/seed={seed}",
+    )
+
+
+def _attach_bounds(
+    summary: RunSummary, lb: Optional[MakespanLowerBound], mean_lb: Optional[float]
+) -> RunSummary:
+    """Attach ratio fields to a lower-bound-free cached summary."""
+    return replace(
+        summary,
+        makespan_ratio=(summary.makespan / lb.value) if lb and lb.value else None,
+        mean_completion_ratio=(summary.mean_completion / mean_lb) if mean_lb else None,
+    )
+
+
+def _aggregate(spec: RunSpec, workload: ParallelWorkload, summaries: Sequence[RunSummary]) -> ExperimentRow:
+    """Reduce per-seed summaries to one table row (mean/max over seeds)."""
+    mks = [sm.makespan for sm in summaries]
+    ratios = [sm.makespan_ratio for sm in summaries if sm.makespan_ratio is not None]
+    mean_ratios = [sm.mean_completion_ratio for sm in summaries if sm.mean_completion_ratio is not None]
+    return ExperimentRow(
+        algorithm=spec.algorithm,
+        p=workload.p,
+        seeds=len(summaries),
+        makespan=float(np.mean(mks)),
+        makespan_ratio=float(np.mean(ratios)) if ratios else None,
+        max_makespan_ratio=float(np.max(ratios)) if ratios else None,
+        mean_completion_ratio=float(np.mean(mean_ratios)) if mean_ratios else None,
+        xi_measured=float(np.mean([sm.xi_measured for sm in summaries])),
+        utilization=float(np.mean([sm.utilization for sm in summaries])),
+    )
+
+
+def _resolve_specs(
+    algorithms: Union[RunSpec, Sequence[Union[str, RunSpec]]],
+    k: Optional[int],
+    miss_cost: Optional[int],
+    xi: int,
+) -> Tuple[List[RunSpec], int, int]:
+    """Normalize either calling convention to ``(specs, k, miss_cost)``."""
+    if isinstance(algorithms, RunSpec):
+        algorithms = [algorithms]
+    specs_in = list(algorithms)
+    if specs_in and all(isinstance(s, RunSpec) for s in specs_in):
+        if k is not None or miss_cost is not None:
+            raise TypeError("pass either RunSpecs or the legacy (k, miss_cost) arguments, not both")
+        specs: List[RunSpec] = specs_in  # type: ignore[assignment]
+        ks = {s.k for s in specs}
+        if len(ks) != 1:
+            raise ValueError(f"all RunSpecs must share one k = cache_size/xi for a comparable lower bound; got {sorted(ks)}")
+        costs = {s.miss_cost for s in specs}
+        if len(costs) != 1:
+            raise ValueError(f"all RunSpecs must share one miss_cost; got {sorted(costs)}")
+        return specs, ks.pop(), costs.pop()
+    warnings.warn(
+        "run_experiment(workload, names, k, miss_cost, ...) is deprecated; "
+        "pass a sequence of RunSpec instead (will be removed in 2.0)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if k is None or miss_cost is None:
+        raise TypeError("legacy run_experiment requires k and miss_cost")
+    if xi < 1:
+        raise ValueError("xi must be >= 1")
+    specs = [
+        RunSpec(algorithm=str(name), cache_size=xi * k, miss_cost=miss_cost, xi=xi)
+        for name in specs_in
+    ]
+    return specs, k, miss_cost
 
 
 def run_experiment(
     workload: ParallelWorkload,
-    algorithms: Sequence[str],
-    k: int,
-    miss_cost: int,
+    algorithms: Union[RunSpec, Sequence[Union[str, RunSpec]]],
+    k: Optional[int] = None,
+    miss_cost: Optional[int] = None,
     xi: int = 2,
-    seeds: Sequence[int] = (0,),
+    seeds: Optional[Sequence[int]] = None,
     include_impact_lb: bool = True,
     lower_bound: Optional[MakespanLowerBound] = None,
+    mean_lower_bound: Optional[float] = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> List[ExperimentRow]:
-    """Run each named algorithm on ``workload`` and summarize against LB.
+    """Run each algorithm on ``workload`` and summarize against the LB.
+
+    Stable form::
+
+        run_experiment(workload, [RunSpec("det-par", cache_size=32,
+                                          miss_cost=8, xi=2), ...],
+                       seeds=(0, 1, 2))
+
+    where ``k = cache_size // xi`` (shared by all specs) locates the
+    certified lower bound.  The legacy form
+    ``run_experiment(workload, ["det-par"], k=16, miss_cost=8, xi=2)``
+    still works but emits a :class:`DeprecationWarning`.
 
     Parameters
     ----------
-    k:
-        OPT's cache size; the lower bound is computed here.
-    xi:
-        Resource augmentation: algorithms receive ``xi * k`` physical cache.
     seeds:
-        Replication seeds (deterministic algorithms just repeat; the
-        harness detects identical makespans and keeps one).
-    lower_bound:
-        Pass a precomputed bound to skip the (potentially expensive)
+        Replication seeds; defaults to each spec's own ``seed``.  The
+        harness detects deterministic algorithms (identical makespans on
+        the first two seeds) and keeps just those two replicates.
+    lower_bound, mean_lower_bound:
+        Pass precomputed bounds to skip the (potentially expensive)
         impact DP when sweeping algorithms over one workload.
+    engine:
+        Execution engine override; defaults to the ambient
+        :func:`repro.exec.current_engine` (serial unless an
+        ``execution(jobs=N)`` scope or CLI ``--jobs`` is active).
     """
-    if xi < 1:
-        raise ValueError("xi must be >= 1")
-    lb = lower_bound if lower_bound is not None else makespan_lower_bound(
-        workload, k, miss_cost, include_impact=include_impact_lb
-    )
-    mean_lb = mean_completion_lower_bound(workload, k, miss_cost)
-    cache = xi * k
-    rows: List[ExperimentRow] = []
-    for name in algorithms:
-        summaries: List[RunSummary] = []
-        for seed in seeds:
-            alg = make_algorithm(name, cache, miss_cost, seed=seed)
-            result = alg.run(workload)
-            summaries.append(summarize(result, makespan_lb=lb, mean_lb=mean_lb))
-            if len(seeds) > 1 and len(summaries) == 2 and summaries[0].makespan == summaries[1].makespan:
-                # deterministic algorithm: further seeds are identical
-                break
-        mks = [sm.makespan for sm in summaries]
-        ratios = [sm.makespan_ratio for sm in summaries if sm.makespan_ratio is not None]
-        mean_ratios = [sm.mean_completion_ratio for sm in summaries if sm.mean_completion_ratio is not None]
-        rows.append(
-            ExperimentRow(
-                algorithm=name,
-                p=workload.p,
-                seeds=len(summaries),
-                makespan=float(np.mean(mks)),
-                makespan_ratio=float(np.mean(ratios)) if ratios else None,
-                max_makespan_ratio=float(np.max(ratios)) if ratios else None,
-                mean_completion_ratio=float(np.mean(mean_ratios)) if mean_ratios else None,
-                xi_measured=float(np.mean([sm.xi_measured for sm in summaries])),
-                utilization=float(np.mean([sm.utilization for sm in summaries])),
+    specs, k_opt, cost = _resolve_specs(algorithms, k, miss_cost, xi)
+    eng = engine if engine is not None else current_engine()
+
+    # --- batch 1: lower bounds + the first (up to) two seeds per spec --- #
+    prefix_units: List[WorkUnit] = []
+    if lower_bound is None:
+        prefix_units.append(
+            WorkUnit(
+                kind="makespan-lb",
+                params={"workload": workload, "k": k_opt, "miss_cost": cost, "include_impact": include_impact_lb},
+                label=f"makespan-lb/p={workload.p}/k={k_opt}",
             )
         )
+    if mean_lower_bound is None:
+        prefix_units.append(
+            WorkUnit(
+                kind="mean-lb",
+                params={"workload": workload, "k": k_opt, "miss_cost": cost},
+                label=f"mean-lb/p={workload.p}/k={k_opt}",
+            )
+        )
+    seed_lists = [list(seeds) if seeds is not None else [spec.seed] for spec in specs]
+    probe_index: List[Tuple[int, int]] = []  # (spec index, seed)
+    probe_units: List[WorkUnit] = []
+    for si, (spec, seed_list) in enumerate(zip(specs, seed_lists)):
+        for seed in seed_list[:2]:
+            probe_index.append((si, seed))
+            probe_units.append(_cell_unit(workload, spec, seed))
+    values = eng.run(prefix_units + probe_units)
+    vi = 0
+    lb = lower_bound
+    if lower_bound is None:
+        lb = values[vi]
+        vi += 1
+    mean_lb = mean_lower_bound
+    if mean_lower_bound is None:
+        mean_lb = values[vi]
+        vi += 1
+    per_spec: List[List[RunSummary]] = [[] for _ in specs]
+    for (si, _seed), value in zip(probe_index, values[vi:]):
+        per_spec[si].append(value)
+
+    # --- dedup probe: deterministic algorithms need no further seeds --- #
+    remaining: List[Tuple[int, int]] = []
+    for si, (spec, seed_list) in enumerate(zip(specs, seed_lists)):
+        summaries = per_spec[si]
+        if (
+            len(seed_list) > 2
+            and len(summaries) == 2
+            and summaries[0].makespan != summaries[1].makespan
+        ):
+            remaining.extend((si, seed) for seed in seed_list[2:])
+
+    # --- batch 2: the remaining replicates of randomized algorithms --- #
+    if remaining:
+        tail_units = [_cell_unit(workload, specs[si], seed) for si, seed in remaining]
+        for (si, _seed), value in zip(remaining, eng.run(tail_units)):
+            per_spec[si].append(value)
+
+    rows: List[ExperimentRow] = []
+    for spec, summaries in zip(specs, per_spec):
+        bounded = [_attach_bounds(sm, lb, mean_lb) for sm in summaries]
+        rows.append(_aggregate(spec, workload, bounded))
     return rows

@@ -5,6 +5,12 @@ experiment sweeps ``p`` with everything else scaled consistently
 (``k = cache_factor · p``, fixed ``s``), runs each algorithm, and hands the
 resulting ``(p, ratio)`` series to :mod:`.fitting` for a growth-model
 check.
+
+The sweep is engine-aware: the certified lower bounds for **all** ``p``
+values are submitted to the ambient :mod:`repro.exec` engine as one batch
+(the impact DP dominates sweep wall-clock, and the cells are independent),
+then each per-``p`` experiment fans its ``(algorithm, seed)`` cells out
+through the same engine.
 """
 
 from __future__ import annotations
@@ -14,6 +20,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..exec.engine import ExecutionEngine, current_engine
+from ..exec.units import WorkUnit
+from ..parallel.schedulers import RunSpec
 from ..workloads.generators import make_parallel_workload
 from ..workloads.trace import ParallelWorkload
 from .harness import ExperimentRow, run_experiment
@@ -65,6 +74,7 @@ def sweep_p(
     seeds: Sequence[int] = (0, 1, 2),
     workload_seed: int = 12345,
     include_impact_lb: bool = True,
+    engine: Optional[ExecutionEngine] = None,
 ) -> SweepResult:
     """Run ``algorithms`` across ``p_values`` with ``k = cache_factor·p``.
 
@@ -73,20 +83,49 @@ def sweep_p(
     within a ``p`` are directly comparable.
     """
     factory = workload_factory or default_workload_factory()
-    rows: List[ExperimentRow] = []
+    eng = engine if engine is not None else current_engine()
+    workloads: List[ParallelWorkload] = []
+    ks: List[int] = []
     for p in p_values:
         k = cache_factor * p
         rng = np.random.default_rng(np.random.SeedSequence(entropy=workload_seed, spawn_key=(p,)))
-        workload = factory(p, k, rng)
+        workloads.append(factory(p, k, rng))
+        ks.append(k)
+    # one batch for every p's certified bounds: the expensive impact DPs
+    # run concurrently (and cache individually) instead of serializing
+    lb_units = [
+        WorkUnit(
+            kind="makespan-lb",
+            params={"workload": wl, "k": k, "miss_cost": miss_cost, "include_impact": include_impact_lb},
+            label=f"makespan-lb/p={wl.p}/k={k}",
+        )
+        for wl, k in zip(workloads, ks)
+    ] + [
+        WorkUnit(
+            kind="mean-lb",
+            params={"workload": wl, "k": k, "miss_cost": miss_cost},
+            label=f"mean-lb/p={wl.p}/k={k}",
+        )
+        for wl, k in zip(workloads, ks)
+    ]
+    bounds = eng.run(lb_units)
+    makespan_lbs = bounds[: len(workloads)]
+    mean_lbs = bounds[len(workloads) :]
+    rows: List[ExperimentRow] = []
+    for wl, k, lb, mean_lb in zip(workloads, ks, makespan_lbs, mean_lbs):
+        specs = [
+            RunSpec(algorithm=name, cache_size=xi * k, miss_cost=miss_cost, xi=xi)
+            for name in algorithms
+        ]
         rows.extend(
             run_experiment(
-                workload,
-                algorithms,
-                k=k,
-                miss_cost=miss_cost,
-                xi=xi,
+                wl,
+                specs,
                 seeds=seeds,
                 include_impact_lb=include_impact_lb,
+                lower_bound=lb,
+                mean_lower_bound=mean_lb,
+                engine=eng,
             )
         )
     return SweepResult(rows=rows, p_values=list(p_values))

@@ -10,9 +10,15 @@ Run the full Theorem 4 separation, save the table and CSV::
 
     repro e7 --scale full --out results/e7.md --csv results/e7.csv
 
-Run everything::
+Run everything on 8 workers with the result cache warm-started, dumping
+per-cell telemetry as JSON lines::
 
-    repro all --scale quick
+    repro all --scale quick --jobs 8 --telemetry runs.jsonl
+
+Manage the content-addressed result cache::
+
+    repro cache stats
+    repro cache clear
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .analysis.report import write_csv
+from .exec import TELEMETRY, ResultCache, execution
 from .experiments import EXPERIMENTS, run_named_experiment
 
 __all__ = ["main", "build_parser"]
@@ -41,13 +48,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "viz"],
-        help="experiment id (e1..e11), 'all', 'list' (index), or 'viz' (schedule visualization)",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "viz", "cache"],
+        help=(
+            "experiment id (e1..e11), 'all', 'list' (index), 'viz' (schedule "
+            "visualization), or 'cache' (result-cache management)"
+        ),
+    )
+    parser.add_argument(
+        "cache_op",
+        nargs="?",
+        choices=("stats", "clear"),
+        default=None,
+        help="with 'cache': the operation to perform (default: stats)",
     )
     parser.add_argument("--scale", choices=("quick", "full"), default="quick", help="experiment size")
     parser.add_argument("--seed", type=int, default=0, help="base random seed")
     parser.add_argument("--out", type=Path, default=None, help="write the rendered report here")
     parser.add_argument("--csv", type=Path, default=None, help="write the raw rows here as CSV")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for experiment cells (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed result cache (always recompute)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="result-cache root (default $REPRO_CACHE_DIR or ./.repro_cache)",
+    )
+    parser.add_argument(
+        "--telemetry", type=Path, default=None, metavar="JSONL",
+        help="append per-cell telemetry records to this JSON-lines file",
+    )
     parser.add_argument("--algorithm", default="det-par", help="viz: algorithm name (see registry)")
     parser.add_argument("--p", type=int, default=8, help="viz: number of processors")
     parser.add_argument("--k", type=int, default=None, help="viz: OPT cache size (default 4p)")
@@ -55,10 +88,19 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(name: str, scale: str, seed: int, out: Optional[Path], csv_path: Optional[Path]) -> None:
+def _run_one(
+    name: str,
+    scale: str,
+    seed: int,
+    out: Optional[Path],
+    csv_path: Optional[Path],
+    telemetry_path: Optional[Path],
+) -> None:
+    mark = len(TELEMETRY)
     t0 = time.time()
     rows, text = run_named_experiment(name, scale=scale, seed=seed)
     elapsed = time.time() - t0
+    text = text.rstrip("\n") + "\n\n" + TELEMETRY.render(since=mark) + "\n"
     print(text)
     print(f"[{name}] {len(rows)} rows in {elapsed:.1f}s (scale={scale}, seed={seed})\n")
     if out is not None:
@@ -66,6 +108,8 @@ def _run_one(name: str, scale: str, seed: int, out: Optional[Path], csv_path: Op
         out.write_text(text)
     if csv_path is not None:
         write_csv(rows, csv_path)
+    if telemetry_path is not None:
+        TELEMETRY.write_jsonl(telemetry_path, since=mark)
 
 
 def _list_experiments() -> None:
@@ -75,12 +119,23 @@ def _list_experiments() -> None:
         print(f"{name.rjust(width)}  {doc}")
 
 
+def _cache_command(op: Optional[str], cache_dir: Optional[Path]) -> int:
+    """``repro cache stats|clear``: inspect or empty the result cache."""
+    cache = ResultCache(cache_dir)
+    if op in (None, "stats"):
+        print(cache.stats().render())
+    elif op == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached entries from {cache.root}")
+    return 0
+
+
 def _viz(args) -> None:
     """Run one algorithm on a demo workload and draw its schedule."""
     import numpy as np
 
     from .analysis.gantt import render_gantt, render_memory_profile
-    from .parallel.schedulers import make_algorithm
+    from .parallel.schedulers import RunSpec, make_algorithm
     from .workloads.generators import make_parallel_workload
 
     from .core.rand_par import next_power_of_two
@@ -89,8 +144,10 @@ def _viz(args) -> None:
     wl = make_parallel_workload(
         p=args.p, n_requests=400, k=k, rng=np.random.default_rng(args.seed), kind="multiscale"
     )
-    alg = make_algorithm(args.algorithm, 2 * k, args.miss_cost, seed=args.seed)
-    result = alg.run(wl)
+    spec = RunSpec(
+        algorithm=args.algorithm, cache_size=2 * k, miss_cost=args.miss_cost, xi=2, seed=args.seed
+    )
+    result = make_algorithm(spec).run(wl)
     print(f"{args.algorithm} on {wl.describe()}  makespan={result.makespan}\n")
     print(render_gantt(result, width=84, title="schedule (rows = processors):"))
     print(render_memory_profile(result, width=84, height=8, title="reserved cache over time:"))
@@ -98,7 +155,14 @@ def _viz(args) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.cache_op is not None and args.experiment != "cache":
+        parser.error("'stats'/'clear' only apply to the 'cache' command")
+    if args.experiment == "cache":
+        return _cache_command(args.cache_op, args.cache_dir)
     if args.experiment == "list":
         _list_experiments()
         return 0
@@ -106,13 +170,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         _viz(args)
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        if args.experiment == "all":
-            out = args.out / f"{name}.md" if args.out else None
-            csv_path = args.csv / f"{name}.csv" if args.csv else None
-        else:
-            out, csv_path = args.out, args.csv
-        _run_one(name, args.scale, args.seed, out, csv_path)
+    with execution(jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir):
+        for name in names:
+            if args.experiment == "all":
+                out = args.out / f"{name}.md" if args.out else None
+                csv_path = args.csv / f"{name}.csv" if args.csv else None
+            else:
+                out, csv_path = args.out, args.csv
+            _run_one(name, args.scale, args.seed, out, csv_path, args.telemetry)
     return 0
 
 

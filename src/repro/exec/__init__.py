@@ -1,0 +1,43 @@
+"""Execution engine: parallel, cache-aware experiment cell runner.
+
+The paper's claims are expectations over seeds and sweeps over ``p`` —
+embarrassingly parallel — so every experiment decomposes into
+:class:`~repro.exec.units.WorkUnit` cells that this package runs on a
+process pool (``--jobs N``), memoizes in a content-addressed on-disk
+cache (``.repro_cache/``), and accounts for in structured telemetry.
+
+Layers:
+
+* :mod:`~repro.exec.units` — the work-unit abstraction and executors
+  (algorithm runs, lower bounds, green-paging replicates);
+* :mod:`~repro.exec.cache` — versioned content-addressed result store;
+* :mod:`~repro.exec.engine` — pool-backed engine with deterministic
+  ordering, serial fallback, and the ambient :func:`execution` scope;
+* :mod:`~repro.exec.telemetry` — per-cell records, JSONL export, and the
+  one-line summaries appended to experiment reports.
+"""
+
+from .cache import CACHE_VERSION, CacheStats, ResultCache, default_cache_dir, stable_key, workload_fingerprint
+from .engine import ExecutionEngine, current_engine, default_jobs, execution
+from .telemetry import TELEMETRY, CellRecord, Telemetry
+from .units import UNIT_EXECUTORS, CellOutcome, WorkUnit, execute_unit
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "stable_key",
+    "workload_fingerprint",
+    "ExecutionEngine",
+    "current_engine",
+    "default_jobs",
+    "execution",
+    "TELEMETRY",
+    "CellRecord",
+    "Telemetry",
+    "UNIT_EXECUTORS",
+    "CellOutcome",
+    "WorkUnit",
+    "execute_unit",
+]

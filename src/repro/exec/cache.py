@@ -1,0 +1,205 @@
+"""Content-addressed on-disk cache for experiment work units.
+
+Every work unit (one algorithm/workload/seed cell, one lower-bound
+computation, one green-paging replicate) is identified by a SHA-256 key
+over a *canonical encoding* of its kind and parameters — request
+sequences are hashed by content, so the key changes iff the inputs
+change.  Results are pickled under ``.repro_cache/<k[:2]>/<key>.pkl``
+(override the root with ``$REPRO_CACHE_DIR`` or ``repro --cache-dir``).
+
+Keys are versioned: :data:`CACHE_VERSION` is folded into every key, so
+bumping it after a semantics-affecting change to any executor invalidates
+the whole cache without touching the disk layout.  ``repro cache stats``
+and ``repro cache clear`` manage the store from the command line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..workloads.trace import ParallelWorkload
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_dir",
+    "stable_key",
+    "workload_fingerprint",
+]
+
+#: Bump whenever an executor's semantics change so old entries can't leak
+#: stale results into new tables.
+CACHE_VERSION = 1
+
+
+def workload_fingerprint(workload: ParallelWorkload) -> str:
+    """SHA-256 over the workload's request *content* (sequences only).
+
+    The name and free-form ``meta`` are deliberately excluded: two
+    workloads with identical sequences produce identical runs, whatever
+    they are called.
+    """
+    h = hashlib.sha256(b"repro-workload-v1")
+    h.update(str(workload.p).encode())
+    for seq in workload.sequences:
+        arr = np.ascontiguousarray(seq, dtype=np.int64)
+        h.update(str(len(arr)).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def _update(h: "hashlib._Hash", obj: Any) -> None:
+    """Feed one canonically-encoded value into the hash (recursive)."""
+    if obj is None:
+        h.update(b"\x00N")
+    elif isinstance(obj, bool):
+        h.update(b"\x00B" + (b"1" if obj else b"0"))
+    elif isinstance(obj, int):
+        h.update(b"\x00I" + str(obj).encode())
+    elif isinstance(obj, float):
+        h.update(b"\x00F" + repr(obj).encode())
+    elif isinstance(obj, str):
+        h.update(b"\x00S" + obj.encode())
+    elif isinstance(obj, bytes):
+        h.update(b"\x00Y" + obj)
+    elif isinstance(obj, np.integer):
+        h.update(b"\x00I" + str(int(obj)).encode())
+    elif isinstance(obj, np.floating):
+        h.update(b"\x00F" + repr(float(obj)).encode())
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        h.update(b"\x00A" + arr.dtype.str.encode() + str(arr.shape).encode())
+        h.update(arr.tobytes())
+    elif isinstance(obj, ParallelWorkload):
+        h.update(b"\x00W" + workload_fingerprint(obj).encode())
+    elif isinstance(obj, (tuple, list)):
+        h.update(b"\x00L" + str(len(obj)).encode())
+        for item in obj:
+            _update(h, item)
+    elif isinstance(obj, Mapping):
+        items = sorted(obj.items())
+        h.update(b"\x00D" + str(len(items)).encode())
+        for key, value in items:
+            _update(h, key)
+            _update(h, value)
+    else:
+        raise TypeError(
+            f"cannot canonically hash {type(obj).__name__}; "
+            "work-unit params must be scalars, strings, arrays, workloads, or nests thereof"
+        )
+
+
+def stable_key(kind: str, params: Mapping[str, Any]) -> str:
+    """Content-addressed cache key for a work unit (hex SHA-256)."""
+    h = hashlib.sha256(b"repro-unit")
+    _update(h, CACHE_VERSION)
+    _update(h, kind)
+    _update(h, params)
+    return h.hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` if set, else ``./.repro_cache``."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """On-disk shape of a cache: entry count and total payload bytes."""
+
+    entries: int
+    size_bytes: int
+    root: str
+
+    def render(self) -> str:
+        """One-line human-readable form for the CLI."""
+        mib = self.size_bytes / (1 << 20)
+        return f"cache at {self.root}: {self.entries} entries, {mib:.2f} MiB"
+
+
+class ResultCache:
+    """Pickle-backed content-addressed store for work-unit outcomes.
+
+    Writes are atomic (temp file + ``os.replace``), so a crashed or
+    parallel run never leaves a truncated entry behind; unreadable
+    entries are treated as misses and deleted.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                return True, pickle.load(fh)
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            # corrupt/stale entry: drop it and report a miss
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+
+    def store(self, key: str, value: Any) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for sub in self.root.glob("*"):
+            if sub.is_dir():
+                try:
+                    sub.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> CacheStats:
+        """Walk the store and report entry count / payload size."""
+        entries = 0
+        size = 0
+        if self.root.exists():
+            for path in self.root.glob("*/*.pkl"):
+                entries += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    pass
+        return CacheStats(entries=entries, size_bytes=size, root=str(self.root))

@@ -1,0 +1,165 @@
+"""The parallel execution engine: cache-aware, deterministic, fallback-safe.
+
+:class:`ExecutionEngine` runs batches of :class:`~repro.exec.units.WorkUnit`
+and returns their values **in input order**, whatever the completion
+order, so ``--jobs N`` produces row-for-row identical tables to serial
+execution.  Each unit is first looked up in the (optional)
+content-addressed :class:`~repro.exec.cache.ResultCache`; misses are
+computed — in-process for ``jobs == 1``, on a ``ProcessPoolExecutor``
+otherwise — then stored back and recorded in telemetry.
+
+Experiments do not thread an engine through every call: the harness asks
+:func:`current_engine` for the ambient one, and the CLI (or a test)
+scopes a configured engine with the :func:`execution` context manager::
+
+    with execution(jobs=4, cache=True):
+        repro.run_experiment(workload, specs)   # cells fan out over 4 procs
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional, Sequence
+
+from .cache import ResultCache
+from .telemetry import TELEMETRY, CellRecord, Telemetry
+from .units import CellOutcome, WorkUnit, execute_unit
+
+__all__ = ["ExecutionEngine", "execution", "current_engine", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default for "use the machine": the CPU count."""
+    return os.cpu_count() or 1
+
+
+class ExecutionEngine:
+    """Runs work units serially or on a process pool, through the cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (the default) executes in-process.  Pool
+        start-up failures degrade to serial execution with a warning —
+        results are identical either way.
+    cache:
+        A :class:`ResultCache`, or None to always recompute.
+    telemetry:
+        Collector for per-cell records; defaults to the process-wide
+        :data:`~repro.exec.telemetry.TELEMETRY`.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.cache = cache
+        self.telemetry = telemetry if telemetry is not None else TELEMETRY
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _compute_missing(self, pending: List[int], units: Sequence[WorkUnit]) -> List[CellOutcome]:
+        """Execute the units at the given indices; preserves ``pending`` order."""
+        if not pending:
+            return []
+        if self.jobs > 1 and len(pending) > 1:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+                    futures = [pool.submit(execute_unit, units[i]) for i in pending]
+                    return [f.result() for f in futures]
+            except (OSError, ImportError, RuntimeError) as exc:  # pragma: no cover
+                warnings.warn(
+                    f"process pool unavailable ({exc!r}); falling back to serial execution",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        return [execute_unit(units[i]) for i in pending]
+
+    def run(self, units: Sequence[WorkUnit]) -> List[Any]:
+        """Run a batch of units; returns their values in input order."""
+        units = list(units)
+        outcomes: List[Optional[CellOutcome]] = [None] * len(units)
+        keys: List[Optional[str]] = [None] * len(units)
+        pending: List[int] = []
+        for i, unit in enumerate(units):
+            if self.cache is not None:
+                t0 = time.perf_counter()
+                key = unit.key()
+                keys[i] = key
+                hit, outcome = self.cache.load(key)
+                if hit:
+                    outcomes[i] = outcome
+                    self.telemetry.record(
+                        CellRecord(
+                            kind=unit.kind,
+                            label=unit.label,
+                            key=key,
+                            cached=True,
+                            duration_s=time.perf_counter() - t0,
+                            sim_steps=outcome.sim_steps,
+                        )
+                    )
+                    continue
+            pending.append(i)
+        computed = self._compute_missing(pending, units)
+        for i, outcome in zip(pending, computed):
+            outcomes[i] = outcome
+            if self.cache is not None and keys[i] is not None:
+                self.cache.store(keys[i], outcome)
+            self.telemetry.record(
+                CellRecord(
+                    kind=units[i].kind,
+                    label=units[i].label,
+                    key=keys[i] or "",
+                    cached=False,
+                    duration_s=outcome.duration_s,
+                    sim_steps=outcome.sim_steps,
+                )
+            )
+        return [outcome.value for outcome in outcomes]  # type: ignore[union-attr]
+
+
+#: Ambient engine stack; the base entry is the serial, cache-less default.
+_ENGINE_STACK: List[ExecutionEngine] = [ExecutionEngine()]
+
+
+def current_engine() -> ExecutionEngine:
+    """The innermost engine configured via :func:`execution` (or the default)."""
+    return _ENGINE_STACK[-1]
+
+
+@contextmanager
+def execution(
+    jobs: int = 1,
+    cache: bool = False,
+    cache_dir: Optional[os.PathLike] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> Iterator[ExecutionEngine]:
+    """Scope an ambient :class:`ExecutionEngine` for everything inside.
+
+    ``cache=True`` opens the content-addressed result cache (at
+    ``cache_dir``, ``$REPRO_CACHE_DIR``, or ``./.repro_cache``).  The
+    library default outside any ``execution`` block is serial and
+    cache-less, so tests and ad-hoc calls stay hermetic.
+    """
+    engine = ExecutionEngine(
+        jobs=jobs,
+        cache=ResultCache(cache_dir) if cache else None,
+        telemetry=telemetry,
+    )
+    _ENGINE_STACK.append(engine)
+    try:
+        yield engine
+    finally:
+        _ENGINE_STACK.pop()

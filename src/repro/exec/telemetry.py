@@ -1,0 +1,102 @@
+"""Structured run telemetry: per-cell timing, cache hits, simulated steps.
+
+Every work unit the execution engine touches produces one
+:class:`CellRecord`; a :class:`Telemetry` collector aggregates them and
+can render a one-line summary (appended to experiment reports) or dump
+the raw records as JSON lines for downstream tooling
+(``repro ... --telemetry runs.jsonl``).
+
+A process-wide collector (:data:`TELEMETRY`) is the default sink, so the
+CLI can report per-experiment deltas without threading a collector
+through every experiment function.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["CellRecord", "Telemetry", "TELEMETRY"]
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """Telemetry for one executed (or cache-served) work unit.
+
+    ``duration_s`` is the wall time this run spent on the cell — the
+    cache lookup time on a hit, the compute time on a miss.
+    ``sim_steps`` is the number of simulated requests the cell covers
+    (counted whether it was computed or served from cache).
+    """
+
+    kind: str
+    label: str
+    key: str
+    cached: bool
+    duration_s: float
+    sim_steps: int
+
+    def to_json(self) -> str:
+        """One JSON line (no trailing newline)."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+class Telemetry:
+    """Append-only collector of :class:`CellRecord` with aggregation."""
+
+    def __init__(self) -> None:
+        self.records: List[CellRecord] = []
+
+    def record(self, rec: CellRecord) -> None:
+        """Append one cell record."""
+        self.records.append(rec)
+
+    def clear(self) -> None:
+        """Drop all records (start of a fresh measurement window)."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def summary(self, since: int = 0) -> Dict[str, object]:
+        """Aggregate the records from index ``since`` onward.
+
+        Returns cells, cache hit/miss counts, hit rate, total simulated
+        steps, and total compute seconds — the quantities the acceptance
+        telemetry line reports.
+        """
+        recs = self.records[since:]
+        hits = sum(1 for r in recs if r.cached)
+        misses = len(recs) - hits
+        return {
+            "cells": len(recs),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "hit_rate": (hits / len(recs)) if recs else 0.0,
+            "sim_steps": sum(r.sim_steps for r in recs),
+            "compute_s": round(sum(r.duration_s for r in recs), 3),
+        }
+
+    def render(self, since: int = 0) -> str:
+        """One-line summary for reports and the CLI."""
+        s = self.summary(since)
+        return (
+            f"[telemetry] cells={s['cells']} cache_hits={s['cache_hits']} "
+            f"cache_misses={s['cache_misses']} hit_rate={s['hit_rate']:.0%} "
+            f"sim_steps={s['sim_steps']} compute={s['compute_s']:.2f}s"
+        )
+
+    def write_jsonl(self, path: "str | Path", since: int = 0, append: bool = True) -> None:
+        """Write records from index ``since`` as JSON lines."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "a" if append else "w"
+        with path.open(mode) as fh:
+            for rec in self.records[since:]:
+                fh.write(rec.to_json() + "\n")
+
+
+#: Process-wide default collector (the engine's default sink).
+TELEMETRY = Telemetry()

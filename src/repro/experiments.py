@@ -9,6 +9,12 @@ persists the report to ``benchmarks/out/``.
 Every function takes a ``scale`` ("quick" for CI-sized runs, "full" for
 the recorded numbers) and an optional seed; all randomness flows through
 seeded generators.
+
+Replicated computations (seed reps, sweep cells, offline OPT profiles)
+are expressed as :mod:`repro.exec` work units and run through the ambient
+execution engine, so ``repro eN --jobs N`` fans them out over worker
+processes and the content-addressed cache makes reruns near-free — with
+tables identical to serial execution.
 """
 
 from __future__ import annotations
@@ -24,14 +30,13 @@ from .analysis.plots import bar_chart, line_chart
 from .analysis.report import render_table
 from .analysis.sweep import series_of, sweep_p
 from .core.box import HeightLattice
-from .core.det_green import DetGreen
 from .core.distributions import make_distribution
 from .core.det_par import DetPar
-from .core.rand_green import RandGreen
 from .core.rand_par import RandPar
 from .core.well_rounded import audit_balance, audit_well_rounded
 from .core.black_box import BlackBoxPar
-from .green.offline import optimal_box_profile
+from .exec.engine import current_engine
+from .exec.units import WorkUnit
 from .workloads.adversarial import build_adversarial_instance, lemma8_opt_makespan
 from .workloads.generators import cyclic, multiscale_cycles, phased_working_sets, polluted_cycle, scan
 from .workloads.trace import ParallelWorkload
@@ -62,29 +67,46 @@ def e1_rand_green(scale: str = "quick", seed: int = 0) -> Tuple[Rows, str]:
     """Theorem 1: RAND-GREEN impact within O(log p) of the offline box OPT."""
     p_values = [4, 8, 16, 32] if scale == "quick" else [4, 8, 16, 32, 64, 128]
     reps = 5 if scale == "quick" else 12
-    rows: Rows = []
+    # express every OPT profile and every RAND-GREEN replicate as a work
+    # unit, then run the whole grid through the engine in one batch
+    units: List[WorkUnit] = []
+    cells: List[Tuple[int, str, int, List[int]]] = []  # (p, workload, opt idx, rep idxs)
     for p in p_values:
         k = 4 * p
         s = 2 * k  # tall boxes must beat thrashing (see DESIGN.md §4)
         n = 1200 if scale == "quick" else 3000
-        lattice = HeightLattice(k, p)
         rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(p,)))
         for name, seq in _green_workloads(k, p, n, rng).items():
-            opt = optimal_box_profile(seq, lattice, s).impact
-            ratios = []
-            for r in range(reps):
-                g = RandGreen(lattice, s, np.random.default_rng(np.random.SeedSequence(entropy=seed + 1, spawn_key=(p, r))))
-                ratios.append(g.run(seq).impact / opt)
-            rows.append(
-                {
-                    "p": p,
-                    "workload": name,
-                    "log2_p": int(math.log2(p)),
-                    "ratio_mean": round(float(np.mean(ratios)), 3),
-                    "ratio_max": round(float(np.max(ratios)), 3),
-                    "ratio_over_log2p": round(float(np.mean(ratios)) / math.log2(p), 3),
-                }
+            opt_idx = len(units)
+            units.append(
+                WorkUnit("green-opt", {"k": k, "p": p, "miss_cost": s, "seq": seq}, label=f"e1/opt/{name}/p={p}")
             )
+            rep_idxs = []
+            for r in range(reps):
+                rep_idxs.append(len(units))
+                units.append(
+                    WorkUnit(
+                        "rand-green",
+                        {"k": k, "p": p, "miss_cost": s, "entropy": seed + 1, "spawn_key": (p, r), "seq": seq},
+                        label=f"e1/rand-green/{name}/p={p}/r={r}",
+                    )
+                )
+            cells.append((p, name, opt_idx, rep_idxs))
+    values = current_engine().run(units)
+    rows: Rows = []
+    for p, name, opt_idx, rep_idxs in cells:
+        opt = values[opt_idx]
+        ratios = [values[i] / opt for i in rep_idxs]
+        rows.append(
+            {
+                "p": p,
+                "workload": name,
+                "log2_p": int(math.log2(p)),
+                "ratio_mean": round(float(np.mean(ratios)), 3),
+                "ratio_max": round(float(np.max(ratios)), 3),
+                "ratio_over_log2p": round(float(np.mean(ratios)) / math.log2(p), 3),
+            }
+        )
     # shape check per workload
     lines = [render_table(rows, title="E1 — RAND-GREEN vs offline green OPT (Theorem 1)")]
     for name in ("scan", "polluted-cycle", "multiscale"):
@@ -319,29 +341,38 @@ def e8_ablation(scale: str = "quick", seed: int = 0) -> Tuple[Rows, str]:
     p_values = [8, 16, 32] if scale == "quick" else [8, 16, 32, 64]
     reps = 5 if scale == "quick" else 10
     kinds = ("inverse_square", "inverse_linear", "uniform")
-    rows: Rows = []
+    units: List[WorkUnit] = []
+    cells: List[Tuple[int, int, Dict[str, List[int]]]] = []  # (p, opt idx, kind -> rep idxs)
     for p in p_values:
         k = 4 * p
         s = 2 * k
         n = 1200 if scale == "quick" else 2500
-        lattice = HeightLattice(k, p)
         # a scan is the sharpest discriminator: its OPT uses only minimum
         # boxes, so every unit of tall-box impact is pure waste — uniform
         # height draws then cost Θ(p/log p) while 1/j² costs Θ(log p)
         seq = scan(n)
-        opt = optimal_box_profile(seq, lattice, s).impact
+        opt_idx = len(units)
+        units.append(WorkUnit("green-opt", {"k": k, "p": p, "miss_cost": s, "seq": seq}, label=f"e8/opt/p={p}"))
+        by_kind: Dict[str, List[int]] = {}
+        for kind in kinds:
+            by_kind[kind] = []
+            for r in range(reps):
+                by_kind[kind].append(len(units))
+                units.append(
+                    WorkUnit(
+                        "rand-green",
+                        {"k": k, "p": p, "miss_cost": s, "entropy": seed + 7, "spawn_key": (p, r), "dist": kind, "seq": seq},
+                        label=f"e8/rand-green/{kind}/p={p}/r={r}",
+                    )
+                )
+        cells.append((p, opt_idx, by_kind))
+    values = current_engine().run(units)
+    rows: Rows = []
+    for p, opt_idx, by_kind in cells:
+        opt = values[opt_idx]
         row: Dict[str, object] = {"p": p}
         for kind in kinds:
-            ratios = []
-            for r in range(reps):
-                g = RandGreen(
-                    lattice,
-                    s,
-                    np.random.default_rng(np.random.SeedSequence(entropy=seed + 7, spawn_key=(p, r))),
-                    kind=kind,  # type: ignore[arg-type]
-                )
-                ratios.append(g.run(seq).impact / opt)
-            row[kind] = round(float(np.mean(ratios)), 3)
+            row[kind] = round(float(np.mean([values[i] / opt for i in by_kind[kind]])), 3)
         rows.append(row)
     text = render_table(rows, title="E8 — height-distribution ablation (green impact ratio)")
     text += (
@@ -360,29 +391,44 @@ def e9_det_green(scale: str = "quick", seed: int = 0) -> Tuple[Rows, str]:
     """Deterministic green paging matches RAND-GREEN (derandomization)."""
     p_values = [4, 8, 16, 32] if scale == "quick" else [4, 8, 16, 32, 64, 128]
     reps = 5 if scale == "quick" else 10
-    rows: Rows = []
+    units: List[WorkUnit] = []
+    cells: List[Tuple[int, str, int, int, List[int]]] = []  # (p, name, opt, det, rand idxs)
     for p in p_values:
         k = 4 * p
         s = 2 * k
         n = 1200 if scale == "quick" else 3000
-        lattice = HeightLattice(k, p)
         rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(p,)))
         for name, seq in _green_workloads(k, p, n, rng).items():
-            opt = optimal_box_profile(seq, lattice, s).impact
-            det_ratio = DetGreen(lattice, s).run(seq).impact / opt
-            rg_ratios = [
-                RandGreen(lattice, s, np.random.default_rng(np.random.SeedSequence(entropy=seed + 3, spawn_key=(p, r)))).run(seq).impact / opt
-                for r in range(reps)
-            ]
-            rows.append(
-                {
-                    "p": p,
-                    "workload": name,
-                    "det_green_ratio": round(det_ratio, 3),
-                    "rand_green_mean": round(float(np.mean(rg_ratios)), 3),
-                    "det/rand": round(det_ratio / float(np.mean(rg_ratios)), 3),
-                }
-            )
+            opt_idx = len(units)
+            units.append(WorkUnit("green-opt", {"k": k, "p": p, "miss_cost": s, "seq": seq}, label=f"e9/opt/{name}/p={p}"))
+            det_idx = len(units)
+            units.append(WorkUnit("det-green", {"k": k, "p": p, "miss_cost": s, "seq": seq}, label=f"e9/det-green/{name}/p={p}"))
+            rand_idxs = []
+            for r in range(reps):
+                rand_idxs.append(len(units))
+                units.append(
+                    WorkUnit(
+                        "rand-green",
+                        {"k": k, "p": p, "miss_cost": s, "entropy": seed + 3, "spawn_key": (p, r), "seq": seq},
+                        label=f"e9/rand-green/{name}/p={p}/r={r}",
+                    )
+                )
+            cells.append((p, name, opt_idx, det_idx, rand_idxs))
+    values = current_engine().run(units)
+    rows: Rows = []
+    for p, name, opt_idx, det_idx, rand_idxs in cells:
+        opt = values[opt_idx]
+        det_ratio = values[det_idx] / opt
+        rg_ratios = [values[i] / opt for i in rand_idxs]
+        rows.append(
+            {
+                "p": p,
+                "workload": name,
+                "det_green_ratio": round(det_ratio, 3),
+                "rand_green_mean": round(float(np.mean(rg_ratios)), 3),
+                "det/rand": round(det_ratio / float(np.mean(rg_ratios)), 3),
+            }
+        )
     text = render_table(rows, title="E9 — DET-GREEN vs RAND-GREEN vs offline OPT")
     text += "\ndet/rand near (or below) 1 means derandomization costs nothing.\n"
     return rows, text
@@ -455,7 +501,6 @@ def e10_shared_pages(scale: str = "quick", seed: int = 0) -> Tuple[Rows, str]:
     lose to one globally shared LRU, quantifying what a sharing-aware
     parallel paging theory would have to beat.
     """
-    from .parallel.schedulers import make_algorithm
     from .workloads.generators import make_shared_workload
 
     p = 8
@@ -464,16 +509,26 @@ def e10_shared_pages(scale: str = "quick", seed: int = 0) -> Tuple[Rows, str]:
     n = 600 if scale == "quick" else 1500
     fractions = (0.0, 0.25, 0.5, 0.75, 0.95)
     algorithms = ("det-par", "equal-partition", "global-lru")
-    rows: Rows = []
+    units: List[WorkUnit] = []
     for frac in fractions:
         rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(int(frac * 100),)))
         wl = make_shared_workload(
             p, n, shared_pages=3 * K // 4, private_pages=K // 4, shared_fraction=frac, rng=rng
         )
-        row: Dict[str, object] = {"shared_fraction": frac}
         for name in algorithms:
-            res = make_algorithm(name, 2 * K, s, seed=seed).run(wl)
-            row[name] = res.makespan
+            units.append(
+                WorkUnit(
+                    "parallel-run",
+                    {"algorithm": name, "cache_size": 2 * K, "miss_cost": s, "seed": seed, "workload": wl},
+                    label=f"e10/{name}/shared={frac}",
+                )
+            )
+    values = current_engine().run(units)
+    rows: Rows = []
+    for fi, frac in enumerate(fractions):
+        row: Dict[str, object] = {"shared_fraction": frac}
+        for ni, name in enumerate(algorithms):
+            row[name] = values[fi * len(algorithms) + ni].makespan
         row["global/det-par"] = round(row["global-lru"] / row["det-par"], 3)
         rows.append(row)
     text = render_table(rows, title="E10 — shared pages (beyond the paper): makespans")

@@ -23,7 +23,7 @@ from .events import BoxRecord, ParallelRunResult, capacity_profile, peak_concurr
 from .metrics import RunSummary, cache_utilization, summarize
 from .opt import MakespanLowerBound, makespan_lower_bound, mean_completion_lower_bound
 from .serialize import load_result, save_result
-from .schedulers import ALGORITHM_REGISTRY, ParallelPager, make_algorithm, register_algorithm
+from .schedulers import ALGORITHM_REGISTRY, ParallelPager, RunSpec, make_algorithm, register_algorithm
 from .timestep import GlobalLRU
 from .verify import TraceVerification, verify_trace
 
@@ -49,6 +49,7 @@ __all__ = [
     "save_result",
     "ALGORITHM_REGISTRY",
     "ParallelPager",
+    "RunSpec",
     "make_algorithm",
     "register_algorithm",
     "GlobalLRU",

@@ -8,16 +8,29 @@ cache budget, it decides who holds how much cache when, and yields a
 the single structural interface the analysis harness and the CLI program
 against; registering implementations by name keeps experiment configs
 declarative.
+
+The stable way to instantiate an algorithm is a frozen :class:`RunSpec`
+(``make_algorithm(RunSpec(...))``); the historical positional signature
+``make_algorithm(name, cache_size, miss_cost, seed)`` still works but
+emits a :class:`DeprecationWarning` and will be removed in 2.0.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Protocol, runtime_checkable
+import warnings
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Protocol, Union, runtime_checkable
 
 from ..workloads.trace import ParallelWorkload
 from .events import ParallelRunResult
 
-__all__ = ["ParallelPager", "ALGORITHM_REGISTRY", "register_algorithm", "make_algorithm"]
+__all__ = [
+    "ParallelPager",
+    "RunSpec",
+    "ALGORITHM_REGISTRY",
+    "register_algorithm",
+    "make_algorithm",
+]
 
 
 @runtime_checkable
@@ -38,22 +51,112 @@ class ParallelPager(Protocol):
         ...
 
 
+@dataclass(frozen=True)
+class RunSpec:
+    """Frozen configuration of one algorithm run — the stable public API.
+
+    A ``RunSpec`` names everything needed to (re)produce a run, and is
+    hashable/picklable, so the execution engine can use it as part of a
+    content-addressed cache key.
+
+    Attributes
+    ----------
+    algorithm:
+        Registered algorithm name (see :data:`ALGORITHM_REGISTRY`).
+    cache_size:
+        *Physical* cache granted to the algorithm, i.e. ``xi * k``.
+    miss_cost:
+        Fault service time ``s``.
+    xi:
+        Resource-augmentation factor relative to OPT's cache ``k``;
+        ``cache_size`` must be divisible by ``xi`` so that
+        ``k = cache_size // xi`` is exact.
+    seed:
+        Seed for randomized algorithms (ignored by deterministic ones).
+    """
+
+    algorithm: str
+    cache_size: int
+    miss_cost: int
+    xi: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.xi < 1:
+            raise ValueError(f"xi must be >= 1, got {self.xi}")
+        if self.cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {self.cache_size}")
+        if self.miss_cost < 1:
+            raise ValueError(f"miss_cost must be >= 1, got {self.miss_cost}")
+        if self.cache_size % self.xi:
+            raise ValueError(
+                f"cache_size ({self.cache_size}) must be divisible by xi ({self.xi})"
+            )
+
+    @property
+    def k(self) -> int:
+        """OPT's (un-augmented) cache size: ``cache_size // xi``."""
+        return self.cache_size // self.xi
+
+    def with_seed(self, seed: int) -> "RunSpec":
+        """Copy of this spec with a different replication seed."""
+        return replace(self, seed=seed)
+
+
 #: name -> factory(cache_size, miss_cost, seed) -> ParallelPager
 ALGORITHM_REGISTRY: Dict[str, Callable[[int, int, int], ParallelPager]] = {}
 
 
-def register_algorithm(name: str, factory: Callable[[int, int, int], ParallelPager]) -> None:
-    """Register an algorithm factory under ``name`` for harness/CLI lookup."""
-    if name in ALGORITHM_REGISTRY:
-        raise ValueError(f"algorithm {name!r} already registered")
+def register_algorithm(
+    name: str,
+    factory: Callable[[int, int, int], ParallelPager],
+    overwrite: bool = False,
+) -> None:
+    """Register an algorithm factory under ``name`` for harness/CLI lookup.
+
+    Duplicate names are rejected loudly (a plugin silently shadowing a
+    built-in would corrupt every experiment table); pass
+    ``overwrite=True`` to replace an existing registration on purpose.
+    """
+    if name in ALGORITHM_REGISTRY and not overwrite:
+        raise ValueError(
+            f"algorithm {name!r} already registered; pass overwrite=True to replace it"
+        )
     ALGORITHM_REGISTRY[name] = factory
 
 
-def make_algorithm(name: str, cache_size: int, miss_cost: int, seed: int = 0) -> ParallelPager:
-    """Instantiate a registered algorithm; raises with the known list on typos."""
+def make_algorithm(
+    spec: Union[RunSpec, str],
+    cache_size: Optional[int] = None,
+    miss_cost: Optional[int] = None,
+    seed: int = 0,
+) -> ParallelPager:
+    """Instantiate a registered algorithm from a :class:`RunSpec`.
+
+    ``make_algorithm(RunSpec(...))`` is the stable form.  The legacy
+    positional form ``make_algorithm(name, cache_size, miss_cost, seed)``
+    is kept as a shim and emits a :class:`DeprecationWarning`.
+
+    Raises ``KeyError`` with the list of known names on typos.
+    """
+    if isinstance(spec, RunSpec):
+        if cache_size is not None or miss_cost is not None:
+            raise TypeError("pass either a RunSpec or the legacy positional arguments, not both")
+    else:
+        warnings.warn(
+            "make_algorithm(name, cache_size, miss_cost, seed) is deprecated; "
+            "pass a RunSpec instead (will be removed in 2.0)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if cache_size is None or miss_cost is None:
+            raise TypeError("legacy make_algorithm requires cache_size and miss_cost")
+        spec = RunSpec(
+            algorithm=spec, cache_size=cache_size, miss_cost=miss_cost, seed=seed
+        )
     try:
-        factory = ALGORITHM_REGISTRY[name]
+        factory = ALGORITHM_REGISTRY[spec.algorithm]
     except KeyError:
         known = ", ".join(sorted(ALGORITHM_REGISTRY))
-        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
-    return factory(cache_size, miss_cost, seed)
+        raise KeyError(f"unknown algorithm {spec.algorithm!r}; known: {known}") from None
+    return factory(spec.cache_size, spec.miss_cost, spec.seed)

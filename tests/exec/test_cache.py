@@ -1,0 +1,91 @@
+"""Content-addressed cache: key stability, invalidation, store hygiene."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exec import ResultCache, WorkUnit, stable_key, workload_fingerprint
+from repro.workloads import ParallelWorkload, cyclic
+
+
+def workload(n=60, shift=0):
+    return ParallelWorkload.from_local([cyclic(n, 4 + shift + i) for i in range(3)])
+
+
+class TestKeys:
+    def test_key_is_deterministic(self):
+        wl = workload()
+        params = {"algorithm": "det-par", "cache_size": 32, "miss_cost": 8, "seed": 0, "workload": wl}
+        assert stable_key("parallel-run", params) == stable_key("parallel-run", dict(params))
+
+    def test_key_changes_with_workload_content(self):
+        params = lambda wl: {"algorithm": "det-par", "cache_size": 32, "miss_cost": 8, "seed": 0, "workload": wl}
+        assert stable_key("parallel-run", params(workload())) != stable_key(
+            "parallel-run", params(workload(shift=1))
+        )
+
+    def test_key_ignores_workload_name(self):
+        a, b = workload(), workload()
+        b.name = "renamed"
+        b.meta["extra"] = 1
+        assert workload_fingerprint(a) == workload_fingerprint(b)
+
+    @pytest.mark.parametrize("field,value", [("seed", 1), ("miss_cost", 16), ("cache_size", 64)])
+    def test_key_changes_with_params(self, field, value):
+        wl = workload()
+        base = {"algorithm": "det-par", "cache_size": 32, "miss_cost": 8, "seed": 0, "workload": wl}
+        changed = dict(base)
+        changed[field] = value
+        assert stable_key("parallel-run", base) != stable_key("parallel-run", changed)
+
+    def test_key_changes_with_kind(self):
+        wl = workload()
+        params = {"workload": wl, "k": 16, "miss_cost": 8}
+        assert stable_key("mean-lb", params) != stable_key("other-kind", params)
+
+    def test_key_changes_with_array_content(self):
+        base = {"k": 16, "p": 4, "miss_cost": 32, "seq": np.arange(50, dtype=np.int64)}
+        other = dict(base, seq=np.arange(1, 51, dtype=np.int64))
+        assert stable_key("green-opt", base) != stable_key("green-opt", other)
+
+    def test_uncacheable_param_type_rejected(self):
+        with pytest.raises(TypeError, match="canonically hash"):
+            stable_key("parallel-run", {"bad": object()})
+
+    def test_workunit_key_matches_stable_key(self):
+        unit = WorkUnit("mean-lb", {"workload": workload(), "k": 16, "miss_cost": 8})
+        assert unit.key() == stable_key("mean-lb", unit.params)
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        hit, _ = cache.load("ab" * 32)
+        assert not hit
+        cache.store("ab" * 32, {"x": 1})
+        hit, value = cache.load("ab" * 32)
+        assert hit and value == {"x": 1}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = "cd" * 32
+        cache.store(key, [1, 2, 3])
+        cache._path(key).write_bytes(b"not a pickle")
+        hit, _ = cache.load(key)
+        assert not hit
+        assert not cache._path(key).exists()  # dropped, not left to rot
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        for i in range(5):
+            cache.store(f"{i:02x}" + "0" * 62, i)
+        stats = cache.stats()
+        assert stats.entries == 5 and stats.size_bytes > 0
+        assert "5 entries" in stats.render()
+        assert cache.clear() == 5
+        assert cache.stats().entries == 0
+
+    def test_env_var_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert ResultCache().root == tmp_path / "envcache"

@@ -1,0 +1,87 @@
+"""Telemetry collector: aggregation, rendering, and JSONL export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.exec import CellRecord, Telemetry
+
+
+def rec(cached: bool, steps: int = 100, dur: float = 0.5) -> CellRecord:
+    return CellRecord(
+        kind="parallel-run",
+        label="det-par/s0",
+        key="ab" * 32,
+        cached=cached,
+        duration_s=dur,
+        sim_steps=steps,
+    )
+
+
+def test_summary_counts():
+    t = Telemetry()
+    for cached in (False, False, True):
+        t.record(rec(cached))
+    s = t.summary()
+    assert s["cells"] == 3
+    assert s["cache_hits"] == 1
+    assert s["cache_misses"] == 2
+    assert s["hit_rate"] == 1 / 3
+    assert s["sim_steps"] == 300
+    assert s["compute_s"] == 1.5
+
+
+def test_summary_since_window():
+    t = Telemetry()
+    t.record(rec(False))
+    mark = len(t)
+    t.record(rec(True))
+    t.record(rec(True))
+    s = t.summary(since=mark)
+    assert s["cells"] == 2 and s["cache_hits"] == 2 and s["hit_rate"] == 1.0
+
+
+def test_empty_summary_has_zero_hit_rate():
+    s = Telemetry().summary()
+    assert s["cells"] == 0 and s["hit_rate"] == 0.0
+
+
+def test_render_one_line():
+    t = Telemetry()
+    t.record(rec(True))
+    line = t.render()
+    assert "\n" not in line
+    assert "cells=1" in line and "cache_hits=1" in line and "hit_rate=100%" in line
+
+
+def test_clear():
+    t = Telemetry()
+    t.record(rec(False))
+    t.clear()
+    assert len(t) == 0
+
+
+def test_jsonl_roundtrip(tmp_path):
+    t = Telemetry()
+    t.record(rec(False))
+    t.record(rec(True, steps=7))
+    out = tmp_path / "sub" / "telemetry.jsonl"
+    t.write_jsonl(out)
+    rows = [json.loads(line) for line in out.read_text().splitlines()]
+    assert len(rows) == 2
+    assert rows[0]["cached"] is False and rows[1]["cached"] is True
+    assert rows[1]["sim_steps"] == 7
+    assert set(rows[0]) == {"kind", "label", "key", "cached", "duration_s", "sim_steps"}
+
+
+def test_jsonl_since_and_append(tmp_path):
+    t = Telemetry()
+    t.record(rec(False))
+    out = tmp_path / "telemetry.jsonl"
+    t.write_jsonl(out)
+    mark = len(t)
+    t.record(rec(True))
+    t.write_jsonl(out, since=mark)
+    assert len(out.read_text().splitlines()) == 2
+    t.write_jsonl(out, append=False)
+    assert len(out.read_text().splitlines()) == 2  # rewritten from scratch

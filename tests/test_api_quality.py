@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.parallel",
     "repro.workloads",
     "repro.analysis",
+    "repro.exec",
 ]
 
 
