@@ -54,7 +54,16 @@ from .core import (
     inverse_square_distribution,
     make_distribution,
 )
-from .exec import ExecutionEngine, ResultCache, Telemetry, WorkUnit, execution
+from .exec import (
+    ExecutionEngine,
+    ExecutionPolicy,
+    FailedCell,
+    ResultCache,
+    RunCheckpoint,
+    Telemetry,
+    WorkUnit,
+    execution,
+)
 from .green import optimal_box_profile, prefix_optimal_impacts
 from .paging import BeladySimulation, FIFOCache, LRUCache, belady_faults, miss_ratio_curve, run_box
 from .parallel import (
@@ -116,7 +125,10 @@ __all__ = [
     "SweepResult",
     "sweep_p",
     "ExecutionEngine",
+    "ExecutionPolicy",
+    "FailedCell",
     "ResultCache",
+    "RunCheckpoint",
     "Telemetry",
     "WorkUnit",
     "execution",

@@ -22,6 +22,7 @@ remains as a deprecation shim.
 
 from __future__ import annotations
 
+import math
 import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -29,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..exec.engine import ExecutionEngine, current_engine
+from ..exec.policy import FailedCell
 from ..exec.units import WorkUnit
 from ..parallel.metrics import RunSummary
 from ..parallel.opt import MakespanLowerBound
@@ -38,10 +40,11 @@ from ..workloads.trace import ParallelWorkload
 __all__ = ["ExperimentRow", "run_experiment", "round_optional", "SCHEMA_VERSION"]
 
 #: Version of the exported row schema (the ``as_dict`` key set and
-#: rounding rules).  Bumped to 2 when ``schema_version`` itself was added;
-#: bump again whenever a column is added, renamed, or re-rounded so CSV
-#: consumers can detect the change.
-SCHEMA_VERSION = 2
+#: rounding rules).  Bumped to 2 when ``schema_version`` itself was added,
+#: to 3 when the ``failed`` column (seeds lost to FailedCell outcomes)
+#: arrived; bump again whenever a column is added, renamed, or re-rounded
+#: so CSV consumers can detect the change.
+SCHEMA_VERSION = 3
 
 
 def round_optional(value: Optional[float], ndigits: int = 3) -> Optional[float]:
@@ -55,6 +58,9 @@ class ExperimentRow:
 
     ``*_ratio`` fields are means over seeds; ``max_makespan_ratio`` is the
     worst seed (what an adversary sees of a randomized algorithm).
+    ``failed`` counts replicates lost to :class:`~repro.exec.FailedCell`
+    outcomes under a keep-going policy; a row whose every replicate
+    failed carries ``makespan = nan`` and renders as ``FAIL``.
     """
 
     algorithm: str
@@ -66,6 +72,7 @@ class ExperimentRow:
     mean_completion_ratio: Optional[float]
     xi_measured: float
     utilization: float
+    failed: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         """Rounded dict form for table rendering / CSV export.
@@ -78,12 +85,13 @@ class ExperimentRow:
             "algorithm": self.algorithm,
             "p": self.p,
             "seeds": self.seeds,
-            "makespan": round(self.makespan, 1),
+            "makespan": round(self.makespan, 1) if not math.isnan(self.makespan) else self.makespan,
             "makespan_ratio": round_optional(self.makespan_ratio),
             "max_makespan_ratio": round_optional(self.max_makespan_ratio),
             "mean_completion_ratio": round_optional(self.mean_completion_ratio),
             "xi_measured": round(self.xi_measured, 3),
             "utilization": round(self.utilization, 3),
+            "failed": self.failed,
             "schema_version": SCHEMA_VERSION,
         }
 
@@ -114,8 +122,28 @@ def _attach_bounds(
     )
 
 
-def _aggregate(spec: RunSpec, workload: ParallelWorkload, summaries: Sequence[RunSummary]) -> ExperimentRow:
-    """Reduce per-seed summaries to one table row (mean/max over seeds)."""
+def _aggregate(
+    spec: RunSpec, workload: ParallelWorkload, summaries: Sequence[RunSummary], failed: int = 0
+) -> ExperimentRow:
+    """Reduce per-seed summaries to one table row (mean/max over seeds).
+
+    ``failed`` replicates are excluded from every aggregate; with no
+    surviving summary at all the row is a marked placeholder (nan
+    makespan) rather than a crash.
+    """
+    if not summaries:
+        return ExperimentRow(
+            algorithm=spec.algorithm,
+            p=workload.p,
+            seeds=0,
+            makespan=float("nan"),
+            makespan_ratio=None,
+            max_makespan_ratio=None,
+            mean_completion_ratio=None,
+            xi_measured=float("nan"),
+            utilization=float("nan"),
+            failed=failed,
+        )
     mks = [sm.makespan for sm in summaries]
     ratios = [sm.makespan_ratio for sm in summaries if sm.makespan_ratio is not None]
     mean_ratios = [sm.mean_completion_ratio for sm in summaries if sm.mean_completion_ratio is not None]
@@ -129,6 +157,7 @@ def _aggregate(spec: RunSpec, workload: ParallelWorkload, summaries: Sequence[Ru
         mean_completion_ratio=float(np.mean(mean_ratios)) if mean_ratios else None,
         xi_measured=float(np.mean([sm.xi_measured for sm in summaries])),
         utilization=float(np.mean([sm.utilization for sm in summaries])),
+        failed=failed,
     )
 
 
@@ -247,18 +276,35 @@ def run_experiment(
     if mean_lower_bound is None:
         mean_lb = values[vi]
         vi += 1
+    # a lower bound lost to a FailedCell (keep-going policy) degrades the
+    # table to unbounded rows (ratios None) instead of aborting the run
+    if isinstance(lb, FailedCell):
+        warnings.warn(f"makespan lower bound failed ({lb.error}); ratios omitted", RuntimeWarning, stacklevel=2)
+        lb = None
+    if isinstance(mean_lb, FailedCell):
+        warnings.warn(
+            f"mean-completion lower bound failed ({mean_lb.error}); ratios omitted", RuntimeWarning, stacklevel=2
+        )
+        mean_lb = None
     per_spec: List[List[RunSummary]] = [[] for _ in specs]
+    failures: List[int] = [0 for _ in specs]
+
+    def _absorb(si: int, value: object) -> None:
+        if isinstance(value, FailedCell):
+            failures[si] += 1
+        else:
+            per_spec[si].append(value)
+
     for (si, _seed), value in zip(probe_index, values[vi:]):
-        per_spec[si].append(value)
+        _absorb(si, value)
 
     # --- dedup probe: deterministic algorithms need no further seeds --- #
     remaining: List[Tuple[int, int]] = []
     for si, (spec, seed_list) in enumerate(zip(specs, seed_lists)):
         summaries = per_spec[si]
-        if (
-            len(seed_list) > 2
-            and len(summaries) == 2
-            and summaries[0].makespan != summaries[1].makespan
+        if len(seed_list) > 2 and (
+            failures[si] > 0  # can't prove determinism from a failed probe
+            or (len(summaries) == 2 and summaries[0].makespan != summaries[1].makespan)
         ):
             remaining.extend((si, seed) for seed in seed_list[2:])
 
@@ -266,10 +312,10 @@ def run_experiment(
     if remaining:
         tail_units = [_cell_unit(workload, specs[si], seed) for si, seed in remaining]
         for (si, _seed), value in zip(remaining, eng.run(tail_units)):
-            per_spec[si].append(value)
+            _absorb(si, value)
 
     rows: List[ExperimentRow] = []
-    for spec, summaries in zip(specs, per_spec):
+    for si, (spec, summaries) in enumerate(zip(specs, per_spec)):
         bounded = [_attach_bounds(sm, lb, mean_lb) for sm in summaries]
-        rows.append(_aggregate(spec, workload, bounded))
+        rows.append(_aggregate(spec, workload, bounded, failed=failures[si]))
     return rows

@@ -37,7 +37,12 @@ def line_chart(
     back to names.  ``log_x`` plots x on a log₂ axis (natural for p).
     """
     points: Dict[str, Sequence[Tuple[float, float]]] = {
-        name: sorted((float(x), float(y)) for x, y in vals.items()) for name, vals in series.items()
+        name: sorted(
+            (float(x), float(y))
+            for x, y in vals.items()
+            if math.isfinite(float(x)) and math.isfinite(float(y))  # FAIL cells are NaN
+        )
+        for name, vals in series.items()
     }
     all_pts = [pt for pts in points.values() for pt in pts]
     if not all_pts:
@@ -100,9 +105,13 @@ def bar_chart(
     if not values:
         return "(no data)\n"
     label_w = max(len(str(k)) for k in values)
-    vmax = max(values.values())
+    finite = [v for v in values.values() if math.isfinite(v)]
+    vmax = max(finite) if finite else 0.0
     lines = [title] if title else []
     for name, value in values.items():
+        if not math.isfinite(value):  # FAIL cells are NaN
+            lines.append(f"{str(name).rjust(label_w)} |{' ' * width}| FAIL")
+            continue
         filled = 0 if vmax <= 0 else int(round(value / vmax * width))
         bar = "█" * filled
         lines.append(f"{str(name).rjust(label_w)} |{bar.ljust(width)}| {fmt.format(value)}")

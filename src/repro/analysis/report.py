@@ -9,17 +9,20 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["render_table", "write_csv", "write_report"]
+__all__ = ["render_table", "render_failures", "write_csv", "write_report"]
 
 
 def _fmt(value: object) -> str:
     if value is None:
         return "-"
     if isinstance(value, float):
-        return f"{value:.3f}"
+        # a nan cell is a replicate lost to a FailedCell under --keep-going;
+        # mark it rather than printing "nan" as if it were a measurement
+        return "FAIL" if math.isnan(value) else f"{value:.3f}"
     return str(value)
 
 
@@ -45,6 +48,26 @@ def render_table(
     out.write("|" + "|".join("-" * (w + 2) for w in widths) + "|\n")
     for row in cells:
         out.write("| " + " | ".join(v.rjust(w) for v, w in zip(row, widths)) + " |\n")
+    return out.getvalue()
+
+
+def render_failures(records: Sequence[object], title: str = "failed cells") -> str:
+    """Render failed-cell telemetry records as a marked block.
+
+    ``records`` are :class:`~repro.exec.CellRecord`-like objects with
+    ``failed``/``label``/``kind``/``attempts``/``error`` attributes (a
+    whole telemetry window can be passed; non-failed records are
+    skipped).  Returns ``""`` when nothing failed, so callers can append
+    unconditionally.
+    """
+    failed = [r for r in records if getattr(r, "failed", False)]
+    if not failed:
+        return ""
+    out = io.StringIO()
+    out.write(f"### {title} ({len(failed)})\n\n")
+    for r in failed:
+        name = r.label or r.kind
+        out.write(f"- `{name}`: {r.error} after {r.attempts} attempt(s)\n")
     return out.getvalue()
 
 

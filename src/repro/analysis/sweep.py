@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..exec.engine import ExecutionEngine, current_engine
+from ..exec.policy import FailedCell
 from ..exec.units import WorkUnit
 from ..parallel.schedulers import RunSpec
 from ..workloads.generators import make_parallel_workload
@@ -109,6 +110,9 @@ def sweep_p(
         for wl, k in zip(workloads, ks)
     ]
     bounds = eng.run(lb_units)
+    # a bound lost to a FailedCell (keep-going policy) degrades that p's
+    # rows to unbounded (ratios None) instead of aborting the whole sweep
+    bounds = [None if isinstance(b, FailedCell) else b for b in bounds]
     makespan_lbs = bounds[: len(workloads)]
     mean_lbs = bounds[len(workloads) :]
     rows: List[ExperimentRow] = []

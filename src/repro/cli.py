@@ -15,6 +15,15 @@ per-cell telemetry as JSON lines::
 
     repro all --scale quick --jobs 8 --telemetry runs.jsonl
 
+Ride out flaky or hung cells instead of aborting the sweep::
+
+    repro all --jobs 8 --retries 2 --timeout 300 --keep-going
+
+Resume an interrupted run (Ctrl-C / SIGTERM are checkpointed; completed
+experiments are skipped and finished cells come back from the cache)::
+
+    repro resume run-20260806-120301-ab12cd
+
 Manage the content-addressed result cache::
 
     repro cache stats
@@ -24,13 +33,14 @@ Manage the content-addressed result cache::
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from .analysis.report import write_csv
-from .exec import TELEMETRY, ResultCache, execution
+from .analysis.report import render_failures, write_csv
+from .exec import ExecutionPolicy, ResultCache, RunCheckpoint, TELEMETRY, execution, list_runs
 from .experiments import EXPERIMENTS, run_named_experiment
 
 __all__ = ["main", "build_parser"]
@@ -48,18 +58,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "viz", "cache"],
+        choices=sorted(EXPERIMENTS) + ["all", "list", "viz", "cache", "resume", "runs"],
         help=(
             "experiment id (e1..e11), 'all', 'list' (index), 'viz' (schedule "
-            "visualization), or 'cache' (result-cache management)"
+            "visualization), 'cache' (result-cache management), 'resume <run-id>' "
+            "(continue an interrupted run), or 'runs' (list checkpointed runs)"
         ),
     )
     parser.add_argument(
-        "cache_op",
+        "arg",
         nargs="?",
-        choices=("stats", "clear"),
         default=None,
-        help="with 'cache': the operation to perform (default: stats)",
+        help="with 'cache': stats|clear (default stats); with 'resume': the run id",
     )
     parser.add_argument("--scale", choices=("quick", "full"), default="quick", help="experiment size")
     parser.add_argument("--seed", type=int, default=0, help="base random seed")
@@ -81,6 +91,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", type=Path, default=None, metavar="JSONL",
         help="append per-cell telemetry records to this JSON-lines file",
     )
+    fault = parser.add_argument_group("fault tolerance")
+    fault.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-attempt wall-clock budget per cell in seconds (default: none)",
+    )
+    fault.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retries per cell after the first failure (default 0)",
+    )
+    fault.add_argument(
+        "--backoff", type=float, default=0.05, metavar="S",
+        help="base retry backoff in seconds, doubled per attempt with jitter (default 0.05)",
+    )
+    going = fault.add_mutually_exclusive_group()
+    going.add_argument(
+        "--keep-going", dest="keep_going", action="store_true",
+        help="a cell that exhausts its retries becomes a marked FAIL row instead of aborting",
+    )
+    going.add_argument(
+        "--fail-fast", dest="keep_going", action="store_false",
+        help="abort the run on the first cell that exhausts its retries (default)",
+    )
+    parser.set_defaults(keep_going=False)
+    fault.add_argument(
+        "--runs-dir", type=Path, default=None,
+        help="checkpoint root for run manifests (default $REPRO_RUNS_DIR or ./.repro_runs)",
+    )
+    fault.add_argument(
+        "--run-id", default=None,
+        help="name this run's checkpoint explicitly (default: generated)",
+    )
+    fault.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="do not write a run manifest/journal (run is not resumable)",
+    )
     parser.add_argument("--algorithm", default="det-par", help="viz: algorithm name (see registry)")
     parser.add_argument("--p", type=int, default=8, help="viz: number of processors")
     parser.add_argument("--k", type=int, default=None, help="viz: OPT cache size (default 4p)")
@@ -94,13 +139,15 @@ def _run_one(
     seed: int,
     out: Optional[Path],
     csv_path: Optional[Path],
-    telemetry_path: Optional[Path],
 ) -> None:
     mark = len(TELEMETRY)
     t0 = time.time()
     rows, text = run_named_experiment(name, scale=scale, seed=seed)
     elapsed = time.time() - t0
     text = text.rstrip("\n") + "\n\n" + TELEMETRY.render(since=mark) + "\n"
+    failures = render_failures(TELEMETRY.records[mark:])
+    if failures:
+        text += "\n" + failures
     print(text)
     print(f"[{name}] {len(rows)} rows in {elapsed:.1f}s (scale={scale}, seed={seed})\n")
     if out is not None:
@@ -108,8 +155,6 @@ def _run_one(
         out.write_text(text)
     if csv_path is not None:
         write_csv(rows, csv_path)
-    if telemetry_path is not None:
-        TELEMETRY.write_jsonl(telemetry_path, since=mark)
 
 
 def _list_experiments() -> None:
@@ -127,6 +172,19 @@ def _cache_command(op: Optional[str], cache_dir: Optional[Path]) -> int:
     elif op == "clear":
         removed = cache.clear()
         print(f"cleared {removed} cached entries from {cache.root}")
+    return 0
+
+
+def _runs_command(runs_dir: Optional[Path]) -> int:
+    """``repro runs``: list checkpointed runs and their status."""
+    run_ids = list_runs(runs_dir)
+    if not run_ids:
+        print("no checkpointed runs")
+        return 0
+    for run_id in run_ids:
+        ckpt = RunCheckpoint.load(run_id, root=runs_dir)
+        m = ckpt.manifest
+        print(f"{run_id}  status={m.status}  completed={len(m.completed)}/{len(m.names)}  [{' '.join(m.names)}]")
     return 0
 
 
@@ -153,16 +211,152 @@ def _viz(args) -> None:
     print(render_memory_profile(result, width=84, height=8, title="reserved cache over time:"))
 
 
+# --------------------------------------------------------------------- #
+# fault-tolerant experiment driver (fresh runs and resumes share it)
+# --------------------------------------------------------------------- #
+def _experiment_config(args) -> Dict[str, Any]:
+    """The manifest-serializable settings a resume must reproduce."""
+    return {
+        "experiment": args.experiment,
+        "scale": args.scale,
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "no_cache": bool(args.no_cache),
+        "cache_dir": str(args.cache_dir) if args.cache_dir else None,
+        "out": str(args.out) if args.out else None,
+        "csv": str(args.csv) if args.csv else None,
+        "telemetry": str(args.telemetry) if args.telemetry else None,
+        "timeout_s": args.timeout,
+        "retries": args.retries,
+        "backoff_s": args.backoff,
+        "keep_going": bool(args.keep_going),
+    }
+
+
+def _policy_from(config: Dict[str, Any]) -> ExecutionPolicy:
+    return ExecutionPolicy(
+        timeout_s=config.get("timeout_s"),
+        retries=int(config.get("retries", 0)),
+        backoff_s=float(config.get("backoff_s", 0.05)),
+        keep_going=bool(config.get("keep_going", False)),
+    )
+
+
+class _SignalGuard:
+    """Route SIGINT/SIGTERM to ``KeyboardInterrupt`` for the run's duration,
+    so a ``kill`` lands the same clean checkpoint path as a Ctrl-C."""
+
+    def __enter__(self) -> "_SignalGuard":
+        def handler(signum, frame):
+            raise KeyboardInterrupt(f"signal {signum}")
+
+        self._old: Dict[int, Any] = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._old[sig] = signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover — non-main thread
+                pass
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for sig, old in self._old.items():
+            try:
+                signal.signal(sig, old)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+
+def _run_experiments(names: List[str], config: Dict[str, Any], ckpt: Optional[RunCheckpoint]) -> int:
+    """Run ``names`` under ``config``, checkpointing progress as we go.
+
+    Returns the process exit code: 0 on completion, 130 on a clean
+    interrupt (with the manifest marked ``interrupted`` and a resume hint
+    printed — the partial per-experiment reports are already on disk).
+    """
+    is_all = config.get("experiment") == "all"
+    out = Path(config["out"]) if config.get("out") else None
+    csv_path = Path(config["csv"]) if config.get("csv") else None
+    telemetry_path = Path(config["telemetry"]) if config.get("telemetry") else None
+    cache_dir = Path(config["cache_dir"]) if config.get("cache_dir") else None
+    try:
+        with _SignalGuard():
+            with execution(
+                jobs=int(config.get("jobs", 1)),
+                cache=not config.get("no_cache", False),
+                cache_dir=cache_dir,
+                policy=_policy_from(config),
+                checkpoint=ckpt,
+                telemetry_jsonl=telemetry_path,
+            ):
+                for name in names:
+                    if is_all:
+                        one_out = out / f"{name}.md" if out else None
+                        one_csv = csv_path / f"{name}.csv" if csv_path else None
+                    else:
+                        one_out, one_csv = out, csv_path
+                    _run_one(name, config["scale"], config["seed"], one_out, one_csv)
+                    if ckpt is not None:
+                        ckpt.mark_experiment(name)
+        if ckpt is not None:
+            ckpt.mark_status("complete")
+        return 0
+    except KeyboardInterrupt:
+        if ckpt is not None:
+            ckpt.mark_status("interrupted")
+            done = len(ckpt.manifest.completed)
+            print(
+                f"\ninterrupted — {done}/{len(ckpt.manifest.names)} experiments complete; "
+                f"resume with: repro resume {ckpt.manifest.run_id}",
+                file=sys.stderr,
+            )
+        else:
+            print("\ninterrupted (no checkpoint; rerun to recompute)", file=sys.stderr)
+        return 130
+
+
+def _resume_command(run_id: Optional[str], runs_dir: Optional[Path]) -> int:
+    """``repro resume <run-id>``: continue an interrupted/killed run."""
+    if not run_id:
+        known = ", ".join(list_runs(runs_dir)) or "(none)"
+        print(f"resume requires a run id; known runs: {known}", file=sys.stderr)
+        return 2
+    try:
+        ckpt = RunCheckpoint.load(run_id, root=runs_dir)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    remaining = ckpt.manifest.remaining()
+    if ckpt.manifest.status == "complete" and not remaining:
+        print(f"run {run_id} is already complete ({len(ckpt.manifest.names)} experiments)")
+        return 0
+    print(
+        f"resuming {run_id}: {len(ckpt.manifest.completed)} done, "
+        f"{len(remaining)} to go ({' '.join(remaining)})"
+    )
+    ckpt.mark_status("running")
+    return _run_experiments(remaining, ckpt.manifest.config, ckpt)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
-    if args.cache_op is not None and args.experiment != "cache":
-        parser.error("'stats'/'clear' only apply to the 'cache' command")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error("--timeout must be positive")
+    if args.arg is not None and args.experiment not in ("cache", "resume"):
+        parser.error("a positional argument only applies to 'cache' and 'resume'")
     if args.experiment == "cache":
-        return _cache_command(args.cache_op, args.cache_dir)
+        if args.arg not in (None, "stats", "clear"):
+            parser.error("'cache' takes 'stats' or 'clear'")
+        return _cache_command(args.arg, args.cache_dir)
+    if args.experiment == "runs":
+        return _runs_command(args.runs_dir)
+    if args.experiment == "resume":
+        return _resume_command(args.arg, args.runs_dir)
     if args.experiment == "list":
         _list_experiments()
         return 0
@@ -170,15 +364,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         _viz(args)
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    with execution(jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir):
-        for name in names:
-            if args.experiment == "all":
-                out = args.out / f"{name}.md" if args.out else None
-                csv_path = args.csv / f"{name}.csv" if args.csv else None
-            else:
-                out, csv_path = args.out, args.csv
-            _run_one(name, args.scale, args.seed, out, csv_path, args.telemetry)
-    return 0
+    config = _experiment_config(args)
+    ckpt = None
+    if not args.no_checkpoint:
+        ckpt = RunCheckpoint.start(names, config, root=args.runs_dir, run_id=args.run_id)
+    return _run_experiments(names, config, ckpt)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,4 +1,4 @@
-"""Execution engine: parallel, cache-aware experiment cell runner.
+"""Execution engine: parallel, cache-aware, fault-tolerant cell runner.
 
 The paper's claims are expectations over seeds and sweeps over ``p`` —
 embarrassingly parallel — so every experiment decomposes into
@@ -10,15 +10,26 @@ Layers:
 
 * :mod:`~repro.exec.units` — the work-unit abstraction and executors
   (algorithm runs, lower bounds, green-paging replicates);
-* :mod:`~repro.exec.cache` — versioned content-addressed result store;
+* :mod:`~repro.exec.cache` — versioned content-addressed result store
+  with quarantine of corrupt entries;
+* :mod:`~repro.exec.policy` — per-unit execution policy: timeouts,
+  bounded retries with backoff, and typed :class:`FailedCell` outcomes;
 * :mod:`~repro.exec.engine` — pool-backed engine with deterministic
-  ordering, serial fallback, and the ambient :func:`execution` scope;
+  ordering, serial fallback, crash/hang recovery, and the ambient
+  :func:`execution` scope;
+* :mod:`~repro.exec.checkpoint` — run manifests and completed-unit
+  journals behind ``repro resume <run-id>``;
+* :mod:`~repro.exec.faults` — the fault-injection harness the chaos
+  tests drive (crash / kill / hang / flaky / interrupt);
 * :mod:`~repro.exec.telemetry` — per-cell records, JSONL export, and the
   one-line summaries appended to experiment reports.
 """
 
 from .cache import CACHE_VERSION, CacheStats, ResultCache, default_cache_dir, stable_key, workload_fingerprint
+from .checkpoint import RunCheckpoint, RunManifest, default_runs_dir, list_runs, new_run_id
 from .engine import ExecutionEngine, current_engine, default_jobs, execution
+from .faults import FaultSpec, InjectedFault, active_faults, corrupt_cache_entry, inject_faults, maybe_inject
+from .policy import ExecutionPolicy, FailedCell, UnitExecutionError, UnitTimeoutError, run_unit_with_policy
 from .telemetry import TELEMETRY, CellRecord, Telemetry
 from .units import UNIT_EXECUTORS, CellOutcome, WorkUnit, execute_unit
 
@@ -29,10 +40,24 @@ __all__ = [
     "default_cache_dir",
     "stable_key",
     "workload_fingerprint",
+    "RunCheckpoint",
+    "RunManifest",
+    "default_runs_dir",
+    "list_runs",
+    "new_run_id",
     "ExecutionEngine",
     "current_engine",
     "default_jobs",
     "execution",
+    "FaultSpec",
+    "InjectedFault",
+    "corrupt_cache_entry",
+    "inject_faults",
+    "ExecutionPolicy",
+    "FailedCell",
+    "UnitExecutionError",
+    "UnitTimeoutError",
+    "run_unit_with_policy",
     "TELEMETRY",
     "CellRecord",
     "Telemetry",

@@ -114,31 +114,51 @@ def default_cache_dir() -> Path:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """On-disk shape of a cache: entry count and total payload bytes."""
+    """On-disk shape of a cache: entry count, payload bytes, quarantines."""
 
     entries: int
     size_bytes: int
     root: str
+    quarantined: int = 0
 
     def render(self) -> str:
         """One-line human-readable form for the CLI."""
         mib = self.size_bytes / (1 << 20)
-        return f"cache at {self.root}: {self.entries} entries, {mib:.2f} MiB"
+        line = f"cache at {self.root}: {self.entries} entries, {mib:.2f} MiB"
+        if self.quarantined:
+            line += f", {self.quarantined} quarantined"
+        return line
 
 
 class ResultCache:
     """Pickle-backed content-addressed store for work-unit outcomes.
 
     Writes are atomic (temp file + ``os.replace``), so a crashed or
-    parallel run never leaves a truncated entry behind; unreadable
-    entries are treated as misses and deleted.
+    parallel run never leaves a truncated entry behind.  A corrupt,
+    truncated, or unpicklable entry is **never** an error: ``load``
+    quarantines the bad file (renamed to ``*.pkl.bad`` for post-mortems)
+    and reports a miss, so the cell is simply recomputed.
     """
 
     def __init__(self, root: Optional[os.PathLike] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        #: Corrupt entries this instance has quarantined (see also
+        #: :meth:`stats`, which counts ``*.bad`` files on disk).
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside as ``*.pkl.bad`` (best-effort)."""
+        try:
+            os.replace(path, path.with_name(path.name + ".bad"))
+            self.quarantined += 1
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def load(self, key: str) -> Tuple[bool, Any]:
         """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
@@ -149,11 +169,8 @@ class ResultCache:
         except FileNotFoundError:
             return False, None
         except Exception:
-            # corrupt/stale entry: drop it and report a miss
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # corrupt/truncated/unpicklable entry: quarantine and recompute
+            self._quarantine(path)
             return False, None
 
     def store(self, key: str, value: Any) -> None:
@@ -183,6 +200,11 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        for path in self.root.glob("*/*.pkl.bad"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
         for sub in self.root.glob("*"):
             if sub.is_dir():
                 try:
@@ -192,9 +214,10 @@ class ResultCache:
         return removed
 
     def stats(self) -> CacheStats:
-        """Walk the store and report entry count / payload size."""
+        """Walk the store: entry count, payload size, quarantined files."""
         entries = 0
         size = 0
+        quarantined = 0
         if self.root.exists():
             for path in self.root.glob("*/*.pkl"):
                 entries += 1
@@ -202,4 +225,5 @@ class ResultCache:
                     size += path.stat().st_size
                 except OSError:
                     pass
-        return CacheStats(entries=entries, size_bytes=size, root=str(self.root))
+            quarantined = sum(1 for _ in self.root.glob("*/*.pkl.bad"))
+        return CacheStats(entries=entries, size_bytes=size, root=str(self.root), quarantined=quarantined)

@@ -1,0 +1,201 @@
+"""Checkpoint/resume: run manifests and completed-unit journals.
+
+Every CLI experiment run owns a directory under ``.repro_runs/<run-id>/``
+(override with ``--runs-dir`` or ``$REPRO_RUNS_DIR``) holding:
+
+``manifest.json``
+    The run's identity and configuration — experiment names, scale, seed,
+    jobs, cache settings, execution-policy knobs — plus its status
+    (``running`` / ``interrupted`` / ``complete``) and the list of
+    experiments already finished.  Written atomically on every change.
+``units.jsonl``
+    An append-only journal of completed work-unit keys, written by the
+    engine as each cell finishes.  Together with the content-addressed
+    result cache this is what makes ``repro resume <run-id>`` cheap: the
+    journal proves which cells finished, the cache holds their values.
+
+A SIGINT/SIGTERM mid-run marks the manifest ``interrupted``; ``repro
+resume <run-id>`` reloads the config, skips completed experiments, and
+recomputes only the cells the cache does not already hold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "RunManifest",
+    "RunCheckpoint",
+    "default_runs_dir",
+    "new_run_id",
+    "list_runs",
+]
+
+#: Bump when the manifest layout changes incompatibly.
+MANIFEST_VERSION = 1
+
+
+def default_runs_dir() -> Path:
+    """Run-state root: ``$REPRO_RUNS_DIR`` if set, else ``./.repro_runs``."""
+    return Path(os.environ.get("REPRO_RUNS_DIR", ".repro_runs"))
+
+
+def new_run_id(prefix: str = "run") -> str:
+    """A fresh, filesystem-safe run id (timestamp + random suffix)."""
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    return f"{prefix}-{stamp}-{uuid.uuid4().hex[:6]}"
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to restart a run exactly as it was configured."""
+
+    run_id: str
+    names: List[str]
+    config: Dict[str, Any]
+    status: str = "running"
+    completed: List[str] = field(default_factory=list)
+    created: str = ""
+    manifest_version: int = MANIFEST_VERSION
+
+    def remaining(self) -> List[str]:
+        """Experiment names not yet marked complete, in original order."""
+        done = set(self.completed)
+        return [name for name in self.names if name not in done]
+
+
+class RunCheckpoint:
+    """Disk-backed handle on one run's manifest and unit journal."""
+
+    def __init__(self, root: Path, manifest: RunManifest) -> None:
+        self.root = Path(root)
+        self.manifest = manifest
+
+    # ------------------------------------------------------------------ #
+    # paths
+    # ------------------------------------------------------------------ #
+    @property
+    def run_dir(self) -> Path:
+        return self.root / self.manifest.run_id
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.run_dir / "manifest.json"
+
+    @property
+    def journal_path(self) -> Path:
+        return self.run_dir / "units.jsonl"
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def start(
+        cls,
+        names: List[str],
+        config: Dict[str, Any],
+        root: Optional[os.PathLike] = None,
+        run_id: Optional[str] = None,
+    ) -> "RunCheckpoint":
+        """Create and persist a fresh run manifest."""
+        manifest = RunManifest(
+            run_id=run_id or new_run_id(),
+            names=list(names),
+            config=dict(config),
+            created=time.strftime("%Y-%m-%dT%H:%M:%S"),
+        )
+        ckpt = cls(Path(root) if root is not None else default_runs_dir(), manifest)
+        ckpt.save()
+        return ckpt
+
+    @classmethod
+    def load(cls, run_id: str, root: Optional[os.PathLike] = None) -> "RunCheckpoint":
+        """Reopen an existing run; raises ``FileNotFoundError`` with the
+        known run ids when ``run_id`` does not exist."""
+        base = Path(root) if root is not None else default_runs_dir()
+        path = base / run_id / "manifest.json"
+        if not path.exists():
+            known = ", ".join(list_runs(base)) or "(none)"
+            raise FileNotFoundError(f"no run {run_id!r} under {base}; known runs: {known}")
+        data = json.loads(path.read_text())
+        data.pop("manifest_version_found", None)
+        manifest = RunManifest(
+            run_id=data["run_id"],
+            names=list(data["names"]),
+            config=dict(data["config"]),
+            status=data.get("status", "running"),
+            completed=list(data.get("completed", [])),
+            created=data.get("created", ""),
+            manifest_version=int(data.get("manifest_version", MANIFEST_VERSION)),
+        )
+        return cls(base, manifest)
+
+    def save(self) -> None:
+        """Atomically persist the manifest (temp file + ``os.replace``)."""
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.run_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(asdict(self.manifest), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.manifest_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    # progress
+    # ------------------------------------------------------------------ #
+    def record_unit(self, key: str, kind: str = "", label: str = "") -> None:
+        """Journal one completed work unit (append-only, flushed per line)."""
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"key": key, "kind": kind, "label": label}, sort_keys=True)
+        with self.journal_path.open("a") as fh:
+            fh.write(line + "\n")
+
+    def completed_units(self) -> Set[str]:
+        """Keys of every unit the journal has recorded as finished."""
+        keys: Set[str] = set()
+        if not self.journal_path.exists():
+            return keys
+        for line in self.journal_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                keys.add(json.loads(line)["key"])
+            except (json.JSONDecodeError, KeyError):
+                continue  # torn final line from a crash: ignore
+        return keys
+
+    def mark_experiment(self, name: str) -> None:
+        """Record one experiment as fully finished."""
+        if name not in self.manifest.completed:
+            self.manifest.completed.append(name)
+        self.save()
+
+    def mark_status(self, status: str) -> None:
+        """Update the run's lifecycle status (running/interrupted/complete)."""
+        self.manifest.status = status
+        self.save()
+
+
+def list_runs(root: Optional[os.PathLike] = None) -> List[str]:
+    """Run ids under ``root`` with a readable manifest, oldest first."""
+    base = Path(root) if root is not None else default_runs_dir()
+    if not base.exists():
+        return []
+    runs = [p.parent for p in base.glob("*/manifest.json")]
+    runs.sort(key=lambda p: p.stat().st_mtime)
+    return [p.name for p in runs]

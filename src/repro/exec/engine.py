@@ -1,4 +1,4 @@
-"""The parallel execution engine: cache-aware, deterministic, fallback-safe.
+"""The parallel execution engine: cache-aware, deterministic, fault-tolerant.
 
 :class:`ExecutionEngine` runs batches of :class:`~repro.exec.units.WorkUnit`
 and returns their values **in input order**, whatever the completion
@@ -6,7 +6,17 @@ order, so ``--jobs N`` produces row-for-row identical tables to serial
 execution.  Each unit is first looked up in the (optional)
 content-addressed :class:`~repro.exec.cache.ResultCache`; misses are
 computed — in-process for ``jobs == 1``, on a ``ProcessPoolExecutor``
-otherwise — then stored back and recorded in telemetry.
+otherwise — then stored back, journaled to the run checkpoint, and
+recorded in telemetry.
+
+Failure handling is governed by an
+:class:`~repro.exec.policy.ExecutionPolicy`: every unit gets a per-attempt
+timeout and bounded retries with backoff; a worker crash
+(``BrokenProcessPool``) rebuilds the pool and resubmits only the lost
+units; a hung worker is timed out, its pool torn down, and the innocent
+in-flight units resubmitted without burning an attempt.  Under
+``keep_going`` a unit that exhausts its retries yields a typed
+:class:`~repro.exec.policy.FailedCell` instead of aborting the batch.
 
 Experiments do not thread an engine through every call: the harness asks
 :func:`current_engine` for the ambient one, and the CLI (or a test)
@@ -18,13 +28,17 @@ scopes a configured engine with the :func:`execution` context manager::
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
 import warnings
+from collections import deque
 from contextlib import contextmanager
-from typing import Any, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .cache import ResultCache
+from .checkpoint import RunCheckpoint
+from .policy import ExecutionPolicy, FailedCell, UnitExecutionError, UnitTimeoutError, run_unit_with_policy
 from .telemetry import TELEMETRY, CellRecord, Telemetry
 from .units import CellOutcome, WorkUnit, execute_unit
 
@@ -34,6 +48,26 @@ __all__ = ["ExecutionEngine", "execution", "current_engine", "default_jobs"]
 def default_jobs() -> int:
     """A sensible ``--jobs`` default for "use the machine": the CPU count."""
     return os.cpu_count() or 1
+
+
+def _terminate_pool(pool) -> None:
+    """Best-effort hard stop of a pool whose workers may be hung or dead.
+
+    ``_processes`` is a private attribute, but terminating the workers is
+    the only way to reclaim slots from a genuinely hung computation; the
+    whole body is defensive so a CPython layout change degrades to a
+    plain (possibly slow) shutdown rather than an error.
+    """
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
 
 
 class ExecutionEngine:
@@ -50,6 +84,14 @@ class ExecutionEngine:
     telemetry:
         Collector for per-cell records; defaults to the process-wide
         :data:`~repro.exec.telemetry.TELEMETRY`.
+    policy:
+        Per-unit :class:`~repro.exec.policy.ExecutionPolicy` (timeout,
+        retries, keep-going); defaults to fail-fast with no timeout and
+        no retries — the historical behavior.
+    checkpoint:
+        Optional :class:`~repro.exec.checkpoint.RunCheckpoint`; every
+        computed (non-failed) unit key is journaled so an interrupted
+        run can prove what finished.
     """
 
     def __init__(
@@ -57,66 +99,236 @@ class ExecutionEngine:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         telemetry: Optional[Telemetry] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        checkpoint: Optional[RunCheckpoint] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
         self.cache = cache
         self.telemetry = telemetry if telemetry is not None else TELEMETRY
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self.checkpoint = checkpoint
+
+    # ------------------------------------------------------------------ #
+    # pool plumbing (separated so tests can force construction failures)
+    # ------------------------------------------------------------------ #
+    def _make_pool(self, max_workers: int):
+        import concurrent.futures
+
+        return concurrent.futures.ProcessPoolExecutor(max_workers=max_workers)
 
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def _compute_missing(self, pending: List[int], units: Sequence[WorkUnit]) -> List[CellOutcome]:
-        """Execute the units at the given indices; preserves ``pending`` order."""
+    def _compute_missing(
+        self,
+        pending: List[int],
+        units: Sequence[WorkUnit],
+        keys: Sequence[Optional[str]],
+        on_complete: Callable[[int, Union[CellOutcome, FailedCell], int], None],
+    ) -> None:
+        """Execute the units at the given indices.
+
+        ``on_complete(index, outcome, attempts)`` fires for every unit *as
+        it finishes* — not at batch end — so cache stores and checkpoint
+        journal entries survive an interrupt mid-batch.  ``outcome`` is a
+        :class:`CellOutcome` or — only under ``policy.keep_going`` — a
+        :class:`FailedCell`.
+        """
         if not pending:
-            return []
+            return
         if self.jobs > 1 and len(pending) > 1:
             try:
-                from concurrent.futures import ProcessPoolExecutor
-
-                with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
-                    futures = [pool.submit(execute_unit, units[i]) for i in pending]
-                    return [f.result() for f in futures]
-            except (OSError, ImportError, RuntimeError) as exc:  # pragma: no cover
+                pool = self._make_pool(min(self.jobs, len(pending)))
+            except (OSError, ImportError, RuntimeError) as exc:
                 warnings.warn(
                     f"process pool unavailable ({exc!r}); falling back to serial execution",
                     RuntimeWarning,
                     stacklevel=3,
                 )
-        return [execute_unit(units[i]) for i in pending]
+            else:
+                self._run_pooled(pool, pending, units, keys, on_complete)
+                return
+        for i in pending:
+            outcome, attempts = run_unit_with_policy(units[i], self.policy, key=keys[i] or "")
+            on_complete(i, outcome, attempts)
+
+    def _run_pooled(
+        self,
+        pool,
+        pending: List[int],
+        units: Sequence[WorkUnit],
+        keys: Sequence[Optional[str]],
+        on_complete: Callable[[int, Union[CellOutcome, FailedCell], int], None],
+    ) -> None:
+        """Pool scheduler with retries, per-unit timeouts, and crash recovery.
+
+        Invariants: at most ``workers`` units are in flight (so a
+        submitted unit starts immediately and its timeout clock is
+        honest); a unit that fails an attempt re-enters the queue after
+        its backoff; a pool crash or a timed-out (hung) worker rebuilds
+        the pool and resubmits the innocent in-flight units with their
+        attempt counts untouched.
+        """
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        policy = self.policy
+        workers = min(self.jobs, len(pending))
+        done_count = 0
+        first_start: Dict[int, float] = {}
+        ready: Deque[Tuple[int, int]] = deque((i, 1) for i in pending)  # (index, attempt#)
+        delayed: List[Tuple[float, int, int]] = []  # heap of (due, index, attempt#)
+        inflight: Dict[Any, Tuple[int, int, Optional[float]]] = {}  # future -> (index, attempt#, deadline)
+
+        def fail_attempt(idx: int, attempt: int, exc: BaseException) -> None:
+            """One attempt died; schedule the retry or finalize the cell."""
+            nonlocal done_count
+            if attempt <= policy.retries:
+                token = keys[idx] or units[idx].label or units[idx].kind
+                heapq.heappush(delayed, (time.monotonic() + policy.backoff_delay(token, attempt), idx, attempt + 1))
+                return
+            if not policy.keep_going:
+                raise UnitExecutionError(units[idx], attempt, exc) from exc
+            cell = FailedCell(
+                kind=units[idx].kind,
+                label=units[idx].label,
+                key=keys[idx] or "",
+                error=repr(exc),
+                error_type=type(exc).__name__,
+                attempts=attempt,
+                elapsed_s=time.monotonic() - first_start[idx],
+            )
+            done_count += 1
+            on_complete(idx, cell, attempt)
+
+        try:
+            while done_count < len(pending):
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, idx, attempt = heapq.heappop(delayed)
+                    ready.append((idx, attempt))
+                while ready and len(inflight) < workers:
+                    idx, attempt = ready.popleft()
+                    first_start.setdefault(idx, time.monotonic())
+                    future = pool.submit(execute_unit, units[idx])
+                    deadline = (time.monotonic() + policy.timeout_s) if policy.timeout_s else None
+                    inflight[future] = (idx, attempt, deadline)
+                if not inflight:
+                    # everything outstanding is waiting out a backoff
+                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                    continue
+                wakeups = [dl for (_, _, dl) in inflight.values() if dl is not None]
+                if delayed:
+                    wakeups.append(delayed[0][0])
+                timeout = max(0.01, min(wakeups) - time.monotonic()) if wakeups else None
+                done, _ = wait(set(inflight), timeout=timeout, return_when=FIRST_COMPLETED)
+
+                broken = False
+                for future in done:
+                    idx, attempt, _deadline = inflight.pop(future)
+                    try:
+                        value = future.result()
+                        done_count += 1
+                        on_complete(idx, value, attempt)
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        fail_attempt(idx, attempt, exc)
+                    except Exception as exc:
+                        fail_attempt(idx, attempt, exc)
+                if broken:
+                    # the pool is unusable; any future it had not yet failed
+                    # is resubmitted with its attempt count untouched
+                    ready.extend((idx, attempt) for (idx, attempt, _dl) in inflight.values())
+                    inflight.clear()
+                    _terminate_pool(pool)
+                    pool = self._make_pool(workers)
+                    continue
+
+                now = time.monotonic()
+                expired = [f for f, (_, _, dl) in inflight.items() if dl is not None and now >= dl and not f.done()]
+                if expired:
+                    for future in expired:
+                        idx, attempt, _deadline = inflight.pop(future)
+                        fail_attempt(
+                            idx,
+                            attempt,
+                            UnitTimeoutError(
+                                f"unit {units[idx].label or units[idx].kind!r} exceeded {policy.timeout_s}s"
+                            ),
+                        )
+                    # the hung workers still occupy pool slots: rebuild, and
+                    # resubmit the units that were merely sharing the pool
+                    ready.extend((idx, attempt) for (idx, attempt, _dl) in inflight.values())
+                    inflight.clear()
+                    _terminate_pool(pool)
+                    pool = self._make_pool(workers)
+        except BaseException:
+            _terminate_pool(pool)
+            raise
+        pool.shutdown(wait=True)
 
     def run(self, units: Sequence[WorkUnit]) -> List[Any]:
-        """Run a batch of units; returns their values in input order."""
+        """Run a batch of units; returns their values in input order.
+
+        Cache hits short-circuit compute; computed outcomes are stored
+        back, journaled to the checkpoint, and recorded in telemetry.
+        Under ``policy.keep_going`` a failed unit's slot holds its
+        :class:`FailedCell` (callers test with ``isinstance``).
+        """
         units = list(units)
-        outcomes: List[Optional[CellOutcome]] = [None] * len(units)
+        outcomes: List[Optional[Union[CellOutcome, FailedCell]]] = [None] * len(units)
         keys: List[Optional[str]] = [None] * len(units)
         pending: List[int] = []
+        want_keys = self.cache is not None or self.checkpoint is not None
         for i, unit in enumerate(units):
-            if self.cache is not None:
+            if want_keys:
                 t0 = time.perf_counter()
                 key = unit.key()
                 keys[i] = key
-                hit, outcome = self.cache.load(key)
-                if hit:
-                    outcomes[i] = outcome
-                    self.telemetry.record(
-                        CellRecord(
-                            kind=unit.kind,
-                            label=unit.label,
-                            key=key,
-                            cached=True,
-                            duration_s=time.perf_counter() - t0,
-                            sim_steps=outcome.sim_steps,
+                if self.cache is not None:
+                    hit, outcome = self.cache.load(key)
+                    if hit:
+                        outcomes[i] = outcome
+                        self.telemetry.record(
+                            CellRecord(
+                                kind=unit.kind,
+                                label=unit.label,
+                                key=key,
+                                cached=True,
+                                duration_s=time.perf_counter() - t0,
+                                sim_steps=outcome.sim_steps,
+                            )
                         )
-                    )
-                    continue
+                        continue
             pending.append(i)
-        computed = self._compute_missing(pending, units)
-        for i, outcome in zip(pending, computed):
+        def absorb(i: int, outcome: Union[CellOutcome, FailedCell], attempts: int) -> None:
+            # Fires per unit as it completes, so an interrupt mid-batch
+            # loses at most the in-flight units: everything already
+            # computed is cached and journaled.
             outcomes[i] = outcome
+            if isinstance(outcome, FailedCell):
+                self.telemetry.record(
+                    CellRecord(
+                        kind=units[i].kind,
+                        label=units[i].label,
+                        key=keys[i] or "",
+                        cached=False,
+                        duration_s=outcome.elapsed_s,
+                        sim_steps=0,
+                        failed=True,
+                        attempts=outcome.attempts,
+                        error=outcome.error,
+                    )
+                )
+                return
             if self.cache is not None and keys[i] is not None:
                 self.cache.store(keys[i], outcome)
+            if self.checkpoint is not None and keys[i] is not None:
+                self.checkpoint.record_unit(keys[i], kind=units[i].kind, label=units[i].label)
             self.telemetry.record(
                 CellRecord(
                     kind=units[i].kind,
@@ -125,9 +337,12 @@ class ExecutionEngine:
                     cached=False,
                     duration_s=outcome.duration_s,
                     sim_steps=outcome.sim_steps,
+                    attempts=attempts,
                 )
             )
-        return [outcome.value for outcome in outcomes]  # type: ignore[union-attr]
+
+        self._compute_missing(pending, units, keys, absorb)
+        return [o.value if isinstance(o, CellOutcome) else o for o in outcomes]
 
 
 #: Ambient engine stack; the base entry is the serial, cache-less default.
@@ -145,6 +360,9 @@ def execution(
     cache: bool = False,
     cache_dir: Optional[os.PathLike] = None,
     telemetry: Optional[Telemetry] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    checkpoint: Optional[RunCheckpoint] = None,
+    telemetry_jsonl: Optional[os.PathLike] = None,
 ) -> Iterator[ExecutionEngine]:
     """Scope an ambient :class:`ExecutionEngine` for everything inside.
 
@@ -152,14 +370,27 @@ def execution(
     ``cache_dir``, ``$REPRO_CACHE_DIR``, or ``./.repro_cache``).  The
     library default outside any ``execution`` block is serial and
     cache-less, so tests and ad-hoc calls stay hermetic.
+
+    The exit path is exception-safe: the ambient engine stack is restored
+    and — if ``telemetry_jsonl`` is given — every record collected inside
+    the scope is flushed to that file *even when the body raises*, so an
+    interrupted run keeps its partial telemetry.
     """
     engine = ExecutionEngine(
         jobs=jobs,
         cache=ResultCache(cache_dir) if cache else None,
         telemetry=telemetry,
+        policy=policy,
+        checkpoint=checkpoint,
     )
+    mark = len(engine.telemetry)
     _ENGINE_STACK.append(engine)
     try:
         yield engine
     finally:
         _ENGINE_STACK.pop()
+        if telemetry_jsonl is not None:
+            try:
+                engine.telemetry.write_jsonl(telemetry_jsonl, since=mark)
+            except OSError as exc:  # pragma: no cover — disk-full etc.
+                warnings.warn(f"could not flush telemetry to {telemetry_jsonl}: {exc}", RuntimeWarning)

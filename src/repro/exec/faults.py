@@ -1,0 +1,199 @@
+"""Fault injection for chaos-testing the execution engine.
+
+Faults are declared in the ``REPRO_FAULTS`` environment variable — a
+comma-separated list of ``mode:match[:times[:delay]]`` specs — so they
+cross the process boundary to pool workers for free.  ``match`` is a
+substring of the unit's ``"kind|label"``; ``times`` bounds how many
+matching *executions* (across all processes and retries) trigger the
+fault, which is what makes ``flaky`` units eventually succeed.
+
+Modes
+-----
+``crash``
+    Raise :class:`InjectedFault` inside the executor (a retryable error).
+``flaky``
+    Alias of ``crash`` — named for the intent: fail the first ``times``
+    attempts, then succeed.
+``kill``
+    ``os._exit(86)`` the worker process — from a pool this surfaces as
+    ``BrokenProcessPool``; never use with ``jobs=1`` (it kills the run).
+``hang``
+    Sleep ``delay`` seconds (default 3600) before executing normally —
+    exercises per-unit timeouts.
+``interrupt``
+    Raise ``KeyboardInterrupt`` — simulates Ctrl-C deterministically for
+    checkpoint/resume tests.
+
+Cross-process "times" accounting uses claim files (``O_CREAT|O_EXCL`` is
+atomic) under the directory named by ``REPRO_FAULTS_STATE``; the
+:func:`inject_faults` context manager manages both variables and the
+state directory, restoring everything on exit.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple, Union
+
+__all__ = [
+    "FAULTS_ENV",
+    "FAULTS_STATE_ENV",
+    "FaultSpec",
+    "InjectedFault",
+    "active_faults",
+    "maybe_inject",
+    "inject_faults",
+    "corrupt_cache_entry",
+]
+
+FAULTS_ENV = "REPRO_FAULTS"
+FAULTS_STATE_ENV = "REPRO_FAULTS_STATE"
+
+_MODES = ("crash", "flaky", "kill", "hang", "interrupt")
+
+
+class InjectedFault(RuntimeError):
+    """The error raised by ``crash``/``flaky`` faults (retryable)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: what to do, which units, how many times."""
+
+    mode: str
+    match: str
+    times: int = 1
+    delay_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}; known: {', '.join(_MODES)}")
+        if ":" in self.match or "," in self.match:
+            raise ValueError(f"fault match may not contain ':' or ',': {self.match!r}")
+
+    def encode(self) -> str:
+        """The ``mode:match:times:delay`` form accepted by :meth:`parse`."""
+        return f"{self.mode}:{self.match}:{self.times}:{self.delay_s}"
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        parts = text.split(":")
+        if not 2 <= len(parts) <= 4:
+            raise ValueError(f"bad fault spec {text!r}; want mode:match[:times[:delay]]")
+        mode, match = parts[0], parts[1]
+        times = int(parts[2]) if len(parts) > 2 else 1
+        delay = float(parts[3]) if len(parts) > 3 else 3600.0
+        return cls(mode=mode, match=match, times=times, delay_s=delay)
+
+
+def active_faults() -> List[FaultSpec]:
+    """The faults currently declared in the environment (possibly none)."""
+    text = os.environ.get(FAULTS_ENV, "").strip()
+    if not text:
+        return []
+    return [FaultSpec.parse(part) for part in text.split(",") if part.strip()]
+
+
+#: In-process fallback counters when no state directory is configured,
+#: keyed by (spec text, fault index) so a changed env resets the counts.
+_LOCAL_CLAIMS: Dict[Tuple[str, int], int] = {}
+
+
+def _claim(fault_id: int, times: int) -> bool:
+    """Claim one of the first ``times`` triggers of fault ``fault_id``.
+
+    Returns True iff this execution is among the first ``times`` matching
+    ones *across every process sharing the state directory*; ``times <= 0``
+    means unlimited.
+    """
+    if times <= 0:
+        return True
+    state_dir = os.environ.get(FAULTS_STATE_ENV)
+    if state_dir:
+        for slot in range(times):
+            path = Path(state_dir) / f"fault{fault_id}.slot{slot}"
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            except OSError:
+                return False  # state dir vanished: fail open (no fault)
+            os.close(fd)
+            return True
+        return False
+    local_key = (os.environ.get(FAULTS_ENV, ""), fault_id)
+    count = _LOCAL_CLAIMS.get(local_key, 0)
+    if count >= times:
+        return False
+    _LOCAL_CLAIMS[local_key] = count + 1
+    return True
+
+
+def maybe_inject(unit) -> None:
+    """Apply the first matching active fault to ``unit`` (worker-side hook).
+
+    Called by :func:`repro.exec.units.execute_unit` at the top of every
+    execution; a single env lookup when no faults are configured.
+    """
+    if not os.environ.get(FAULTS_ENV):
+        return
+    target = f"{unit.kind}|{unit.label}"
+    for fault_id, spec in enumerate(active_faults()):
+        if spec.match not in target:
+            continue
+        if not _claim(fault_id, spec.times):
+            continue
+        if spec.mode == "kill":
+            os._exit(86)
+        if spec.mode == "hang":
+            time.sleep(spec.delay_s)
+            return
+        if spec.mode == "interrupt":
+            raise KeyboardInterrupt(f"injected interrupt for {target}")
+        raise InjectedFault(f"injected {spec.mode} fault for {target}")
+
+
+@contextmanager
+def inject_faults(*specs: Union[str, FaultSpec]) -> Iterator[None]:
+    """Scope a set of faults: sets the env vars, manages the state dir.
+
+    Usable around in-process engine calls and around CLI ``main(...)``
+    invocations alike; pool workers inherit the environment at pool
+    start-up, so faults reach them too.
+    """
+    parsed = [s if isinstance(s, FaultSpec) else FaultSpec.parse(s) for s in specs]
+    state_dir = tempfile.mkdtemp(prefix="repro-faults-")
+    old_faults = os.environ.get(FAULTS_ENV)
+    old_state = os.environ.get(FAULTS_STATE_ENV)
+    os.environ[FAULTS_ENV] = ",".join(spec.encode() for spec in parsed)
+    os.environ[FAULTS_STATE_ENV] = state_dir
+    _LOCAL_CLAIMS.clear()
+    try:
+        yield
+    finally:
+        for env_name, old in ((FAULTS_ENV, old_faults), (FAULTS_STATE_ENV, old_state)):
+            if old is None:
+                os.environ.pop(env_name, None)
+            else:
+                os.environ[env_name] = old
+        _LOCAL_CLAIMS.clear()
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+def corrupt_cache_entry(cache, key: str, garbage: bytes = b"\x80corrupt\x00") -> Path:
+    """Overwrite a cached entry with garbage bytes (for quarantine tests).
+
+    Returns the path it clobbered; raises ``FileNotFoundError`` if the
+    entry was never stored.
+    """
+    path = cache._path(key)
+    if not path.exists():
+        raise FileNotFoundError(f"no cache entry for key {key!r} at {path}")
+    path.write_bytes(garbage)
+    return path

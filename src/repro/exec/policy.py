@@ -1,0 +1,193 @@
+"""Per-unit execution policy: timeouts, bounded retries, graceful failure.
+
+A :class:`ExecutionPolicy` describes how the engine treats one work unit
+that misbehaves — how long it may run (``timeout_s``), how many times it
+is retried (``retries``, with exponential backoff and deterministic
+jitter), and what happens when every attempt fails: ``keep_going=True``
+turns the unit into a typed :class:`FailedCell` outcome that flows
+through telemetry and reports, ``keep_going=False`` (the default)
+raises :class:`UnitExecutionError` and aborts the batch.
+
+The serial execution path lives here too (:func:`run_unit_with_policy`),
+so the in-process and process-pool engines share identical failure
+semantics — the chaos tests in ``tests/exec/test_faults.py`` assert that
+parity.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple, Union
+
+from .units import CellOutcome, WorkUnit, execute_unit
+
+__all__ = [
+    "ExecutionPolicy",
+    "FailedCell",
+    "UnitTimeoutError",
+    "UnitExecutionError",
+    "call_with_timeout",
+    "run_unit_with_policy",
+]
+
+
+class UnitTimeoutError(TimeoutError):
+    """A work unit exceeded its per-attempt wall-clock budget."""
+
+
+class UnitExecutionError(RuntimeError):
+    """A work unit failed every attempt under a fail-fast policy."""
+
+    def __init__(self, unit: WorkUnit, attempts: int, cause: Optional[BaseException]) -> None:
+        self.unit = unit
+        self.attempts = attempts
+        name = unit.label or unit.kind
+        super().__init__(
+            f"work unit {name!r} failed after {attempts} attempt(s): {cause!r}"
+        )
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """Typed outcome of a unit that exhausted its retries under ``--keep-going``.
+
+    Flows through the engine in place of the unit's value: telemetry
+    records it with ``failed=True``, the harness counts it per row, and
+    reports render the affected cells as ``FAIL`` instead of crashing
+    the run.
+    """
+
+    kind: str
+    label: str
+    key: str
+    error: str
+    error_type: str
+    attempts: int
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How the engine treats a misbehaving work unit.
+
+    Parameters
+    ----------
+    timeout_s:
+        Per-attempt wall-clock budget; ``None`` (default) means no limit.
+        Serial execution guards attempts with a daemon worker thread; the
+        pool engine tears down and rebuilds the pool so a hung worker
+        cannot wedge the batch.
+    retries:
+        Extra attempts after the first failure (so a unit runs at most
+        ``retries + 1`` times).
+    backoff_s / backoff_multiplier:
+        Delay before retry ``i`` is ``backoff_s * multiplier**(i-1)``,
+        stretched by up to ``jitter`` (fractional, deterministic per unit
+        key) to de-synchronize retry storms without breaking
+        reproducibility.
+    keep_going:
+        After the last attempt fails: yield a :class:`FailedCell`
+        (``True``) or raise :class:`UnitExecutionError` (``False``).
+    """
+
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.1
+    keep_going: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive or None, got {self.timeout_s}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    def backoff_delay(self, token: str, attempt: int) -> float:
+        """Delay before re-running ``token`` after failed attempt ``attempt``.
+
+        The jitter is drawn from a generator seeded on ``(token, attempt)``,
+        so a rerun of the same batch backs off identically.
+        """
+        base = self.backoff_s * self.backoff_multiplier ** max(0, attempt - 1)
+        if self.jitter == 0.0:
+            return base
+        u = random.Random(f"{token}:{attempt}").random()
+        return base * (1.0 + self.jitter * u)
+
+
+def call_with_timeout(fn: Callable[..., Any], args: Tuple[Any, ...], timeout_s: Optional[float]) -> Any:
+    """Run ``fn(*args)``, raising :class:`UnitTimeoutError` after ``timeout_s``.
+
+    Used by the serial path: the call runs on a daemon thread, and on
+    timeout the thread is abandoned (it cannot be killed) while the
+    caller moves on to retry or fail the unit.
+    """
+    if timeout_s is None:
+        return fn(*args)
+    box: list = []
+
+    def target() -> None:
+        try:
+            box.append(("ok", fn(*args)))
+        except BaseException as exc:  # noqa: BLE001 — re-raised on the caller thread
+            box.append(("err", exc))
+
+    thread = threading.Thread(target=target, daemon=True, name="repro-unit-attempt")
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise UnitTimeoutError(f"attempt exceeded timeout of {timeout_s}s")
+    status, payload = box[0]
+    if status == "err":
+        raise payload
+    return payload
+
+
+def run_unit_with_policy(
+    unit: WorkUnit, policy: ExecutionPolicy, key: str = ""
+) -> Tuple[Union[CellOutcome, FailedCell], int]:
+    """Serially execute one unit under ``policy``; returns ``(outcome, attempts)``.
+
+    Retries transient failures with backoff; ``KeyboardInterrupt`` and
+    ``SystemExit`` always propagate (an interrupt must stop the run, not
+    burn a retry).
+    """
+    t0 = time.perf_counter()
+    last: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return call_with_timeout(execute_unit, (unit,), policy.timeout_s), attempt
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            last = exc
+            if attempt <= policy.retries:
+                time.sleep(policy.backoff_delay(key or unit.label or unit.kind, attempt))
+    if policy.keep_going:
+        return (
+            FailedCell(
+                kind=unit.kind,
+                label=unit.label,
+                key=key,
+                error=repr(last),
+                error_type=type(last).__name__,
+                attempts=policy.max_attempts,
+                elapsed_s=time.perf_counter() - t0,
+            ),
+            policy.max_attempts,
+        )
+    raise UnitExecutionError(unit, policy.max_attempts, last) from last

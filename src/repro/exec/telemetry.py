@@ -29,6 +29,9 @@ class CellRecord:
     cache lookup time on a hit, the compute time on a miss.
     ``sim_steps`` is the number of simulated requests the cell covers
     (counted whether it was computed or served from cache).
+    ``attempts`` counts executions including retries (1 = first try
+    succeeded); ``failed`` marks a cell that exhausted its retries under
+    a keep-going policy, with ``error`` holding the final exception repr.
     """
 
     kind: str
@@ -37,6 +40,9 @@ class CellRecord:
     cached: bool
     duration_s: float
     sim_steps: int
+    failed: bool = False
+    attempts: int = 1
+    error: str = ""
 
     def to_json(self) -> str:
         """One JSON line (no trailing newline)."""
@@ -70,6 +76,7 @@ class Telemetry:
         recs = self.records[since:]
         hits = sum(1 for r in recs if r.cached)
         misses = len(recs) - hits
+        failed = sum(1 for r in recs if r.failed)
         return {
             "cells": len(recs),
             "cache_hits": hits,
@@ -77,16 +84,25 @@ class Telemetry:
             "hit_rate": (hits / len(recs)) if recs else 0.0,
             "sim_steps": sum(r.sim_steps for r in recs),
             "compute_s": round(sum(r.duration_s for r in recs), 3),
+            "failed": failed,
+            "retried": sum(1 for r in recs if r.attempts > 1),
         }
+
+    def failures(self, since: int = 0) -> List[CellRecord]:
+        """The failed-cell records from index ``since`` onward."""
+        return [r for r in self.records[since:] if r.failed]
 
     def render(self, since: int = 0) -> str:
         """One-line summary for reports and the CLI."""
         s = self.summary(since)
-        return (
+        line = (
             f"[telemetry] cells={s['cells']} cache_hits={s['cache_hits']} "
             f"cache_misses={s['cache_misses']} hit_rate={s['hit_rate']:.0%} "
             f"sim_steps={s['sim_steps']} compute={s['compute_s']:.2f}s"
         )
+        if s["failed"] or s["retried"]:
+            line += f" failed={s['failed']} retried={s['retried']}"
+        return line
 
     def write_jsonl(self, path: "str | Path", since: int = 0, append: bool = True) -> None:
         """Write records from index ``since`` as JSON lines."""

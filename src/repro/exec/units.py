@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, Mapping
 import numpy as np
 
 from .cache import stable_key
+from .faults import maybe_inject
 
 __all__ = ["WorkUnit", "CellOutcome", "UNIT_EXECUTORS", "execute_unit"]
 
@@ -184,10 +185,16 @@ UNIT_EXECUTORS: Dict[str, Callable[[Mapping[str, Any]], CellOutcome]] = {
 
 
 def execute_unit(unit: WorkUnit) -> CellOutcome:
-    """Run one unit to completion (the worker-process entry point)."""
+    """Run one unit to completion (the worker-process entry point).
+
+    Honors any fault declared via :mod:`repro.exec.faults` (a single env
+    lookup when none are configured), so chaos tests can crash, hang, or
+    kill exactly this execution — in-process or in a pool worker.
+    """
     try:
         executor = UNIT_EXECUTORS[unit.kind]
     except KeyError:
         known = ", ".join(sorted(UNIT_EXECUTORS))
         raise KeyError(f"unknown work-unit kind {unit.kind!r}; known: {known}") from None
+    maybe_inject(unit)
     return executor(unit.params)

@@ -36,6 +36,7 @@ from .core.rand_par import RandPar
 from .core.well_rounded import audit_balance, audit_well_rounded
 from .core.black_box import BlackBoxPar
 from .exec.engine import current_engine
+from .exec.policy import FailedCell
 from .exec.units import WorkUnit
 from .workloads.adversarial import build_adversarial_instance, lemma8_opt_makespan
 from .workloads.generators import cyclic, multiscale_cycles, phased_working_sets, polluted_cycle, scan
@@ -44,6 +45,17 @@ from .workloads.trace import ParallelWorkload
 __all__ = ["EXPERIMENTS", "run_named_experiment"]
 
 Rows = List[Dict[str, object]]
+
+
+def _engine_values(units: List[WorkUnit]) -> List[object]:
+    """Run units through the ambient engine, degrading failures to ``nan``.
+
+    Under a keep-going policy a unit that exhausted its retries comes back
+    as a :class:`~repro.exec.FailedCell`; mapping it to ``nan`` here lets
+    every downstream mean/ratio propagate the loss and the table renderer
+    mark the affected cells ``FAIL`` instead of crashing the experiment.
+    """
+    return [float("nan") if isinstance(v, FailedCell) else v for v in current_engine().run(units)]
 
 
 # --------------------------------------------------------------------- #
@@ -92,7 +104,7 @@ def e1_rand_green(scale: str = "quick", seed: int = 0) -> Tuple[Rows, str]:
                     )
                 )
             cells.append((p, name, opt_idx, rep_idxs))
-    values = current_engine().run(units)
+    values = _engine_values(units)
     rows: Rows = []
     for p, name, opt_idx, rep_idxs in cells:
         opt = values[opt_idx]
@@ -366,7 +378,7 @@ def e8_ablation(scale: str = "quick", seed: int = 0) -> Tuple[Rows, str]:
                     )
                 )
         cells.append((p, opt_idx, by_kind))
-    values = current_engine().run(units)
+    values = _engine_values(units)
     rows: Rows = []
     for p, opt_idx, by_kind in cells:
         opt = values[opt_idx]
@@ -414,7 +426,7 @@ def e9_det_green(scale: str = "quick", seed: int = 0) -> Tuple[Rows, str]:
                     )
                 )
             cells.append((p, name, opt_idx, det_idx, rand_idxs))
-    values = current_engine().run(units)
+    values = _engine_values(units)
     rows: Rows = []
     for p, name, opt_idx, det_idx, rand_idxs in cells:
         opt = values[opt_idx]
@@ -523,7 +535,7 @@ def e10_shared_pages(scale: str = "quick", seed: int = 0) -> Tuple[Rows, str]:
                     label=f"e10/{name}/shared={frac}",
                 )
             )
-    values = current_engine().run(units)
+    values = _engine_values(units)
     rows: Rows = []
     for fi, frac in enumerate(fractions):
         row: Dict[str, object] = {"shared_fraction": frac}

@@ -1,5 +1,8 @@
 """Shared pytest configuration: markers and deterministic hypothesis profile."""
 
+import os
+import tempfile
+
 import pytest
 from hypothesis import HealthCheck, settings
 
@@ -14,3 +17,24 @@ settings.load_profile("repro")
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: heavier end-to-end experiment tests")
+    config.addinivalue_line("markers", "chaos: fault-injection tests of the execution engine")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_runs_dir():
+    """Keep CLI run checkpoints out of the working tree during tests.
+
+    Session-scoped (not per-test) so hypothesis's function-scoped-fixture
+    health check stays quiet; individual tests that care about the runs
+    dir pass ``--runs-dir`` or monkeypatch ``$REPRO_RUNS_DIR`` themselves.
+    """
+    old = os.environ.get("REPRO_RUNS_DIR")
+    with tempfile.TemporaryDirectory(prefix="repro-test-runs-") as tmp:
+        os.environ["REPRO_RUNS_DIR"] = tmp
+        try:
+            yield
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_RUNS_DIR", None)
+            else:
+                os.environ["REPRO_RUNS_DIR"] = old

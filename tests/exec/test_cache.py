@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exec import ResultCache, WorkUnit, stable_key, workload_fingerprint
+from repro.exec import ResultCache, WorkUnit, corrupt_cache_entry, stable_key, workload_fingerprint
 from repro.workloads import ParallelWorkload, cyclic
 
 
@@ -67,14 +67,33 @@ class TestStore:
         hit, value = cache.load("ab" * 32)
         assert hit and value == {"x": 1}
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
         key = "cd" * 32
         cache.store(key, [1, 2, 3])
-        cache._path(key).write_bytes(b"not a pickle")
+        corrupt_cache_entry(cache, key)
         hit, _ = cache.load(key)
         assert not hit
-        assert not cache._path(key).exists()  # dropped, not left to rot
+        assert not cache._path(key).exists()  # no longer a live entry
+        bad = cache._path(key).with_name(cache._path(key).name + ".bad")
+        assert bad.exists()  # preserved for post-mortem, not silently dropped
+        assert cache.quarantined == 1
+        stats = cache.stats()
+        assert stats.quarantined == 1
+        assert "1 quarantined" in stats.render()
+        # the slot is reusable: a fresh store works and loads cleanly
+        cache.store(key, [4, 5])
+        hit, value = cache.load(key)
+        assert hit and value == [4, 5]
+
+    def test_clear_removes_quarantined_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = "ef" * 32
+        cache.store(key, "v")
+        corrupt_cache_entry(cache, key)
+        cache.load(key)  # quarantines
+        assert cache.clear() == 0  # no live entries ...
+        assert cache.stats().quarantined == 0  # ... and the .bad file is gone too
 
     def test_clear_and_stats(self, tmp_path):
         cache = ResultCache(tmp_path / "c")

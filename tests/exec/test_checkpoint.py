@@ -1,0 +1,105 @@
+"""Run checkpoints: manifest roundtrip, unit journal, resume bookkeeping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec import (
+    ExecutionEngine,
+    RunCheckpoint,
+    RunManifest,
+    WorkUnit,
+    list_runs,
+    new_run_id,
+)
+from repro.exec.checkpoint import default_runs_dir
+from repro.workloads import cyclic
+
+
+def start(tmp_path, run_id="r1", names=("e1", "e8")):
+    return RunCheckpoint.start(
+        list(names), {"scale": "quick", "seed": 0, "jobs": 2}, root=tmp_path, run_id=run_id
+    )
+
+
+def test_new_run_ids_are_unique_and_safe():
+    a, b = new_run_id(), new_run_id()
+    assert a != b
+    assert "/" not in a and " " not in a
+
+
+def test_start_save_load_roundtrip(tmp_path):
+    ckpt = start(tmp_path)
+    assert ckpt.manifest_path.exists()
+    loaded = RunCheckpoint.load("r1", root=tmp_path)
+    assert loaded.manifest == ckpt.manifest
+    assert loaded.manifest.status == "running"
+    assert loaded.manifest.config["scale"] == "quick"
+
+
+def test_load_unknown_run_lists_known(tmp_path):
+    start(tmp_path, run_id="exists")
+    with pytest.raises(FileNotFoundError, match="exists"):
+        RunCheckpoint.load("missing", root=tmp_path)
+
+
+def test_remaining_skips_completed(tmp_path):
+    ckpt = start(tmp_path, names=("e1", "e8", "e9"))
+    assert ckpt.manifest.remaining() == ["e1", "e8", "e9"]
+    ckpt.mark_experiment("e8")
+    assert RunCheckpoint.load("r1", root=tmp_path).manifest.remaining() == ["e1", "e9"]
+    ckpt.mark_experiment("e8")  # idempotent
+    assert ckpt.manifest.completed == ["e8"]
+
+
+def test_mark_status_persists(tmp_path):
+    ckpt = start(tmp_path)
+    ckpt.mark_status("interrupted")
+    assert RunCheckpoint.load("r1", root=tmp_path).manifest.status == "interrupted"
+
+
+def test_unit_journal_roundtrip(tmp_path):
+    ckpt = start(tmp_path)
+    assert ckpt.completed_units() == set()
+    ckpt.record_unit("a" * 64, kind="rand-green", label="e1/x")
+    ckpt.record_unit("b" * 64)
+    assert ckpt.completed_units() == {"a" * 64, "b" * 64}
+    row = json.loads(ckpt.journal_path.read_text().splitlines()[0])
+    assert row == {"key": "a" * 64, "kind": "rand-green", "label": "e1/x"}
+
+
+def test_journal_tolerates_torn_final_line(tmp_path):
+    ckpt = start(tmp_path)
+    ckpt.record_unit("a" * 64)
+    with ckpt.journal_path.open("a") as fh:
+        fh.write('{"key": "tru')  # crash mid-write
+    assert ckpt.completed_units() == {"a" * 64}
+
+
+def test_list_runs_ordered_and_filtered(tmp_path):
+    assert list_runs(tmp_path) == []
+    start(tmp_path, run_id="first")
+    start(tmp_path, run_id="second")
+    (tmp_path / "not-a-run").mkdir()  # no manifest: ignored
+    assert list_runs(tmp_path) == ["first", "second"]
+
+
+def test_default_runs_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "rr"))
+    assert default_runs_dir() == tmp_path / "rr"
+
+
+def test_engine_journals_computed_units(tmp_path):
+    ckpt = start(tmp_path)
+    units = [
+        WorkUnit(
+            "rand-green",
+            {"seq": cyclic(60, 5), "k": 8, "p": 2, "miss_cost": 4, "entropy": 5, "spawn_key": (i,)},
+            label=f"ck/u{i}",
+        )
+        for i in range(3)
+    ]
+    ExecutionEngine(jobs=1, checkpoint=ckpt).run(units)
+    assert ckpt.completed_units() == {u.key() for u in units}

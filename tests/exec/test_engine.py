@@ -115,3 +115,55 @@ def test_unknown_unit_kind_rejected():
 
 def test_empty_batch():
     assert ExecutionEngine(jobs=4).run([]) == []
+
+
+def test_pool_unavailable_falls_back_to_serial(monkeypatch):
+    units = green_units(3)
+    clean = ExecutionEngine(jobs=1).run(units)
+
+    def broken_pool(self, max_workers):
+        raise OSError("no sem_open on this platform")
+
+    monkeypatch.setattr(ExecutionEngine, "_make_pool", broken_pool)
+    engine = ExecutionEngine(jobs=4)
+    with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+        values = engine.run(units)
+    assert values == clean  # serial fallback, identical results
+
+
+def test_execution_restores_stack_when_body_raises(tmp_path):
+    base = current_engine()
+    telemetry = Telemetry()
+    out = tmp_path / "telemetry.jsonl"
+    with pytest.raises(RuntimeError, match="boom"):
+        with execution(jobs=2, telemetry=telemetry, telemetry_jsonl=out) as engine:
+            engine.run(green_units(2))
+            raise RuntimeError("boom")
+    assert current_engine() is base  # stack popped despite the raise
+    assert out.exists()  # partial telemetry still flushed
+    assert len(out.read_text().splitlines()) == 2
+
+
+def test_mid_batch_interrupt_preserves_completed_cells(tmp_path):
+    """An interrupt mid-batch must not lose the cells that already finished."""
+    from repro.exec import inject_faults
+
+    seq = cyclic(120, 6)
+    units = [
+        WorkUnit(
+            "rand-green",
+            {"seq": seq, "k": 8, "p": 2, "miss_cost": 4, "entropy": 11, "spawn_key": (i,)},
+            label=f"mid/u{i}",
+        )
+        for i in range(4)
+    ]
+    cache = ResultCache(tmp_path / "c")
+    with inject_faults("interrupt:mid/u2:1"):
+        with pytest.raises(KeyboardInterrupt):
+            ExecutionEngine(jobs=1, cache=cache).run(units)
+    # serial order: units 0 and 1 completed before the injected Ctrl-C
+    assert cache.stats().entries == 2
+    telemetry = Telemetry()
+    resumed = ExecutionEngine(jobs=1, cache=cache, telemetry=telemetry).run(units)
+    assert telemetry.summary()["cache_hits"] == 2
+    assert resumed == ExecutionEngine(jobs=1).run(units)

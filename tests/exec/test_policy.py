@@ -1,0 +1,157 @@
+"""ExecutionPolicy: validation, deterministic backoff, timeouts, retry loop."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exec import (
+    ExecutionPolicy,
+    FailedCell,
+    UnitExecutionError,
+    UnitTimeoutError,
+    WorkUnit,
+    inject_faults,
+    run_unit_with_policy,
+)
+from repro.exec.policy import call_with_timeout
+from repro.workloads import cyclic
+
+
+def green_unit(tag: int = 0) -> WorkUnit:
+    return WorkUnit(
+        "rand-green",
+        {"seq": cyclic(60, 5), "k": 8, "p": 2, "miss_cost": 4, "entropy": 3, "spawn_key": (tag,)},
+        label=f"policy/u{tag}",
+    )
+
+
+# --------------------------------------------------------------------- #
+# validation
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"timeout_s": 0},
+        {"timeout_s": -1.0},
+        {"retries": -1},
+        {"backoff_s": -0.1},
+        {"backoff_multiplier": 0.5},
+        {"jitter": -0.1},
+        {"jitter": 1.5},
+    ],
+)
+def test_invalid_policy_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ExecutionPolicy(**kwargs)
+
+
+def test_max_attempts():
+    assert ExecutionPolicy().max_attempts == 1
+    assert ExecutionPolicy(retries=3).max_attempts == 4
+
+
+# --------------------------------------------------------------------- #
+# backoff
+# --------------------------------------------------------------------- #
+def test_backoff_deterministic_and_exponential():
+    p = ExecutionPolicy(retries=3, backoff_s=0.1, backoff_multiplier=2.0, jitter=0.2)
+    first = [p.backoff_delay("some-key", a) for a in (1, 2, 3)]
+    again = [p.backoff_delay("some-key", a) for a in (1, 2, 3)]
+    assert first == again  # same key + attempt -> same jittered delay
+    # jitter stretches by at most 20%, so the exponential shape survives
+    assert 0.1 <= first[0] <= 0.12
+    assert 0.2 <= first[1] <= 0.24
+    assert 0.4 <= first[2] <= 0.48
+
+
+def test_backoff_jitter_varies_by_key():
+    p = ExecutionPolicy(backoff_s=1.0, jitter=1.0)
+    delays = {p.backoff_delay(f"key{i}", 1) for i in range(8)}
+    assert len(delays) > 1  # different units de-synchronize
+
+
+def test_zero_jitter_is_exact():
+    p = ExecutionPolicy(backoff_s=0.25, backoff_multiplier=3.0, jitter=0.0)
+    assert p.backoff_delay("k", 1) == 0.25
+    assert p.backoff_delay("k", 2) == 0.75
+
+
+# --------------------------------------------------------------------- #
+# call_with_timeout
+# --------------------------------------------------------------------- #
+def test_call_with_timeout_passthrough():
+    assert call_with_timeout(lambda a, b: a + b, (2, 3), None) == 5
+    assert call_with_timeout(lambda: "ok", (), 5.0) == "ok"
+
+
+def test_call_with_timeout_raises_on_slow_fn():
+    t0 = time.perf_counter()
+    with pytest.raises(UnitTimeoutError):
+        call_with_timeout(time.sleep, (30,), 0.1)
+    assert time.perf_counter() - t0 < 5  # abandoned, not joined to completion
+
+
+def test_call_with_timeout_propagates_errors():
+    def boom():
+        raise ZeroDivisionError("inner")
+
+    with pytest.raises(ZeroDivisionError, match="inner"):
+        call_with_timeout(boom, (), 5.0)
+
+
+# --------------------------------------------------------------------- #
+# run_unit_with_policy
+# --------------------------------------------------------------------- #
+def test_clean_unit_runs_once():
+    outcome, attempts = run_unit_with_policy(green_unit(), ExecutionPolicy(retries=2))
+    assert attempts == 1
+    assert not isinstance(outcome, FailedCell)
+    assert outcome.value is not None
+
+
+def test_flaky_unit_retries_then_succeeds():
+    clean, _ = run_unit_with_policy(green_unit(1), ExecutionPolicy())
+    with inject_faults("flaky:policy/u1:2"):
+        outcome, attempts = run_unit_with_policy(
+            green_unit(1), ExecutionPolicy(retries=2, backoff_s=0.01)
+        )
+    assert attempts == 3  # two injected failures, then success
+    assert outcome.value == clean.value
+
+
+def test_fail_fast_raises_unit_execution_error():
+    with inject_faults("crash:policy/u2:0"):  # times<=0: every attempt fails
+        with pytest.raises(UnitExecutionError, match="failed after 2 attempt"):
+            run_unit_with_policy(green_unit(2), ExecutionPolicy(retries=1, backoff_s=0.01))
+
+
+def test_keep_going_yields_failed_cell():
+    policy = ExecutionPolicy(retries=1, backoff_s=0.01, keep_going=True)
+    with inject_faults("crash:policy/u3:0"):
+        outcome, attempts = run_unit_with_policy(green_unit(3), policy, key="deadbeef")
+    assert isinstance(outcome, FailedCell)
+    assert attempts == 2
+    assert outcome.attempts == 2
+    assert outcome.kind == "rand-green"
+    assert outcome.key == "deadbeef"
+    assert outcome.error_type == "InjectedFault"
+    assert "injected" in outcome.error
+
+
+def test_keyboard_interrupt_propagates_not_retried():
+    with inject_faults("interrupt:policy/u4:1"):
+        with pytest.raises(KeyboardInterrupt):
+            run_unit_with_policy(
+                green_unit(4), ExecutionPolicy(retries=5, backoff_s=0.01, keep_going=True)
+            )
+
+
+def test_timeout_counts_as_attempt():
+    policy = ExecutionPolicy(timeout_s=0.1, retries=0, keep_going=True)
+    with inject_faults("hang:policy/u5:1:30"):
+        outcome, attempts = run_unit_with_policy(green_unit(5), policy)
+    assert isinstance(outcome, FailedCell)
+    assert outcome.error_type == "UnitTimeoutError"
+    assert attempts == 1

@@ -71,7 +71,17 @@ def test_jsonl_roundtrip(tmp_path):
     assert len(rows) == 2
     assert rows[0]["cached"] is False and rows[1]["cached"] is True
     assert rows[1]["sim_steps"] == 7
-    assert set(rows[0]) == {"kind", "label", "key", "cached", "duration_s", "sim_steps"}
+    assert set(rows[0]) == {
+        "kind",
+        "label",
+        "key",
+        "cached",
+        "duration_s",
+        "sim_steps",
+        "failed",
+        "attempts",
+        "error",
+    }
 
 
 def test_jsonl_since_and_append(tmp_path):

@@ -68,6 +68,51 @@ green-paging replicate — that `repro.exec` runs through an
 
 Library calls outside any `execution(...)` scope stay serial and
 cache-less, so tests and ad-hoc experiments are hermetic by default.
+
+## Failure semantics & resume
+
+Long sweeps survive crashing, hanging, and flaky cells instead of losing
+hours of compute to one bad unit:
+
+- **Execution policy.** `ExecutionPolicy(timeout_s, retries, backoff_s,
+  backoff_multiplier, jitter, keep_going)` governs each unit: a
+  per-attempt wall-clock budget, bounded retries with exponential
+  backoff, and jitter that is *deterministic per unit key* so reruns
+  back off identically.  The CLI exposes the knobs as `--timeout`,
+  `--retries`, and `--backoff`.  Serial and pooled execution share the
+  same retry loop, so failure behavior does not depend on `--jobs`.
+- **Crash & hang recovery.** A worker that dies (`BrokenProcessPool`)
+  costs the in-flight units one attempt each; the pool is rebuilt and
+  only the lost units are resubmitted.  A unit that exceeds
+  `timeout_s` is failed with `UnitTimeoutError`, its hung worker is
+  terminated, and innocent in-flight units are resubmitted *without*
+  burning an attempt.
+- **Graceful degradation.** Under `--keep-going` a cell that exhausts
+  its retries becomes a typed `FailedCell` instead of aborting the
+  sweep: telemetry records it (`failed=True`, attempts, error), tables
+  render the cell as `FAIL` with a per-row `failed` count, and reports
+  append an itemized "failed cells" block.  The default `--fail-fast`
+  raises `UnitExecutionError` on the first exhausted cell.  Failed
+  cells are never cached, so a rerun recomputes them.
+- **Checkpoint & resume.** Every CLI run (unless `--no-checkpoint`)
+  writes `.repro_runs/<run-id>/manifest.json` — the full run config,
+  status, and completed experiments, written atomically — plus
+  `units.jsonl`, an append-only journal of finished unit keys written
+  as each cell completes.  Ctrl-C / SIGTERM mark the manifest
+  `interrupted` and exit 130 with a hint; `repro resume <run-id>`
+  replays the stored config, skips completed experiments, and serves
+  already-finished cells from the result cache.  `repro runs` lists
+  checkpoints; `--runs-dir` / `$REPRO_RUNS_DIR` relocate them.
+- **Cache quarantine.** A corrupt cache entry (torn write, bad disk) is
+  treated as a miss and renamed to `<key>.pkl.bad` for post-mortem
+  rather than deleted; `repro cache stats` counts quarantined files and
+  `repro cache clear` removes them.
+- **Fault injection.** `repro.exec.faults` drives the chaos tests:
+  `inject_faults("kill:e1/rand-green:1")` (modes `crash`, `flaky`,
+  `kill`, `hang`, `interrupt`) injects failures by unit label — across
+  process boundaries via `$REPRO_FAULTS`, with atomic claim files
+  bounding how many executions trigger — so every recovery path above
+  is exercised deterministically in CI.
 """
 
 
