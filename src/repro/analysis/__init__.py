@@ -3,7 +3,7 @@
 from .eras import EraReport, era_analysis, survivors_over_time
 from .gantt import render_gantt, render_memory_profile
 from .fitting import MODELS, GrowthFit, best_model, fit_growth, normalized_constants
-from .harness import ExperimentRow, run_experiment
+from .harness import ExperimentRow, resolve_workload, run_experiment
 from .plots import bar_chart, line_chart
 from .report import render_table, write_csv, write_report
 from .sweep import SweepResult, default_workload_factory, series_of, sweep_p
@@ -20,6 +20,7 @@ __all__ = [
     "fit_growth",
     "normalized_constants",
     "ExperimentRow",
+    "resolve_workload",
     "run_experiment",
     "bar_chart",
     "line_chart",

@@ -37,14 +37,15 @@ from ..parallel.opt import MakespanLowerBound
 from ..parallel.schedulers import RunSpec
 from ..workloads.trace import ParallelWorkload
 
-__all__ = ["ExperimentRow", "run_experiment", "round_optional", "SCHEMA_VERSION"]
+__all__ = ["ExperimentRow", "resolve_workload", "run_experiment", "round_optional", "SCHEMA_VERSION"]
 
 #: Version of the exported row schema (the ``as_dict`` key set and
 #: rounding rules).  Bumped to 2 when ``schema_version`` itself was added,
 #: to 3 when the ``failed`` column (seeds lost to FailedCell outcomes)
-#: arrived; bump again whenever a column is added, renamed, or re-rounded
-#: so CSV consumers can detect the change.
-SCHEMA_VERSION = 3
+#: arrived, to 4 when the ``trace`` column (content digest of a
+#: registry/store-backed workload) arrived; bump again whenever a column
+#: is added, renamed, or re-rounded so CSV consumers can detect the change.
+SCHEMA_VERSION = 4
 
 
 def round_optional(value: Optional[float], ndigits: int = 3) -> Optional[float]:
@@ -61,6 +62,9 @@ class ExperimentRow:
     ``failed`` counts replicates lost to :class:`~repro.exec.FailedCell`
     outcomes under a keep-going policy; a row whose every replicate
     failed carries ``makespan = nan`` and renders as ``FAIL``.
+    ``trace`` is the workload's content digest when it came from the
+    trace registry or a ``.trc`` store (empty for ad-hoc in-memory
+    workloads), so exported tables say exactly which trace produced them.
     """
 
     algorithm: str
@@ -73,6 +77,7 @@ class ExperimentRow:
     xi_measured: float
     utilization: float
     failed: int = 0
+    trace: str = ""
 
     def as_dict(self) -> Dict[str, object]:
         """Rounded dict form for table rendering / CSV export.
@@ -92,8 +97,24 @@ class ExperimentRow:
             "xi_measured": round(self.xi_measured, 3),
             "utilization": round(self.utilization, 3),
             "failed": self.failed,
+            "trace": self.trace,
             "schema_version": SCHEMA_VERSION,
         }
+
+
+def resolve_workload(workload: Union[ParallelWorkload, str]) -> ParallelWorkload:
+    """Accept a workload object or a trace-registry reference.
+
+    A string is resolved through the default :class:`repro.traces.TraceRegistry`
+    (name, content digest, or digest prefix) and opened as a zero-copy
+    store-backed workload, so experiments can say ``workload="my-trace"``
+    and the trace's content digest flows into cache keys and result rows.
+    """
+    if isinstance(workload, ParallelWorkload):
+        return workload
+    from ..traces.registry import default_registry
+
+    return default_registry().workload(str(workload))
 
 
 def _cell_unit(workload: ParallelWorkload, spec: RunSpec, seed: int) -> WorkUnit:
@@ -123,7 +144,11 @@ def _attach_bounds(
 
 
 def _aggregate(
-    spec: RunSpec, workload: ParallelWorkload, summaries: Sequence[RunSummary], failed: int = 0
+    spec: RunSpec,
+    workload: ParallelWorkload,
+    summaries: Sequence[RunSummary],
+    failed: int = 0,
+    trace: str = "",
 ) -> ExperimentRow:
     """Reduce per-seed summaries to one table row (mean/max over seeds).
 
@@ -143,6 +168,7 @@ def _aggregate(
             xi_measured=float("nan"),
             utilization=float("nan"),
             failed=failed,
+            trace=trace,
         )
     mks = [sm.makespan for sm in summaries]
     ratios = [sm.makespan_ratio for sm in summaries if sm.makespan_ratio is not None]
@@ -158,6 +184,7 @@ def _aggregate(
         xi_measured=float(np.mean([sm.xi_measured for sm in summaries])),
         utilization=float(np.mean([sm.utilization for sm in summaries])),
         failed=failed,
+        trace=trace,
     )
 
 
@@ -200,7 +227,7 @@ def _resolve_specs(
 
 
 def run_experiment(
-    workload: ParallelWorkload,
+    workload: Union[ParallelWorkload, str],
     algorithms: Union[RunSpec, Sequence[Union[str, RunSpec]]],
     k: Optional[int] = None,
     miss_cost: Optional[int] = None,
@@ -212,6 +239,12 @@ def run_experiment(
     engine: Optional[ExecutionEngine] = None,
 ) -> List[ExperimentRow]:
     """Run each algorithm on ``workload`` and summarize against the LB.
+
+    ``workload`` may be a :class:`ParallelWorkload` or a trace-registry
+    reference (name / digest / digest prefix, see
+    :class:`repro.traces.TraceRegistry`); registry and store-backed
+    workloads stream zero-copy from disk and stamp their content digest
+    into every row's ``trace`` column.
 
     Stable form::
 
@@ -238,6 +271,8 @@ def run_experiment(
         :func:`repro.exec.current_engine` (serial unless an
         ``execution(jobs=N)`` scope or CLI ``--jobs`` is active).
     """
+    workload = resolve_workload(workload)
+    trace_digest = str(getattr(workload, "content_digest", "") or "")
     specs, k_opt, cost = _resolve_specs(algorithms, k, miss_cost, xi)
     eng = engine if engine is not None else current_engine()
 
@@ -317,5 +352,5 @@ def run_experiment(
     rows: List[ExperimentRow] = []
     for si, (spec, summaries) in enumerate(zip(specs, per_spec)):
         bounded = [_attach_bounds(sm, lb, mean_lb) for sm in summaries]
-        rows.append(_aggregate(spec, workload, bounded, failed=failures[si]))
+        rows.append(_aggregate(spec, workload, bounded, failed=failures[si], trace=trace_digest))
     return rows

@@ -28,6 +28,13 @@ Manage the content-addressed result cache::
 
     repro cache stats
     repro cache clear
+
+Build and use a local trace corpus (see docs/API.md, "Trace corpus")::
+
+    repro trace import traces/app.addr.gz --format address --name app
+    repro trace ls
+    repro trace info app
+    repro run --trace app --algorithms det-par,rand-par --cache-size 64 --miss-cost 16
 """
 
 from __future__ import annotations
@@ -337,10 +344,206 @@ def _resume_command(run_id: Optional[str], runs_dir: Optional[Path]) -> int:
     return _run_experiments(remaining, ckpt.manifest.config, ckpt)
 
 
+# --------------------------------------------------------------------- #
+# trace corpus commands: repro trace <op>, repro run --trace <ref>
+# --------------------------------------------------------------------- #
+def build_trace_parser() -> argparse.ArgumentParser:
+    """Parser for the ``repro trace`` command family."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Manage the local content-addressed trace corpus (.repro_traces).",
+    )
+    parser.add_argument(
+        "--registry", type=Path, default=None, metavar="DIR",
+        help="registry root (default $REPRO_TRACES_DIR or ./.repro_traces)",
+    )
+    sub = parser.add_subparsers(dest="op", required=True)
+
+    p_import = sub.add_parser("import", help="normalize a trace file into the corpus")
+    p_import.add_argument("src", type=Path, help="source trace file (may be .gz/.xz/.bz2)")
+    p_import.add_argument("--name", default=None, help="registry name (default: file name)")
+    p_import.add_argument(
+        "--format", dest="fmt", default="auto",
+        choices=("auto", "sequence", "trace", "address", "kv", "npz", "store"),
+        help="source format (default: sniff from suffix/content)",
+    )
+    p_import.add_argument("--page-size", type=int, default=4096, help="address format: bytes per page")
+    p_import.add_argument("--delimiter", default=",", help="kv format: field delimiter")
+    p_import.add_argument("--key-field", type=int, default=0, help="kv format: key column (0-based)")
+    p_import.add_argument(
+        "--proc-field", type=int, default=None,
+        help="kv format: processor/shard column (default: single processor)",
+    )
+    p_import.add_argument(
+        "--allow-shared", action="store_true",
+        help="permit pages shared across processors (shared-pages model)",
+    )
+    p_import.add_argument("--chunk-rows", type=int, default=None, help="rows per store chunk")
+
+    p_export = sub.add_parser("export", help="copy a registered store out of the corpus")
+    p_export.add_argument("ref", help="trace name, digest, or digest prefix")
+    p_export.add_argument("dest", type=Path, help="destination .trc path")
+
+    sub.add_parser("ls", help="list registered traces")
+
+    p_info = sub.add_parser("info", help="show one trace's header detail")
+    p_info.add_argument("ref", help="trace name, digest, or digest prefix")
+    p_info.add_argument("--verify", action="store_true", help="also verify every chunk digest")
+
+    p_sample = sub.add_parser("sample", help="print the first requests of a column")
+    p_sample.add_argument("ref", help="trace name, digest, or digest prefix")
+    p_sample.add_argument("--proc", type=int, default=0, help="processor column (default 0)")
+    p_sample.add_argument("--rows", type=int, default=10, help="requests to print (default 10)")
+
+    p_rm = sub.add_parser("rm", help="remove a trace from the corpus")
+    p_rm.add_argument("ref", help="trace name, digest, or digest prefix")
+    return parser
+
+
+def _trace_command(argv: List[str]) -> int:
+    """Dispatch ``repro trace <op> ...``."""
+    from .traces import TraceNotFoundError, TraceRegistry
+    from .traces.errors import TraceError
+
+    args = build_trace_parser().parse_args(argv)
+    registry = TraceRegistry(args.registry)
+    try:
+        if args.op == "import":
+            chunk_rows = {} if args.chunk_rows is None else {"chunk_rows": args.chunk_rows}
+            store = registry.import_file(
+                args.src,
+                name=args.name,
+                fmt=args.fmt,
+                page_size=args.page_size,
+                delimiter=args.delimiter,
+                key_field=args.key_field,
+                proc_field=args.proc_field,
+                allow_shared=args.allow_shared,
+                **chunk_rows,
+            )
+            print(f"imported {store.describe()}")
+        elif args.op == "export":
+            dest = registry.export(args.ref, args.dest)
+            print(f"exported {args.ref} -> {dest}")
+        elif args.op == "ls":
+            rows = registry.ls()
+            if not rows:
+                print(f"no traces registered under {registry.root}")
+            for row in rows:
+                print(
+                    f"{row['name']}  digest={row['digest'][:12]}  p={row.get('p', '?')}  "
+                    f"requests={row.get('requests', '?')}"
+                )
+        elif args.op == "info":
+            info = registry.info(args.ref)
+            if args.verify:
+                registry.get(args.ref).verify()
+                info["verified"] = True
+            for key in ("name", "digest", "path", "p", "requests", "lengths",
+                        "bytes", "chunk_rows", "chunk_algo", "allow_shared", "meta"):
+                print(f"{key}: {info[key]}")
+            if args.verify:
+                print("verified: all chunk digests and content digest OK")
+        elif args.op == "sample":
+            store = registry.get(args.ref)
+            if not 0 <= args.proc < max(store.p, 1):
+                print(f"processor {args.proc} out of range (trace has p={store.p})", file=sys.stderr)
+                return 2
+            for page in store.sample(args.proc, args.rows).tolist():
+                print(page)
+        elif args.op == "rm":
+            digest = registry.remove(args.ref)
+            print(f"removed {args.ref} ({digest[:12]})")
+    except (TraceNotFoundError, TraceError, ValueError, OSError) as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_run_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro run``: ad-hoc experiments on registered traces."""
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description=(
+            "Run algorithms on a trace from the local corpus; rows carry the "
+            "trace's content digest and hit the result cache by content."
+        ),
+    )
+    parser.add_argument("--trace", required=True, help="trace name, digest, or digest prefix")
+    parser.add_argument(
+        "--algorithms", default="det-par",
+        help="comma-separated algorithm names (see repro.parallel registry)",
+    )
+    parser.add_argument("--cache-size", type=int, required=True, help="physical cache size xi*k")
+    parser.add_argument("--miss-cost", type=int, required=True, help="fault cost s")
+    parser.add_argument("--xi", type=int, default=2, help="resource augmentation factor (default 2)")
+    parser.add_argument("--seeds", type=int, default=3, help="replication seeds (default 3)")
+    parser.add_argument("--no-lb", action="store_true", help="skip the impact lower bound (faster)")
+    parser.add_argument("--registry", type=Path, default=None, help="registry root")
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    parser.add_argument("--cache-dir", type=Path, default=None, help="result-cache root")
+    parser.add_argument("--out", type=Path, default=None, help="write the rendered table here")
+    parser.add_argument("--csv", type=Path, default=None, help="write the rows here as CSV")
+    return parser
+
+
+def _run_trace_command(argv: List[str]) -> int:
+    """Dispatch ``repro run --trace <ref> ...``."""
+    from .analysis.harness import run_experiment
+    from .analysis.report import render_table
+    from .parallel.schedulers import RunSpec
+    from .traces import TraceRegistry
+    from .traces.errors import TraceError
+
+    args = build_run_parser().parse_args(argv)
+    if args.jobs < 1 or args.seeds < 1:
+        print("repro run: --jobs and --seeds must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        workload = TraceRegistry(args.registry).workload(args.trace)
+    except TraceError as exc:
+        print(f"repro run: {exc}", file=sys.stderr)
+        return 2
+    specs = [
+        RunSpec(algorithm=name.strip(), cache_size=args.cache_size, miss_cost=args.miss_cost, xi=args.xi)
+        for name in args.algorithms.split(",")
+        if name.strip()
+    ]
+    if not specs:
+        print("repro run: --algorithms must name at least one algorithm", file=sys.stderr)
+        return 2
+    mark = len(TELEMETRY)
+    t0 = time.time()
+    with execution(jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir):
+        rows = run_experiment(
+            workload, specs, seeds=range(args.seeds), include_impact_lb=not args.no_lb
+        )
+    dicts = [row.as_dict() for row in rows]
+    digest = dicts[0]["trace"] if dicts else ""
+    text = render_table(dicts, title=f"trace {args.trace} ({str(digest)[:12]})")
+    text = text.rstrip("\n") + "\n\n" + TELEMETRY.render(since=mark) + "\n"
+    print(text)
+    print(f"{len(rows)} rows in {time.time() - t0:.1f}s")
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text)
+    if args.csv is not None:
+        write_csv(dicts, args.csv)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    # `trace` and `run` take their own option sets, so they dispatch to
+    # dedicated parsers before the experiment parser sees the argv
+    if raw and raw[0] == "trace":
+        return _trace_command(raw[1:])
+    if raw and raw[0] == "run":
+        return _run_trace_command(raw[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.retries < 0:

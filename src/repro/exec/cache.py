@@ -47,7 +47,16 @@ def workload_fingerprint(workload: ParallelWorkload) -> str:
     The name and free-form ``meta`` are deliberately excluded: two
     workloads with identical sequences produce identical runs, whatever
     they are called.
+
+    Store-backed workloads (:class:`repro.traces.StoredWorkload`) carry a
+    precomputed ``content_digest`` computed with this exact framing at
+    import time; it is trusted here so fingerprinting a memory-mapped
+    terabyte trace costs nothing — and so store-backed and in-memory
+    copies of the same trace share cache keys by construction.
     """
+    digest = getattr(workload, "content_digest", None)
+    if digest:
+        return str(digest)
     h = hashlib.sha256(b"repro-workload-v1")
     h.update(str(workload.p).encode())
     for seq in workload.sequences:

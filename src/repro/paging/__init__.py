@@ -15,7 +15,7 @@ This package is the foundation everything else stands on:
 from .clock import ClockCache
 from .lfu import LFUCache
 from .belady import BeladySimulation, belady_faults, min_service_time, next_use_indices
-from .engine import BoxRun, ProfileRun, box_budget, execute_profile, run_box
+from .engine import BoxRun, ProfileRun, box_budget, execute_profile, execute_profile_streaming, run_box
 from .engine_policy import run_box_min, run_box_policy
 from .fifo import FIFOCache
 from .lru import LRUCache
@@ -32,6 +32,7 @@ __all__ = [
     "ProfileRun",
     "box_budget",
     "execute_profile",
+    "execute_profile_streaming",
     "run_box",
     "run_box_min",
     "run_box_policy",

@@ -34,7 +34,14 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["BoxRun", "run_box", "box_budget", "ProfileRun", "execute_profile"]
+__all__ = [
+    "BoxRun",
+    "run_box",
+    "box_budget",
+    "ProfileRun",
+    "execute_profile",
+    "execute_profile_streaming",
+]
 
 
 def box_budget(height: int, miss_cost: int) -> int:
@@ -244,6 +251,102 @@ def execute_profile(
     return ProfileRun(
         runs=tuple(runs),
         completed=pos >= n,
+        position=pos,
+        impact=impact,
+        wall_time=wall,
+    )
+
+
+def execute_profile_streaming(
+    chunks: Iterable[np.ndarray],
+    heights: Iterable[int],
+    miss_cost: int,
+    start: int = 0,
+    max_boxes: Optional[int] = None,
+) -> ProfileRun:
+    """:func:`execute_profile` over a *stream* of sequence chunks.
+
+    ``chunks`` yields consecutive 1-D int64 slices whose concatenation is
+    the request sequence (e.g. ``TraceStore.iter_chunks`` from
+    :mod:`repro.traces`).  The result is **bit-identical** to running
+    :func:`execute_profile` on the concatenated array, but peak memory is
+    bounded by one box window plus one chunk: a box of height ``h`` can
+    serve at most ``miss_cost·h`` requests (each costs >= 1 time unit), so
+    only ``[pos, pos + budget)`` ever needs to be resident, and chunks
+    behind the execution position are dropped as it advances.
+    """
+    mc = int(miss_cost)
+    runs: List[BoxRun] = []
+    height_it: Iterator[int] = iter(heights)
+    chunk_it: Iterator[np.ndarray] = iter(chunks)
+    parts: List[np.ndarray] = []  # resident chunks, in order
+    base = 0  # global index of parts[0][0]
+    loaded = 0  # total requests pulled from the stream so far
+    exhausted = False
+    cat: Optional[np.ndarray] = None  # cached concatenation of parts
+    pos = int(start)
+    impact = 0
+    wall = 0
+    count = 0
+
+    def pull() -> bool:
+        """Load one more non-empty chunk; False once the stream ends."""
+        nonlocal loaded, exhausted, cat
+        while True:
+            try:
+                chunk = next(chunk_it)
+            except StopIteration:
+                exhausted = True
+                return False
+            arr = np.ascontiguousarray(chunk, dtype=np.int64)
+            if arr.ndim != 1:
+                raise ValueError("chunks must be 1-D request arrays")
+            if len(arr):
+                parts.append(arr)
+                loaded += len(arr)
+                cat = None
+                return True
+
+    while True:
+        while not exhausted and loaded <= pos:
+            pull()
+        if exhausted and pos >= loaded:
+            break  # sequence complete (mirrors `while pos < n`)
+        if max_boxes is not None and count >= max_boxes:
+            break
+        try:
+            h = int(next(height_it))
+        except StopIteration:
+            break
+        budget = mc * h
+        while not exhausted and loaded < pos + budget:
+            pull()
+        while parts and base + len(parts[0]) <= pos:
+            base += len(parts[0])
+            parts.pop(0)
+            cat = None
+        if cat is None:
+            cat = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        local = run_box(cat, pos - base, h, budget, mc)
+        run = BoxRun(
+            start=local.start + base,
+            end=local.end + base,
+            hits=local.hits,
+            faults=local.faults,
+            time_used=local.time_used,
+            budget=local.budget,
+            height=local.height,
+        )
+        runs.append(run)
+        pos = run.end
+        impact += mc * h * h
+        wall += budget
+        count += 1
+        if run.served == 0 and pos < loaded and budget >= mc:
+            raise AssertionError("box with budget >= miss_cost made no progress")
+    return ProfileRun(
+        runs=tuple(runs),
+        completed=exhausted and pos >= loaded,
         position=pos,
         impact=impact,
         wall_time=wall,

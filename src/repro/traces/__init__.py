@@ -1,0 +1,79 @@
+"""Trace corpus subsystem: binary stores, adapters, registry, streaming.
+
+The pieces, bottom up:
+
+* :mod:`~repro.traces.store` — the ``.trc`` binary columnar format:
+  chunked int64 page-id columns per processor, atomic writes, per-chunk
+  digests, zero-copy ``np.memmap`` reads, and a whole-trace content
+  digest that doubles as the result-cache workload fingerprint;
+* :mod:`~repro.traces.adapters` — normalize real traces (raw address
+  dumps, CSV/key-value cache traces, this repo's text formats, ``.npz``)
+  into stores, streaming with transparent decompression;
+* :mod:`~repro.traces.registry` — a content-addressed local corpus
+  (``.repro_traces/``) so experiments name traces instead of paths, with
+  dedup by digest;
+* :mod:`~repro.traces.stream` — glue that feeds store chunks to the
+  streaming simulator and statistics engines with bounded memory.
+"""
+
+from .adapters import (
+    TRACE_FORMATS,
+    import_trace,
+    read_kv_trace,
+    sniff_format,
+    stream_trace_blocks,
+)
+from .errors import (
+    TraceCorruptError,
+    TraceError,
+    TraceFormatError,
+    TraceNotFoundError,
+    TraceVersionError,
+)
+from .registry import (
+    DEFAULT_REGISTRY_DIR,
+    REGISTRY_ENV_VAR,
+    TraceRegistry,
+    default_registry,
+)
+from .store import (
+    DEFAULT_CHUNK_ROWS,
+    MAGIC,
+    STORE_VERSION,
+    StoredWorkload,
+    StoreWriter,
+    TraceStore,
+    content_digest_of,
+    open_workload,
+    write_store,
+)
+from .stream import characterize_store, characterize_store_all, execute_store_profile
+
+__all__ = [
+    "TRACE_FORMATS",
+    "import_trace",
+    "read_kv_trace",
+    "sniff_format",
+    "stream_trace_blocks",
+    "TraceError",
+    "TraceFormatError",
+    "TraceVersionError",
+    "TraceCorruptError",
+    "TraceNotFoundError",
+    "DEFAULT_REGISTRY_DIR",
+    "REGISTRY_ENV_VAR",
+    "TraceRegistry",
+    "default_registry",
+    "MAGIC",
+    "STORE_VERSION",
+    "DEFAULT_CHUNK_ROWS",
+    "StoredWorkload",
+    "StoreWriter",
+    "TraceStore",
+    "content_digest_of",
+    "open_workload",
+    "write_store",
+    "characterize_store",
+    "characterize_store_all",
+    "execute_store_profile",
+]

@@ -1,0 +1,300 @@
+"""Real-trace adapters: normalize foreign trace formats into the store.
+
+Supported inputs, all streamed with bounded memory and transparently
+decompressed (``.gz``/``.xz``/``.lzma``/``.bz2`` or magic-byte sniff):
+
+* ``sequence`` — one page id per line (this repo's text format);
+* ``trace`` — ``processor_id page_id`` per line (parallel text format);
+* ``address`` — one raw memory address per line (decimal or ``0x`` hex),
+  folded to pages by ``address // page_size``;
+* ``kv`` — delimited cache-trace records (CSV and friends, e.g. Twitter /
+  memcached traces): one field is the key (arbitrary strings, densely
+  re-labeled to int page ids in first-seen order), optionally another
+  names the processor/shard;
+* ``npz`` — a saved :class:`~repro.workloads.trace.ParallelWorkload`;
+* ``store`` — an existing ``.trc`` trace store.
+
+:func:`import_trace` is the one-call dispatcher the registry and CLI use:
+it sniffs the format, streams the source through a
+:class:`~repro.traces.store.StoreWriter`, and returns the opened store.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..workloads.formats import (
+    DEFAULT_BLOCK_BYTES,
+    _parse_address_block,
+    iter_clean_line_blocks,
+    iter_parallel_blocks,
+    open_trace_stream,
+    parse_int_lines,
+)
+from ..workloads.trace import ParallelWorkload
+from .errors import TraceFormatError
+from .store import DEFAULT_CHUNK_ROWS, StoreWriter, TraceStore, write_store
+
+__all__ = [
+    "TRACE_FORMATS",
+    "sniff_format",
+    "iter_kv_records",
+    "read_kv_trace",
+    "stream_trace_blocks",
+    "import_trace",
+]
+
+#: Formats :func:`import_trace` understands (plus "auto" to sniff).
+TRACE_FORMATS = ("sequence", "trace", "address", "kv", "npz", "store")
+
+_STORE_SUFFIX = ".trc"
+_COMPRESSED = {".gz", ".xz", ".lzma", ".bz2"}
+
+
+def _logical_suffix(path: Path) -> str:
+    """File suffix with any compression suffix peeled off."""
+    suffixes = [s.lower() for s in path.suffixes]
+    while suffixes and suffixes[-1] in _COMPRESSED:
+        suffixes.pop()
+    return suffixes[-1] if suffixes else ""
+
+
+def sniff_format(path: str | Path) -> str:
+    """Guess a trace format from suffix, then content.
+
+    ``.trc`` → store, ``.npz`` → npz, ``.csv``/``.tsv`` → kv; otherwise the
+    first cleaned line decides: two integer tokens → ``trace``, one integer
+    (or ``0x`` hex) token → ``sequence``/``address``, anything else → ``kv``.
+    """
+    path = Path(path)
+    suffix = _logical_suffix(path)
+    if suffix == _STORE_SUFFIX:
+        return "store"
+    if suffix == ".npz":
+        return "npz"
+    if suffix in (".csv", ".tsv"):
+        return "kv"
+    for block in iter_clean_line_blocks(path, block_bytes=1 << 14):
+        line = block[0]
+        parts = line.split()
+        if len(parts) == 2 and all(_is_int(tok) for tok in parts):
+            return "trace"
+        if len(parts) == 1:
+            tok = parts[0]
+            if _is_int(tok):
+                return "sequence"
+            if tok.lower().startswith("0x"):
+                return "address"
+        return "kv"
+    return "sequence"  # empty file: degenerate single-processor trace
+
+
+def _is_int(token: str) -> bool:
+    try:
+        int(token)
+        return True
+    except ValueError:
+        return False
+
+
+def iter_kv_records(
+    path: str | Path,
+    delimiter: str = ",",
+    comment: str = "#",
+) -> Iterator[list]:
+    """Stream delimited records, skipping blanks and comment lines."""
+    with open_trace_stream(path) as fh:
+        text = io.TextIOWrapper(fh, encoding="utf-8", newline="")
+        for record in csv.reader(text, delimiter=delimiter):
+            if not record:
+                continue
+            first = record[0].strip()
+            if not first and len(record) == 1:
+                continue
+            if first.startswith(comment):
+                continue
+            yield record
+
+
+def read_kv_trace(
+    path: str | Path,
+    key_field: int = 0,
+    proc_field: Optional[int] = None,
+    delimiter: str = ",",
+    name: str = "kv-trace",
+    allow_shared: bool = False,
+) -> ParallelWorkload:
+    """Read a delimited cache trace, relabeling keys to dense page ids.
+
+    ``key_field``/``proc_field`` are 0-based column indices.  Keys are
+    arbitrary strings mapped to int64 ids in first-seen order (the mapping
+    is recorded size-only in ``meta``); without ``proc_field`` the result
+    is a single-processor workload.
+    """
+    key_ids: Dict[str, int] = {}
+    by_proc: Dict[int, list] = {}
+    for record in iter_kv_records(path, delimiter=delimiter):
+        try:
+            key = record[key_field].strip()
+            proc = int(record[proc_field]) if proc_field is not None else 0
+        except (IndexError, ValueError) as exc:
+            raise TraceFormatError(f"{path}: bad kv record {record!r}: {exc}") from exc
+        if proc < 0:
+            raise TraceFormatError(f"{path}: negative processor id in record {record!r}")
+        page = key_ids.setdefault(key, len(key_ids))
+        by_proc.setdefault(proc, []).append(page)
+    p = (max(by_proc) + 1) if by_proc else 0
+    sequences = [np.asarray(by_proc.get(i, []), dtype=np.int64) for i in range(p)]
+    return ParallelWorkload(
+        sequences=sequences,
+        name=name,
+        meta={"source_format": "kv", "distinct_keys": len(key_ids)},
+        allow_shared=allow_shared or (proc_field is not None),
+    )
+
+
+def stream_trace_blocks(
+    path: str | Path,
+    fmt: str,
+    page_size: int = 4096,
+    delimiter: str = ",",
+    key_field: int = 0,
+    proc_field: Optional[int] = None,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+) -> Iterator[Tuple[int, np.ndarray]]:
+    """Stream a text-family trace as ``(processor, pages)`` blocks.
+
+    The workhorse behind :func:`import_trace` for the ``sequence`` /
+    ``trace`` / ``address`` / ``kv`` formats — each yielded block is
+    bounded by ``block_bytes`` of input, so the full trace is never
+    resident.
+    """
+    if fmt == "sequence":
+        for block in iter_clean_line_blocks(path, block_bytes=block_bytes):
+            yield 0, parse_int_lines(block, 1, "one page id").ravel()
+    elif fmt == "trace":
+        for arr in iter_parallel_blocks(path, block_bytes=block_bytes):
+            procs = arr[:, 0]
+            pages = arr[:, 1]
+            order = np.argsort(procs, kind="stable")
+            sp = procs[order]
+            pg = pages[order]
+            uniq, starts = np.unique(sp, return_index=True)
+            bounds = np.append(starts, len(sp))
+            for j, proc in enumerate(uniq.tolist()):
+                yield int(proc), pg[bounds[j] : bounds[j + 1]]
+    elif fmt == "address":
+        if page_size < 1:
+            raise ValueError("page_size must be >= 1")
+        for block in iter_clean_line_blocks(path, block_bytes=block_bytes):
+            addrs = _parse_address_block(block)
+            if len(addrs) and addrs.min() < 0:
+                raise TraceFormatError(f"{path}: negative address in trace")
+            yield 0, addrs // page_size
+    elif fmt == "kv":
+        key_ids: Dict[str, int] = {}
+        buf: list = []
+        buf_proc = 0
+        for record in iter_kv_records(path, delimiter=delimiter):
+            try:
+                key = record[key_field].strip()
+                proc = int(record[proc_field]) if proc_field is not None else 0
+            except (IndexError, ValueError) as exc:
+                raise TraceFormatError(f"{path}: bad kv record {record!r}: {exc}") from exc
+            if proc < 0:
+                raise TraceFormatError(f"{path}: negative processor id in record {record!r}")
+            page = key_ids.setdefault(key, len(key_ids))
+            if proc != buf_proc and buf:
+                yield buf_proc, np.asarray(buf, dtype=np.int64)
+                buf = []
+            buf_proc = proc
+            buf.append(page)
+            if len(buf) >= DEFAULT_CHUNK_ROWS:
+                yield buf_proc, np.asarray(buf, dtype=np.int64)
+                buf = []
+        if buf:
+            yield buf_proc, np.asarray(buf, dtype=np.int64)
+    else:
+        raise ValueError(f"format {fmt!r} does not stream as blocks (known: sequence, trace, address, kv)")
+
+
+def import_trace(
+    src: str | Path,
+    dest: str | Path,
+    fmt: str = "auto",
+    name: Optional[str] = None,
+    page_size: int = 4096,
+    delimiter: str = ",",
+    key_field: int = 0,
+    proc_field: Optional[int] = None,
+    allow_shared: bool = False,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    meta: Optional[Mapping[str, Any]] = None,
+) -> TraceStore:
+    """Normalize any supported trace format into a store at ``dest``.
+
+    Text-family sources stream through a :class:`StoreWriter` with bounded
+    memory; ``npz`` loads via :class:`ParallelWorkload`; ``store`` re-chunks
+    an existing store (streamed).  Returns the opened destination store.
+    """
+    src = Path(src)
+    if fmt == "auto":
+        fmt = sniff_format(src)
+    if fmt not in TRACE_FORMATS:
+        raise ValueError(f"unknown trace format {fmt!r}; known: auto, {', '.join(TRACE_FORMATS)}")
+    trace_name = name or src.name
+    base_meta: Dict[str, Any] = {
+        "source": str(src),
+        "source_format": fmt,
+    }
+    if fmt == "address":
+        base_meta["page_size"] = int(page_size)
+    base_meta.update(meta or {})
+
+    if fmt == "npz":
+        workload = ParallelWorkload.load(src)
+        workload.name = trace_name
+        workload.meta.update(base_meta)
+        return write_store(dest, workload, chunk_rows=chunk_rows)
+    if fmt == "store":
+        source = TraceStore(src)
+        merged = source.meta
+        merged.update(base_meta)
+        with StoreWriter(
+            dest,
+            name=name or source.name,
+            meta=merged,
+            allow_shared=source.allow_shared or allow_shared,
+            chunk_rows=chunk_rows,
+            p=source.p,
+        ) as writer:
+            for proc in range(source.p):
+                for chunk in source.iter_chunks(proc, verify=True):
+                    writer.append(proc, chunk)
+            return writer.close()
+
+    # kv traces with an explicit processor column may legitimately share
+    # keys across processors (shared-pages model)
+    shared = allow_shared or (fmt == "kv" and proc_field is not None)
+    with StoreWriter(
+        dest,
+        name=trace_name,
+        meta=base_meta,
+        allow_shared=shared,
+        chunk_rows=chunk_rows,
+    ) as writer:
+        for proc, pages in stream_trace_blocks(
+            src,
+            fmt,
+            page_size=page_size,
+            delimiter=delimiter,
+            key_field=key_field,
+            proc_field=proc_field,
+        ):
+            writer.append(proc, pages)
+        return writer.close()

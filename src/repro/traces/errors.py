@@ -1,0 +1,43 @@
+"""Typed errors for the trace corpus subsystem.
+
+Every failure mode of the store/registry stack has a distinct type, so
+callers (and tests) can distinguish "this is not a trace store" from
+"this store is damaged" from "no such registered trace" — a corrupt or
+truncated chunk must surface as :class:`TraceCorruptError`, never as
+garbage data or a bare ``struct``/``json`` exception.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TraceError",
+    "TraceFormatError",
+    "TraceVersionError",
+    "TraceCorruptError",
+    "TraceNotFoundError",
+]
+
+
+class TraceError(Exception):
+    """Base class for all trace-subsystem errors."""
+
+
+class TraceFormatError(TraceError, ValueError):
+    """The file is not a valid trace store (bad magic, malformed header,
+    or inconsistent column metadata)."""
+
+
+class TraceVersionError(TraceFormatError):
+    """The store was written by an incompatible (newer) schema version."""
+
+
+class TraceCorruptError(TraceError):
+    """The store's payload does not match its recorded digests or sizes
+    (truncated file, flipped bits, partial write)."""
+
+
+class TraceNotFoundError(TraceError, KeyError):
+    """No registered trace matches the requested name or digest."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable
+        return Exception.__str__(self)

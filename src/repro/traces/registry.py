@@ -1,0 +1,290 @@
+"""Content-addressed trace registry: a local corpus of imported stores.
+
+The registry is a directory (default ``./.repro_traces``, overridable via
+``$REPRO_TRACES_DIR`` or an explicit root) laid out as::
+
+    .repro_traces/
+        catalog.json                   name -> digest, plus per-digest info
+        objects/ab/<full-digest>.trc   the stores, keyed by content digest
+
+Stores are *content addressed*: the object path is derived from the
+whole-trace content digest, so importing the same trace twice (from the
+same file, a re-download, or an equivalent in-memory workload) lands on
+one object and one cache identity.  Names are mutable labels in the
+catalog pointing at digests — re-registering a name moves the pointer,
+never the data.
+
+Catalog updates are atomic (temp file + ``os.replace``), matching the
+store's own write discipline, so a crashed import never leaves a
+half-written catalog.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..workloads.trace import ParallelWorkload
+from .adapters import import_trace
+from .errors import TraceNotFoundError
+from .store import DEFAULT_CHUNK_ROWS, TraceStore, write_store
+
+__all__ = [
+    "DEFAULT_REGISTRY_DIR",
+    "REGISTRY_ENV_VAR",
+    "TraceRegistry",
+    "default_registry",
+]
+
+DEFAULT_REGISTRY_DIR = ".repro_traces"
+REGISTRY_ENV_VAR = "REPRO_TRACES_DIR"
+_CATALOG_VERSION = 1
+
+
+class TraceRegistry:
+    """Catalog of trace stores keyed by content digest, labeled by name."""
+
+    def __init__(self, root: Optional[str | Path] = None) -> None:
+        if root is None:
+            root = os.environ.get(REGISTRY_ENV_VAR) or DEFAULT_REGISTRY_DIR
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.catalog_path = self.root / "catalog.json"
+
+    # ------------------------------------------------------------------ #
+    # catalog bookkeeping
+    # ------------------------------------------------------------------ #
+    def _load_catalog(self) -> Dict[str, Any]:
+        if not self.catalog_path.exists():
+            return {"version": _CATALOG_VERSION, "names": {}, "traces": {}}
+        with self.catalog_path.open() as fh:
+            catalog = json.load(fh)
+        catalog.setdefault("names", {})
+        catalog.setdefault("traces", {})
+        return catalog
+
+    def _save_catalog(self, catalog: Dict[str, Any]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".catalog.tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(catalog, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.catalog_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def object_path(self, digest: str) -> Path:
+        """Canonical store location for a content digest."""
+        return self.objects_dir / digest[:2] / f"{digest}.trc"
+
+    def _register(self, store: TraceStore, name: str) -> TraceStore:
+        """Record ``store`` (already at its object path) under ``name``."""
+        catalog = self._load_catalog()
+        digest = store.content_digest
+        catalog["names"][name] = digest
+        catalog["traces"][digest] = {
+            "name": name,
+            "p": store.p,
+            "requests": store.total_requests,
+            "bytes": store.nbytes,
+            "allow_shared": store.allow_shared,
+            "meta": store.meta,
+        }
+        self._save_catalog(catalog)
+        return store
+
+    # ------------------------------------------------------------------ #
+    # resolution
+    # ------------------------------------------------------------------ #
+    def resolve(self, ref: str) -> str:
+        """Resolve a name, full digest, or unambiguous digest prefix."""
+        catalog = self._load_catalog()
+        if ref in catalog["names"]:
+            return catalog["names"][ref]
+        if ref in catalog["traces"]:
+            return ref
+        if len(ref) >= 8:
+            hits = [d for d in catalog["traces"] if d.startswith(ref)]
+            if len(hits) == 1:
+                return hits[0]
+            if len(hits) > 1:
+                raise TraceNotFoundError(f"digest prefix {ref!r} is ambiguous ({len(hits)} matches)")
+        known = ", ".join(sorted(catalog["names"])) or "<registry is empty>"
+        raise TraceNotFoundError(f"no registered trace matches {ref!r} (known: {known})")
+
+    def __contains__(self, ref: str) -> bool:
+        try:
+            self.resolve(ref)
+            return True
+        except TraceNotFoundError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # operations
+    # ------------------------------------------------------------------ #
+    def import_file(
+        self,
+        src: str | Path,
+        name: Optional[str] = None,
+        fmt: str = "auto",
+        **import_kwargs: Any,
+    ) -> TraceStore:
+        """Import a trace file into the registry (streamed, deduplicated).
+
+        The source is normalized into a store written next to the objects
+        directory, then moved to its content-addressed path.  If an object
+        with the same digest already exists, the new copy is discarded and
+        the existing object is (re)labeled — identical content is stored
+        once no matter how many times or from where it is imported.
+        """
+        src = Path(src)
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.objects_dir, suffix=".trc.import")
+        os.close(fd)
+        tmp_path = Path(tmp)
+        try:
+            store = import_trace(src, tmp_path, fmt=fmt, name=name, **import_kwargs)
+            dest = self.object_path(store.content_digest)
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            if dest.exists():
+                tmp_path.unlink()
+            else:
+                os.replace(tmp_path, dest)
+        except BaseException:
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+            raise
+        final = TraceStore(dest)
+        return self._register(final, name or final.name)
+
+    def add_workload(
+        self,
+        workload: ParallelWorkload,
+        name: Optional[str] = None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> TraceStore:
+        """Register an in-memory workload (same dedup rules as files)."""
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.objects_dir, suffix=".trc.import")
+        os.close(fd)
+        tmp_path = Path(tmp)
+        try:
+            store = write_store(tmp_path, workload, chunk_rows=chunk_rows, meta=meta)
+            dest = self.object_path(store.content_digest)
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            if dest.exists():
+                tmp_path.unlink()
+            else:
+                os.replace(tmp_path, dest)
+        except BaseException:
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+            raise
+        final = TraceStore(dest)
+        return self._register(final, name or workload.name)
+
+    def get(self, ref: str) -> TraceStore:
+        """Open a registered trace by name, digest, or digest prefix."""
+        digest = self.resolve(ref)
+        path = self.object_path(digest)
+        if not path.exists():
+            raise TraceNotFoundError(
+                f"trace {ref!r} is cataloged as {digest[:12]} but its object file is missing"
+            )
+        return TraceStore(path)
+
+    def workload(self, ref: str, mode: str = "mmap") -> ParallelWorkload:
+        """Open a registered trace as a (store-backed) workload."""
+        return self.get(ref).workload(mode=mode)
+
+    def ls(self) -> List[Dict[str, Any]]:
+        """Catalog entries, sorted by name: name/digest/p/requests/bytes."""
+        catalog = self._load_catalog()
+        rows = []
+        for name, digest in sorted(catalog["names"].items()):
+            info = dict(catalog["traces"].get(digest, {}))
+            info["name"] = name
+            info["digest"] = digest
+            rows.append(info)
+        return rows
+
+    def info(self, ref: str) -> Dict[str, Any]:
+        """Full header-level detail for one registered trace."""
+        store = self.get(ref)
+        return {
+            "name": store.name,
+            "digest": store.content_digest,
+            "path": str(store.path),
+            "p": store.p,
+            "requests": store.total_requests,
+            "lengths": list(store.lengths),
+            "bytes": store.nbytes,
+            "chunk_rows": store.chunk_rows,
+            "chunk_algo": str(store.header.get("chunk_algo", "sha256")),
+            "allow_shared": store.allow_shared,
+            "meta": store.meta,
+        }
+
+    def export(self, ref: str, dest: str | Path) -> Path:
+        """Copy a registered store out of the registry to ``dest``."""
+        store = self.get(ref)
+        dest = Path(dest)
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=dest.parent, suffix=".trc.tmp")
+        try:
+            with os.fdopen(fd, "wb") as out, store.path.open("rb") as src:
+                while True:
+                    buf = src.read(1 << 20)
+                    if not buf:
+                        break
+                    out.write(buf)
+            os.replace(tmp, dest)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return dest
+
+    def remove(self, ref: str) -> str:
+        """Drop a name (and its object, once no other name references it)."""
+        catalog = self._load_catalog()
+        if ref in catalog["names"]:
+            name = ref
+            digest = catalog["names"][name]
+        else:
+            digest = self.resolve(ref)
+            names = [n for n, d in catalog["names"].items() if d == digest]
+            name = names[0] if names else ""
+        catalog["names"].pop(name, None)
+        still_referenced = digest in catalog["names"].values()
+        if not still_referenced:
+            catalog["traces"].pop(digest, None)
+        self._save_catalog(catalog)
+        if not still_referenced:
+            path = self.object_path(digest)
+            try:
+                path.unlink()
+                path.parent.rmdir()  # best-effort: drops the fan-out dir when empty
+            except OSError:
+                pass
+        return digest
+
+
+def default_registry(root: Optional[str | Path] = None) -> TraceRegistry:
+    """The registry at ``root`` / ``$REPRO_TRACES_DIR`` / ``./.repro_traces``."""
+    return TraceRegistry(root)

@@ -1,0 +1,69 @@
+"""Streaming glue: run simulators and statistics straight off a store.
+
+These helpers connect :class:`~repro.traces.store.TraceStore` chunks to
+the chunk-oriented engines — :func:`repro.paging.execute_profile_streaming`
+and :class:`repro.workloads.stats.StreamingCharacterizer` — so a trace far
+larger than RAM can be simulated and characterized with peak memory
+bounded by one chunk plus one box window.  Results are bit-identical to
+the in-memory paths (the test suite asserts it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..paging.engine import ProfileRun, execute_profile_streaming
+from ..workloads.stats import SequenceStats, characterize_chunks
+from .store import TraceStore
+
+__all__ = [
+    "execute_store_profile",
+    "characterize_store",
+    "characterize_store_all",
+]
+
+
+def execute_store_profile(
+    store: TraceStore,
+    proc: int,
+    heights: Iterable[int],
+    miss_cost: int,
+    start: int = 0,
+    max_boxes: Optional[int] = None,
+    verify: bool = False,
+) -> ProfileRun:
+    """Run one processor's column through a box profile, chunk by chunk.
+
+    Identical to ``execute_profile(store.column(proc), ...)`` but never
+    concatenates the column: chunks stream from the store (optionally
+    digest-verified) and are dropped as the execution position passes them.
+    """
+    return execute_profile_streaming(
+        store.iter_chunks(proc, verify=verify),
+        heights,
+        miss_cost,
+        start=start,
+        max_boxes=max_boxes,
+    )
+
+
+def characterize_store(
+    store: TraceStore,
+    proc: int,
+    window: int = 1000,
+    verify: bool = False,
+) -> SequenceStats:
+    """Streaming :func:`repro.workloads.stats.characterize` of one column."""
+    return characterize_chunks(store.iter_chunks(proc, verify=verify), window=window)
+
+
+def characterize_store_all(
+    store: TraceStore,
+    window: int = 1000,
+    verify: bool = False,
+) -> Dict[int, SequenceStats]:
+    """Per-processor streaming characterization of every column."""
+    return {
+        proc: characterize_store(store, proc, window=window, verify=verify)
+        for proc in range(store.p)
+    }

@@ -1,4 +1,4 @@
-"""Plain-text trace format: import/export of request sequences.
+"""Plain-text trace formats: streaming import/export of request sequences.
 
 A minimal interchange format so real traces (or hand-written fixtures)
 can flow in and out of the simulators:
@@ -8,22 +8,35 @@ can flow in and out of the simulators:
 * blank lines and ``#`` comments ignored;
 * the parallel form groups lines by processor id, preserving per-processor
   request order (interleaving across processors carries no timing meaning
-  — the model's schedulers control timing).
+  — the model's schedulers control timing);
+* files ending in ``.gz``/``.xz``/``.lzma``/``.bz2`` are transparently
+  (de)compressed, and compressed inputs without a telltale suffix are
+  sniffed by magic bytes.
 
-``.npz`` (``ParallelWorkload.save``/``load``) remains the efficient native
-format; this one is for humans and foreign tooling.
+The readers stream: files are consumed in bounded byte blocks and parsed
+with vectorized NumPy casts, so multi-gigabyte traces import without ever
+holding the whole text in memory.  ``.npz`` (``ParallelWorkload.save`` /
+``load``) and the :mod:`repro.traces` binary store remain the efficient
+native formats; this one is for humans and foreign tooling.
 """
 
 from __future__ import annotations
 
+import bz2
+import gzip
+import lzma
 from pathlib import Path
-from typing import Dict, List
+from typing import IO, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from .trace import ParallelWorkload
 
 __all__ = [
+    "DEFAULT_BLOCK_BYTES",
+    "open_trace_stream",
+    "iter_clean_line_blocks",
+    "parse_int_lines",
     "write_trace_text",
     "read_trace_text",
     "write_sequence_text",
@@ -31,69 +44,223 @@ __all__ = [
     "read_address_trace",
 ]
 
+#: Bytes per streaming read; bounds reader memory (a block expands to the
+#: parsed int64 rows it contains, nothing more).
+DEFAULT_BLOCK_BYTES = 1 << 20
+
+_MAGIC_OPENERS = (
+    (b"\x1f\x8b", gzip.open),
+    (b"\xfd7zXZ\x00", lzma.open),
+    (b"BZh", bz2.open),
+)
+_SUFFIX_OPENERS = {
+    ".gz": gzip.open,
+    ".xz": lzma.open,
+    ".lzma": lzma.open,
+    ".bz2": bz2.open,
+}
+
+
+def _opener(path: Path):
+    """Compression opener for ``path`` (suffix first, then magic sniff)."""
+    opener = _SUFFIX_OPENERS.get(path.suffix.lower())
+    if opener is None and path.exists():
+        with path.open("rb") as fh:
+            head = fh.read(6)
+        for magic, candidate in _MAGIC_OPENERS:
+            if head.startswith(magic):
+                opener = candidate
+                break
+    return opener
+
+
+def open_trace_stream(path: str | Path) -> IO[bytes]:
+    """Open a possibly-compressed trace file for streaming binary reads."""
+    path = Path(path)
+    opener = _opener(path)
+    return opener(path, "rb") if opener else path.open("rb")
+
+
+def _open_text_write(path: Path) -> IO[str]:
+    """Open ``path`` for text writing, compressing by suffix."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    opener = _SUFFIX_OPENERS.get(path.suffix.lower())
+    return opener(path, "wt") if opener else path.open("w")
+
+
+def _clean_lines(text: str) -> List[str]:
+    """Strip comments/blank lines, preserving line boundaries."""
+    if "#" in text:
+        stripped = (line.split("#", 1)[0].strip() for line in text.splitlines())
+    else:
+        stripped = (line.strip() for line in text.splitlines())
+    return [line for line in stripped if line]
+
+
+def iter_clean_line_blocks(
+    path: str | Path, block_bytes: int = DEFAULT_BLOCK_BYTES
+) -> Iterator[List[str]]:
+    """Stream a text trace as bounded blocks of cleaned lines.
+
+    Each yielded block is a list of non-empty lines with comments already
+    stripped; blocks split only at line boundaries, so every logical line
+    appears exactly once.  Peak memory is ``O(block_bytes)`` regardless of
+    file size.
+    """
+    carry = b""
+    with open_trace_stream(path) as fh:
+        while True:
+            block = fh.read(block_bytes)
+            if not block:
+                break
+            block = carry + block
+            cut = block.rfind(b"\n")
+            if cut < 0:
+                carry = block
+                continue
+            carry = block[cut + 1 :]
+            lines = _clean_lines(block[:cut].decode())
+            if lines:
+                yield lines
+    if carry:
+        lines = _clean_lines(carry.decode())
+        if lines:
+            yield lines
+
+
+def _raise_bad_lines(lines: Sequence[str], columns: int, what: str) -> None:
+    """Pinpoint the offending line for a parse error (slow path, errors only)."""
+    for line in lines:
+        parts = line.split()
+        if len(parts) != columns:
+            raise ValueError(f"expected {what} per line, got {line!r}")
+        for token in parts:
+            try:
+                int(token)
+            except ValueError:
+                raise ValueError(f"expected {what} per line, got {line!r}") from None
+    raise ValueError(f"malformed trace block (expected {what} per line)")
+
+
+def parse_int_lines(lines: Sequence[str], columns: int, what: str) -> np.ndarray:
+    """Parse cleaned lines of exactly ``columns`` integers each (vectorized).
+
+    Returns an ``(n, columns)`` int64 array.  The fast path is a single
+    NumPy string→int64 cast over every token in the block; the per-line
+    Python loop runs only to produce a precise error message.
+    """
+    tokens = " ".join(lines).split()
+    if len(tokens) != columns * len(lines):
+        _raise_bad_lines(lines, columns, what)
+    try:
+        arr = np.array(tokens, dtype=np.int64)
+    except (ValueError, OverflowError):
+        _raise_bad_lines(lines, columns, what)
+    return arr.reshape(len(lines), columns)
+
 
 def write_sequence_text(seq: np.ndarray, path: str | Path, comment: str = "") -> None:
-    """Write one request sequence, one page id per line."""
+    """Write one request sequence, one page id per line (``.gz`` etc. compress)."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as fh:
+    arr = np.asarray(seq, dtype=np.int64)
+    with _open_text_write(path) as fh:
         if comment:
             for line in comment.splitlines():
                 fh.write(f"# {line}\n")
-        for page in np.asarray(seq, dtype=np.int64):
-            fh.write(f"{int(page)}\n")
+        for start in range(0, len(arr), 1 << 16):
+            chunk = arr[start : start + (1 << 16)]
+            fh.write("\n".join(map(str, chunk.tolist())))
+            fh.write("\n")
 
 
 def read_sequence_text(path: str | Path) -> np.ndarray:
     """Read a single-processor trace written by :func:`write_sequence_text`."""
-    out: List[int] = []
-    for raw in Path(path).read_text().splitlines():
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        parts = line.split()
-        if len(parts) != 1:
-            raise ValueError(f"expected one page id per line, got {raw!r}")
-        out.append(int(parts[0]))
-    return np.asarray(out, dtype=np.int64)
+    parts = [
+        parse_int_lines(block, 1, "one page id").ravel()
+        for block in iter_clean_line_blocks(path)
+    ]
+    if not parts:
+        return np.asarray([], dtype=np.int64)
+    return np.concatenate(parts)
 
 
 def write_trace_text(workload: ParallelWorkload, path: str | Path) -> None:
     """Write a parallel workload as ``processor_id page_id`` lines."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as fh:
+    with _open_text_write(path) as fh:
         fh.write(f"# workload: {workload.name}\n")
         fh.write(f"# processors: {workload.p}\n")
         for i, seq in enumerate(workload.sequences):
-            for page in seq:
-                fh.write(f"{i} {int(page)}\n")
+            arr = np.asarray(seq, dtype=np.int64)
+            for start in range(0, len(arr), 1 << 16):
+                chunk = arr[start : start + (1 << 16)]
+                fh.write("".join(f"{i} {page}\n" for page in chunk.tolist()))
 
 
-def read_trace_text(path: str | Path, name: str = "text-trace", allow_shared: bool = False) -> ParallelWorkload:
+def iter_parallel_blocks(
+    path: str | Path, block_bytes: int = DEFAULT_BLOCK_BYTES
+) -> Iterator[np.ndarray]:
+    """Stream a ``processor page`` trace as ``(n, 2)`` int64 blocks."""
+    for block in iter_clean_line_blocks(path, block_bytes=block_bytes):
+        arr = parse_int_lines(block, 2, "'processor page'")
+        if len(arr) and arr[:, 0].min() < 0:
+            bad = int(arr[arr[:, 0] < 0][0, 0])
+            raise ValueError(f"negative processor id {bad} in trace {path}")
+        yield arr
+
+
+def read_trace_text(
+    path: str | Path, name: str = "text-trace", allow_shared: bool = False
+) -> ParallelWorkload:
     """Read a parallel trace written by :func:`write_trace_text`.
 
     Processor ids may appear in any interleaving; per-processor order is
     the file order.  Missing intermediate processor ids yield empty
-    sequences (ids are treated as dense 0..max).
+    sequences (ids are treated as dense 0..max).  The file streams in
+    blocks; only the parsed int64 columns are held in memory.
     """
-    by_proc: Dict[int, List[int]] = {}
-    for raw in Path(path).read_text().splitlines():
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        parts = line.split()
-        if len(parts) != 2:
-            raise ValueError(f"expected 'processor page' per line, got {raw!r}")
-        proc, page = int(parts[0]), int(parts[1])
-        if proc < 0:
-            raise ValueError(f"negative processor id in line {raw!r}")
-        by_proc.setdefault(proc, []).append(page)
+    by_proc: Dict[int, List[np.ndarray]] = {}
+    for arr in iter_parallel_blocks(path):
+        procs = arr[:, 0]
+        pages = arr[:, 1]
+        # stable grouping: per-processor order is preserved within and
+        # (by append order) across blocks
+        order = np.argsort(procs, kind="stable")
+        sorted_procs = procs[order]
+        sorted_pages = pages[order]
+        uniq, starts = np.unique(sorted_procs, return_index=True)
+        bounds = np.append(starts, len(sorted_procs))
+        for j, proc in enumerate(uniq.tolist()):
+            by_proc.setdefault(int(proc), []).append(
+                sorted_pages[bounds[j] : bounds[j + 1]]
+            )
     if not by_proc:
         return ParallelWorkload(sequences=[], name=name, allow_shared=allow_shared)
     p = max(by_proc) + 1
-    sequences = [np.asarray(by_proc.get(i, []), dtype=np.int64) for i in range(p)]
+    empty = np.asarray([], dtype=np.int64)
+    sequences = [
+        np.concatenate(by_proc[i]) if i in by_proc else empty for i in range(p)
+    ]
     return ParallelWorkload(sequences=sequences, name=name, allow_shared=allow_shared)
+
+
+def _parse_address_block(lines: Sequence[str]) -> np.ndarray:
+    """Parse one block of addresses: decimal fast path, hex fallback."""
+    tokens = " ".join(lines).split()
+    if len(tokens) != len(lines):
+        _raise_bad_lines(lines, 1, "one address")
+    try:
+        return np.array(tokens, dtype=np.int64)
+    except (ValueError, OverflowError):
+        pass
+    try:
+        return np.array(
+            [int(t, 16) if t.lower().startswith("0x") else int(t) for t in tokens],
+            dtype=np.int64,
+        )
+    except (ValueError, OverflowError):
+        _raise_bad_lines(lines, 1, "one address")
+        raise AssertionError("unreachable")
 
 
 def read_address_trace(path: str | Path, page_size: int = 4096) -> np.ndarray:
@@ -103,17 +270,17 @@ def read_address_trace(path: str | Path, page_size: int = 4096) -> np.ndarray:
     lines and ``#`` comments ignored.  Each address maps to page
     ``address // page_size`` — the standard adapter for feeding real
     program traces (e.g. from a pintool or valgrind's lackey) into the
-    simulators.
+    simulators.  Streams in blocks, so arbitrarily large traces convert
+    with bounded memory.
     """
     if page_size < 1:
         raise ValueError("page_size must be >= 1")
-    pages: List[int] = []
-    for raw in Path(path).read_text().splitlines():
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        addr = int(line, 16) if line.lower().startswith("0x") else int(line)
-        if addr < 0:
-            raise ValueError(f"negative address in line {raw!r}")
-        pages.append(addr // page_size)
-    return np.asarray(pages, dtype=np.int64)
+    parts: List[np.ndarray] = []
+    for block in iter_clean_line_blocks(path):
+        addrs = _parse_address_block(block)
+        if len(addrs) and addrs.min() < 0:
+            raise ValueError(f"negative address {int(addrs.min())} in trace {path}")
+        parts.append(addrs // page_size)
+    if not parts:
+        return np.asarray([], dtype=np.int64)
+    return np.concatenate(parts)

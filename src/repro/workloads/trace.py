@@ -136,6 +136,7 @@ class ParallelWorkload:
             _name=np.array(self.name),
             _meta=np.array(repr(self.meta)),
             _p=np.array(self.p),
+            _allow_shared=np.array(self.allow_shared),
             **arrays,
         )
 
@@ -146,10 +147,12 @@ class ParallelWorkload:
             p = int(data["_p"])
             sequences = [data[f"seq_{i}"] for i in range(p)]
             name = str(data["_name"])
+            # files written before the shared-pages model default to disjoint
+            allow_shared = bool(data["_allow_shared"]) if "_allow_shared" in data else False
             import ast
 
             meta = ast.literal_eval(str(data["_meta"]))
-        return cls(sequences=sequences, name=name, meta=meta)
+        return cls(sequences=sequences, name=name, meta=meta, allow_shared=allow_shared)
 
     @classmethod
     def from_local(

@@ -1,0 +1,105 @@
+"""Result-cache keys for store-backed workloads.
+
+The contract under test: a trace's identity in the result cache is its
+*content*.  Different traces can never collide; the same content keys
+identically whether it arrives as an in-memory workload, a store-backed
+mmap workload, or a re-import of the same bytes — so warm cache entries
+survive every representation change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import run_experiment
+from repro.exec import execution, stable_key, workload_fingerprint
+from repro.parallel.schedulers import RunSpec
+from repro.traces import TraceRegistry, write_store
+from repro.workloads import ParallelWorkload
+
+RNG = np.random.default_rng(47)
+
+
+def workload(shift=0):
+    return ParallelWorkload(
+        sequences=[RNG.integers(0, 30, size=300) + 200 * i + shift for i in range(2)],
+        name="key-test",
+    )
+
+
+def cell_key(wl, seed=0):
+    return stable_key(
+        "parallel-run",
+        {"algorithm": "det-par", "cache_size": 16, "miss_cost": 4, "seed": seed, "workload": wl},
+    )
+
+
+class TestFingerprintUnification:
+    def test_store_backed_fingerprint_equals_in_memory(self, tmp_path):
+        wl = workload()
+        store = write_store(tmp_path / "w.trc", wl)
+        assert workload_fingerprint(store.workload()) == workload_fingerprint(wl)
+
+    def test_different_traces_never_collide(self, tmp_path):
+        a = write_store(tmp_path / "a.trc", workload(shift=0)).workload()
+        b = write_store(tmp_path / "b.trc", workload(shift=1)).workload()
+        assert workload_fingerprint(a) != workload_fingerprint(b)
+        assert cell_key(a) != cell_key(b)
+
+    def test_reimport_of_identical_content_keys_identically(self, tmp_path):
+        wl = workload()
+        first = write_store(tmp_path / "a.trc", wl, chunk_rows=64).workload()
+        again = write_store(tmp_path / "b.trc", wl, chunk_rows=512).workload()
+        assert cell_key(first) == cell_key(again) == cell_key(wl)
+
+    def test_fingerprint_does_not_rehash_store_content(self, tmp_path):
+        # the digest short-circuit must be used verbatim, not recomputed
+        wl = workload()
+        swl = write_store(tmp_path / "w.trc", wl).workload()
+        swl.content_digest = "f" * 64
+        assert workload_fingerprint(swl) == "f" * 64
+
+
+class TestCacheHitsAcrossRepresentations:
+    def _run(self, wl, cache_dir):
+        spec = RunSpec(algorithm="det-par", cache_size=16, miss_cost=4, xi=2)
+        with execution(jobs=1, cache=True, cache_dir=cache_dir) as engine:
+            rows = run_experiment(wl, [spec], seeds=(0, 1))
+        return rows, engine
+
+    def test_store_run_hits_cache_warmed_in_memory(self, tmp_path):
+        wl = workload()
+        cache_dir = tmp_path / "cache"
+        rows_mem, _ = self._run(wl, cache_dir)
+        entries_after_first = sum(1 for _ in cache_dir.glob("*/*.pkl"))
+        assert entries_after_first > 0
+
+        store = write_store(tmp_path / "w.trc", wl)
+        rows_store, _ = self._run(store.workload(), cache_dir)
+        entries_after_second = sum(1 for _ in cache_dir.glob("*/*.pkl"))
+        # 100% hits: the store-backed run added no cache entries
+        assert entries_after_second == entries_after_first
+        a, b = rows_mem[0].as_dict(), rows_store[0].as_dict()
+        assert a.pop("trace") == ""
+        assert b.pop("trace") == store.content_digest
+        assert a == b
+
+    def test_registry_reference_hits_same_entries(self, tmp_path, monkeypatch):
+        wl = workload()
+        cache_dir = tmp_path / "cache"
+        registry = TraceRegistry(tmp_path / "registry")
+        registry.add_workload(wl, name="by-name")
+        monkeypatch.setenv("REPRO_TRACES_DIR", str(tmp_path / "registry"))
+
+        self._run(wl, cache_dir)
+        before = sum(1 for _ in cache_dir.glob("*/*.pkl"))
+        rows, _ = self._run("by-name", cache_dir)
+        assert sum(1 for _ in cache_dir.glob("*/*.pkl")) == before
+        assert rows[0].trace == registry.resolve("by-name")
+
+    def test_different_trace_misses(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self._run(workload(shift=0), cache_dir)
+        before = sum(1 for _ in cache_dir.glob("*/*.pkl"))
+        self._run(workload(shift=5), cache_dir)
+        assert sum(1 for _ in cache_dir.glob("*/*.pkl")) > before

@@ -1,0 +1,181 @@
+"""Trace adapters: format sniffing, kv/address ingest, compressed sources."""
+
+from __future__ import annotations
+
+import gzip
+import lzma
+
+import numpy as np
+import pytest
+
+from repro.exec import workload_fingerprint
+from repro.traces import (
+    TraceFormatError,
+    import_trace,
+    read_kv_trace,
+    sniff_format,
+    stream_trace_blocks,
+)
+from repro.workloads import ParallelWorkload
+from repro.workloads.formats import write_trace_text
+
+RNG = np.random.default_rng(11)
+
+
+def workload(p=2, n=800):
+    return ParallelWorkload(
+        sequences=[RNG.integers(0, 50, size=n) + 500 * i for i in range(p)], name="adapt"
+    )
+
+
+class TestSniffing:
+    def test_suffixes(self, tmp_path):
+        for name, expected in [
+            ("a.trc", "store"),
+            ("a.npz", "npz"),
+            ("a.csv", "kv"),
+            ("a.tsv", "kv"),
+            ("a.trc.gz", "store"),
+            ("a.csv.xz", "kv"),
+        ]:
+            (tmp_path / name).write_bytes(b"")
+            assert sniff_format(tmp_path / name) == expected
+
+    def test_content_sniffing(self, tmp_path):
+        cases = [
+            ("3 17\n4 18\n", "trace"),
+            ("17\n18\n", "sequence"),
+            ("0xdeadbeef\n0xcafe\n", "address"),
+            ("17,alpha,3\n", "kv"),
+            ("# only a comment\n", "sequence"),
+            ("", "sequence"),
+        ]
+        for i, (content, expected) in enumerate(cases):
+            path = tmp_path / f"c{i}.txt"
+            path.write_text(content)
+            assert sniff_format(path) == expected, content
+
+
+class TestSequenceAndParallel:
+    def test_sequence_import_gzip(self, tmp_path):
+        seq = RNG.integers(0, 99, size=700)
+        with gzip.open(tmp_path / "s.txt.gz", "wt") as fh:
+            fh.write("# header comment\n")
+            fh.write("\n".join(map(str, seq.tolist())))
+        store = import_trace(tmp_path / "s.txt.gz", tmp_path / "s.trc", chunk_rows=128)
+        assert np.array_equal(store.column(0), seq)
+        assert store.content_digest == workload_fingerprint(
+            ParallelWorkload(sequences=[seq])
+        )
+
+    def test_parallel_text_import_matches_store_of_same_workload(self, tmp_path):
+        wl = workload()
+        write_trace_text(wl, tmp_path / "t.txt")
+        store = import_trace(tmp_path / "t.txt", tmp_path / "t.trc")
+        assert store.p == wl.p
+        assert store.content_digest == workload_fingerprint(wl)
+        assert store.meta["source_format"] == "trace"
+
+    def test_parallel_import_enforces_disjointness(self, tmp_path):
+        (tmp_path / "clash.txt").write_text("0 9\n1 9\n")
+        with pytest.raises(ValueError, match="allow_shared"):
+            import_trace(tmp_path / "clash.txt", tmp_path / "c.trc")
+        store = import_trace(tmp_path / "clash.txt", tmp_path / "c.trc", allow_shared=True)
+        assert store.allow_shared
+
+    def test_npz_import(self, tmp_path):
+        wl = workload()
+        wl.save(tmp_path / "w.npz")
+        store = import_trace(tmp_path / "w.npz", tmp_path / "w.trc")
+        assert store.content_digest == workload_fingerprint(wl)
+
+    def test_store_reimport_rechunks(self, tmp_path):
+        from repro.traces import write_store
+
+        wl = workload()
+        original = write_store(tmp_path / "a.trc", wl, chunk_rows=64)
+        rechunked = import_trace(tmp_path / "a.trc", tmp_path / "b.trc", chunk_rows=512)
+        assert rechunked.chunk_rows == 512
+        assert rechunked.content_digest == original.content_digest
+
+
+class TestAddressTraces:
+    def test_hex_and_decimal_fold_to_pages(self, tmp_path):
+        addrs = RNG.integers(0, 1 << 28, size=500)
+        lines = [
+            (f"0x{a:x}" if i % 2 else str(a)) for i, a in enumerate(addrs.tolist())
+        ]
+        (tmp_path / "a.txt").write_text("\n".join(lines) + "\n")
+        store = import_trace(tmp_path / "a.txt", tmp_path / "a.trc", fmt="address", page_size=4096)
+        assert np.array_equal(store.column(0), addrs // 4096)
+        assert store.meta["page_size"] == 4096
+
+    def test_xz_compressed_address_trace(self, tmp_path):
+        addrs = RNG.integers(0, 1 << 20, size=300)
+        with lzma.open(tmp_path / "a.txt.xz", "wt") as fh:
+            fh.write("\n".join(f"0x{a:x}" for a in addrs.tolist()))
+        store = import_trace(tmp_path / "a.txt.xz", tmp_path / "a.trc", fmt="address", page_size=512)
+        assert np.array_equal(store.column(0), addrs // 512)
+
+    def test_negative_address_rejected(self, tmp_path):
+        (tmp_path / "a.txt").write_text("100\n-4\n")
+        with pytest.raises(TraceFormatError, match="negative address"):
+            import_trace(tmp_path / "a.txt", tmp_path / "a.trc", fmt="address")
+
+
+class TestKVTraces:
+    def test_keys_relabel_densely_in_first_seen_order(self, tmp_path):
+        (tmp_path / "kv.csv").write_text(
+            "# ts,key\n1,banana\n2,apple\n3,banana\n4,cherry\n"
+        )
+        wl = read_kv_trace(tmp_path / "kv.csv", key_field=1)
+        assert np.array_equal(wl.sequences[0], [0, 1, 0, 2])
+        assert wl.meta["distinct_keys"] == 3
+
+    def test_proc_field_shards_and_allows_sharing(self, tmp_path):
+        (tmp_path / "kv.csv").write_text("1,k1,0\n2,k2,1\n3,k1,1\n4,k3,0\n5,k1,0\n")
+        store = import_trace(
+            tmp_path / "kv.csv", tmp_path / "kv.trc", fmt="kv", key_field=1, proc_field=2
+        )
+        assert store.p == 2
+        assert store.allow_shared  # same key may hit several shards
+        assert np.array_equal(store.column(0), [0, 2, 0])
+        assert np.array_equal(store.column(1), [1, 0])
+
+    def test_kv_and_read_kv_trace_agree(self, tmp_path):
+        lines = [f"{i},key{RNG.integers(0, 20)},{RNG.integers(0, 3)}" for i in range(400)]
+        (tmp_path / "kv.csv").write_text("\n".join(lines) + "\n")
+        wl = read_kv_trace(tmp_path / "kv.csv", key_field=1, proc_field=2)
+        store = import_trace(
+            tmp_path / "kv.csv", tmp_path / "kv2.trc", fmt="kv", key_field=1, proc_field=2
+        )
+        assert store.content_digest == workload_fingerprint(wl)
+
+    def test_bad_record_is_format_error(self, tmp_path):
+        (tmp_path / "kv.csv").write_text("1,k1,0\n2,k2,not-an-int\n")
+        with pytest.raises(TraceFormatError, match="bad kv record"):
+            import_trace(tmp_path / "kv.csv", tmp_path / "kv.trc", fmt="kv", key_field=1, proc_field=2)
+
+    def test_tsv_delimiter(self, tmp_path):
+        (tmp_path / "kv.tsv").write_text("a\tx\nb\ty\na\tz\n")
+        wl = read_kv_trace(tmp_path / "kv.tsv", key_field=0, delimiter="\t")
+        assert np.array_equal(wl.sequences[0], [0, 1, 0])
+
+
+class TestStreaming:
+    def test_stream_trace_blocks_bounded_blocks(self, tmp_path):
+        wl = workload(p=3, n=2000)
+        write_trace_text(wl, tmp_path / "t.txt")
+        rebuilt = {i: [] for i in range(3)}
+        for proc, pages in stream_trace_blocks(tmp_path / "t.txt", "trace", block_bytes=512):
+            assert len(pages) * 8 <= 4096  # blocks stay small with a small byte budget
+            rebuilt[proc].append(pages)
+        for i in range(3):
+            assert np.array_equal(np.concatenate(rebuilt[i]), wl.sequences[i])
+
+    def test_unknown_format_raises(self, tmp_path):
+        (tmp_path / "x.txt").write_text("1\n")
+        with pytest.raises(ValueError, match="unknown trace format"):
+            import_trace(tmp_path / "x.txt", tmp_path / "x.trc", fmt="wat")
+        with pytest.raises(ValueError, match="does not stream"):
+            list(stream_trace_blocks(tmp_path / "x.txt", "npz"))

@@ -1,0 +1,108 @@
+"""The ``repro trace`` command family and ``repro run --trace``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.traces import TraceStore
+from repro.workloads import ParallelWorkload
+from repro.workloads.formats import write_trace_text
+
+RNG = np.random.default_rng(59)
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    wl = ParallelWorkload(
+        sequences=[RNG.integers(0, 30, size=400) + 100 * i for i in range(2)], name="cli-wl"
+    )
+    path = tmp_path / "t.txt"
+    write_trace_text(wl, path)
+    return path, wl
+
+
+@pytest.fixture
+def registry_args(tmp_path):
+    return ["--registry", str(tmp_path / "reg")]
+
+
+class TestTraceCommands:
+    def test_import_ls_info_sample_rm(self, trace_file, registry_args, tmp_path, capsys):
+        path, wl = trace_file
+        assert main(["trace"] + registry_args + ["import", str(path), "--name", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "imported demo" in out and "requests=800" in out
+
+        assert main(["trace"] + registry_args + ["ls"]) == 0
+        assert "demo" in capsys.readouterr().out
+
+        assert main(["trace"] + registry_args + ["info", "demo", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "digest:" in out and "verified" in out
+
+        assert main(["trace"] + registry_args + ["sample", "demo", "--proc", "1", "--rows", "3"]) == 0
+        sample = [int(line) for line in capsys.readouterr().out.split()]
+        assert sample == wl.sequences[1][:3].tolist()
+
+        assert main(["trace"] + registry_args + ["rm", "demo"]) == 0
+        assert main(["trace"] + registry_args + ["info", "demo"]) == 2
+
+    def test_export_round_trips(self, trace_file, registry_args, tmp_path, capsys):
+        path, wl = trace_file
+        main(["trace"] + registry_args + ["import", str(path), "--name", "demo"])
+        dest = tmp_path / "out" / "demo.trc"
+        assert main(["trace"] + registry_args + ["export", "demo", str(dest)]) == 0
+        store = TraceStore(dest)
+        assert np.array_equal(store.column(0), wl.sequences[0])
+        assert store.verify()
+
+    def test_unknown_ref_fails_cleanly(self, registry_args, capsys):
+        assert main(["trace"] + registry_args + ["info", "ghost"]) == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_import_bad_file_fails_cleanly(self, registry_args, tmp_path, capsys):
+        bad = tmp_path / "clash.txt"
+        bad.write_text("0 1\n1 1\n")
+        assert main(["trace"] + registry_args + ["import", str(bad)]) == 2
+        assert "allow_shared" in capsys.readouterr().err
+
+    def test_ls_empty_registry(self, registry_args, capsys):
+        assert main(["trace"] + registry_args + ["ls"]) == 0
+        assert "no traces registered" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_run_on_registered_trace(self, trace_file, registry_args, tmp_path, capsys):
+        path, _ = trace_file
+        main(["trace"] + registry_args + ["import", str(path), "--name", "demo"])
+        csv_path = tmp_path / "rows.csv"
+        code = main(
+            ["run", "--trace", "demo", "--registry", str(tmp_path / "reg"),
+             "--algorithms", "det-par", "--cache-size", "16", "--miss-cost", "4",
+             "--seeds", "2", "--no-cache", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "det-par" in out
+        digest = TraceStore(next((tmp_path / "reg" / "objects").rglob("*.trc"))).content_digest
+        assert digest[:12] in out  # row carries the trace digest
+        assert digest in csv_path.read_text()
+
+    def test_run_unknown_trace_fails_cleanly(self, registry_args, tmp_path, capsys):
+        code = main(
+            ["run", "--trace", "ghost", "--registry", str(tmp_path / "reg"),
+             "--cache-size", "16", "--miss-cost", "4"]
+        )
+        assert code == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_run_rejects_empty_algorithms(self, trace_file, registry_args, tmp_path, capsys):
+        path, _ = trace_file
+        main(["trace"] + registry_args + ["import", str(path), "--name", "demo"])
+        code = main(
+            ["run", "--trace", "demo", "--registry", str(tmp_path / "reg"),
+             "--algorithms", " , ", "--cache-size", "16", "--miss-cost", "4"]
+        )
+        assert code == 2

@@ -1,0 +1,129 @@
+"""Trace registry: content addressing, dedup, naming, lifecycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces import TraceNotFoundError, TraceRegistry, TraceStore
+from repro.workloads import ParallelWorkload
+from repro.workloads.formats import write_trace_text
+
+RNG = np.random.default_rng(23)
+
+
+def workload(shift=0, name="reg-wl"):
+    seqs = [RNG.integers(0, 40, size=500) + 300 * i + shift for i in range(2)]
+    return ParallelWorkload(sequences=seqs, name=name)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return TraceRegistry(tmp_path / "registry")
+
+
+class TestImportAndDedup:
+    def test_import_file_registers_by_digest(self, registry, tmp_path):
+        wl = workload()
+        write_trace_text(wl, tmp_path / "t.txt")
+        store = registry.import_file(tmp_path / "t.txt", name="first")
+        assert store.path == registry.object_path(store.content_digest)
+        assert "first" in registry
+
+    def test_identical_content_stored_once(self, registry, tmp_path):
+        wl = workload()
+        write_trace_text(wl, tmp_path / "t.txt")
+        a = registry.import_file(tmp_path / "t.txt", name="via-file")
+        b = registry.add_workload(wl, name="via-memory")
+        assert a.path == b.path
+        assert a.content_digest == b.content_digest
+        objects = list(registry.objects_dir.rglob("*.trc"))
+        assert len(objects) == 1
+
+    def test_different_content_different_objects(self, registry):
+        registry.add_workload(workload(shift=0), name="a")
+        registry.add_workload(workload(shift=7), name="b")
+        assert len(list(registry.objects_dir.rglob("*.trc"))) == 2
+        assert registry.resolve("a") != registry.resolve("b")
+
+    def test_no_import_residue(self, registry, tmp_path):
+        registry.add_workload(workload(), name="x")
+        residue = [p for p in registry.objects_dir.rglob("*") if p.suffix == ".import"]
+        assert residue == []
+
+    def test_failed_import_leaves_registry_clean(self, registry, tmp_path):
+        (tmp_path / "clash.txt").write_text("0 5\n1 5\n")
+        with pytest.raises(ValueError, match="allow_shared"):
+            registry.import_file(tmp_path / "clash.txt", name="bad")
+        assert "bad" not in registry
+        assert list(registry.objects_dir.rglob("*.trc")) == []
+
+
+class TestResolution:
+    def test_resolve_by_name_digest_and_prefix(self, registry):
+        store = registry.add_workload(workload(), name="findme")
+        digest = store.content_digest
+        assert registry.resolve("findme") == digest
+        assert registry.resolve(digest) == digest
+        assert registry.resolve(digest[:12]) == digest
+
+    def test_unknown_ref_raises_with_names(self, registry):
+        registry.add_workload(workload(), name="only-one")
+        with pytest.raises(TraceNotFoundError, match="only-one"):
+            registry.get("nope")
+
+    def test_get_returns_working_store(self, registry):
+        wl = workload()
+        registry.add_workload(wl, name="w")
+        store = registry.get("w")
+        assert isinstance(store, TraceStore)
+        assert np.array_equal(store.column(1), wl.sequences[1])
+        assert store.verify()
+
+    def test_workload_is_store_backed(self, registry):
+        from repro.traces import StoredWorkload
+
+        registry.add_workload(workload(), name="w")
+        swl = registry.workload("w")
+        assert isinstance(swl, StoredWorkload)
+        assert swl.content_digest == registry.resolve("w")
+
+
+class TestLifecycle:
+    def test_ls_and_info(self, registry):
+        registry.add_workload(workload(shift=0), name="one")
+        registry.add_workload(workload(shift=9), name="two")
+        rows = registry.ls()
+        assert [r["name"] for r in rows] == ["one", "two"]
+        assert all(r["requests"] == 1000 for r in rows)
+        info = registry.info("one")
+        assert info["p"] == 2
+        assert info["lengths"] == [500, 500]
+
+    def test_export_copies_store(self, registry, tmp_path):
+        registry.add_workload(workload(), name="w")
+        out = registry.export("w", tmp_path / "out" / "exported.trc")
+        assert TraceStore(out).content_digest == registry.resolve("w")
+
+    def test_remove_drops_object_when_last_name_goes(self, registry):
+        wl = workload()
+        registry.add_workload(wl, name="a")
+        registry.add_workload(wl, name="b")  # same digest, second name
+        registry.remove("a")
+        assert "b" in registry  # object still referenced
+        assert len(list(registry.objects_dir.rglob("*.trc"))) == 1
+        registry.remove("b")
+        assert list(registry.objects_dir.rglob("*.trc")) == []
+        with pytest.raises(TraceNotFoundError):
+            registry.get("b")
+
+    def test_rename_moves_pointer_not_data(self, registry):
+        wl = workload()
+        registry.add_workload(wl, name="old")
+        registry.add_workload(wl, name="new")
+        assert registry.resolve("old") == registry.resolve("new")
+
+    def test_env_var_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACES_DIR", str(tmp_path / "env-root"))
+        reg = TraceRegistry()
+        assert reg.root == tmp_path / "env-root"

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.core",
     "repro.parallel",
     "repro.workloads",
+    "repro.traces",
     "repro.analysis",
     "repro.exec",
 ]
@@ -113,6 +114,58 @@ hours of compute to one bad unit:
   process boundaries via `$REPRO_FAULTS`, with atomic claim files
   bounding how many executions trigger — so every recovery path above
   is exercised deterministically in CI.
+
+## Trace corpus & streaming
+
+`repro.traces` turns workloads from in-process objects into durable,
+content-addressed experiment inputs — real traces included — without
+ever requiring a whole trace in memory:
+
+- **Binary trace store.** A `.trc` file holds one int64 column per
+  processor, chunked, behind a JSON header carrying the schema version,
+  per-chunk digests, and workload metadata.  `write_store(path, workload)`
+  writes atomically (temp file + `os.replace`); `TraceStore(path)` opens
+  one, validating the header up front and raising typed errors
+  (`TraceFormatError`, `TraceVersionError`, `TraceCorruptError`) instead
+  of handing back garbage.  `store.workload()` returns a `StoredWorkload`
+  whose columns are zero-copy `np.memmap` views — a drop-in
+  `ParallelWorkload` that pickles as its path, so pool workers re-open
+  the mmap instead of shipping arrays.  `StoreWriter` builds a store
+  incrementally (spool directory, bounded memory) for imports too large
+  to hold.
+- **One identity everywhere.** A store's `content_digest` is computed
+  with the *same framing* as `repro.exec.workload_fingerprint`, and the
+  fingerprint short-circuits to it.  The same requests therefore key
+  identically in the result cache whether they arrive as an in-memory
+  workload, an mmap-backed store, or a fresh re-import — warm cache
+  entries survive every representation change.  `ExperimentRow` carries
+  the digest in its `trace` column (`schema_version` 4; `""` for ad-hoc
+  workloads), so every result row names its exact input bytes.
+- **Adapters.** `import_trace(src, dest)` sniffs the format
+  (`sniff_format`: suffix first, then first-line content) and converts:
+  sequence/parallel text, hex or decimal address traces (`--page-size`
+  folding), CSV/TSV key-value traces (`read_kv_trace`: dense first-seen
+  key relabeling, optional processor field), `.npz` workloads, and
+  existing stores (re-chunking preserves the digest).  Gzip/xz inputs
+  decompress transparently; everything streams in bounded blocks
+  (`stream_trace_blocks`).
+- **Registry.** `TraceRegistry` keeps a corpus under `.repro_traces/`
+  (override: `--registry` / `$REPRO_TRACES_DIR`): objects live at
+  `objects/<digest[:2]>/<digest>.trc`, names are mutable labels in an
+  atomically-rewritten `catalog.json`, imports deduplicate by content,
+  and `remove` drops the object only when its last name goes.  Refs
+  resolve by name, full digest, or unique ≥8-char prefix.
+  `run_experiment` accepts a ref string anywhere it accepts a workload
+  (`resolve_workload`).
+- **Streaming execution.** `execute_store_profile` /
+  `characterize_store` feed the paging engine and the workload
+  statistics chunk-by-chunk from the store — byte-identical results to
+  the in-memory paths with only the active window resident
+  (`benchmarks/bench_traces.py` proves the bound with `tracemalloc`).
+- **CLI.** `repro trace import|export|ls|info|sample|rm` manages the
+  corpus; `repro run --trace <ref> --algorithms det-par,rand-par
+  --cache-size K --miss-cost S` runs the standard harness on a
+  registered trace, with the digest in the report and in `--csv` rows.
 """
 
 
