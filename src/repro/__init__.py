@@ -17,7 +17,10 @@ The package implements the paper's algorithms and everything they stand on:
 * an experiment harness (``repro e1`` … ``repro e11``) mapping every
   claim of the paper to a measured table, backed by a parallel execution
   engine with a content-addressed result cache (``repro --jobs N``,
-  :mod:`repro.exec`).
+  :mod:`repro.exec`);
+* an observability layer (:mod:`repro.obs`): a deterministic metrics
+  registry and Chrome-trace span tracing, surfaced as ``--metrics``,
+  ``--trace-events``, and ``repro profile <experiment>``.
 
 The stable experiment-runner surface is :class:`RunSpec` +
 :func:`run_experiment` + :func:`sweep_p` (rows are
@@ -65,6 +68,7 @@ from .exec import (
     execution,
 )
 from .green import optimal_box_profile, prefix_optimal_impacts
+from .obs import MetricsRegistry, Tracer, observability
 from .paging import BeladySimulation, FIFOCache, LRUCache, belady_faults, miss_ratio_curve, run_box
 from .parallel import (
     BestStaticPartition,
@@ -132,6 +136,9 @@ __all__ = [
     "Telemetry",
     "WorkUnit",
     "execution",
+    "MetricsRegistry",
+    "Tracer",
+    "observability",
     "AdversarialInstance",
     "ParallelWorkload",
     "build_adversarial_instance",

@@ -40,6 +40,7 @@ Build and use a local trace corpus (see docs/API.md, "Trace corpus")::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import signal
 import sys
 import time
@@ -49,6 +50,8 @@ from typing import Any, Dict, List, Optional
 from .analysis.report import render_failures, write_csv
 from .exec import ExecutionPolicy, ResultCache, RunCheckpoint, TELEMETRY, execution, list_runs
 from .experiments import EXPERIMENTS, run_named_experiment
+from .obs import metrics as obs_metrics
+from .obs.runtime import observability, render_metrics_delta
 
 __all__ = ["main", "build_parser"]
 
@@ -65,18 +68,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "viz", "cache", "resume", "runs"],
+        choices=sorted(EXPERIMENTS) + ["all", "list", "viz", "cache", "resume", "runs", "profile"],
         help=(
             "experiment id (e1..e11), 'all', 'list' (index), 'viz' (schedule "
             "visualization), 'cache' (result-cache management), 'resume <run-id>' "
-            "(continue an interrupted run), or 'runs' (list checkpointed runs)"
+            "(continue an interrupted run), 'runs' (list checkpointed runs), or "
+            "'profile <experiment>' (run under tracing and show where time went)"
         ),
     )
     parser.add_argument(
         "arg",
         nargs="?",
         default=None,
-        help="with 'cache': stats|clear (default stats); with 'resume': the run id",
+        help=(
+            "with 'cache': stats|clear (default stats); with 'resume': the run id; "
+            "with 'profile': the experiment to profile"
+        ),
     )
     parser.add_argument("--scale", choices=("quick", "full"), default="quick", help="experiment size")
     parser.add_argument("--seed", type=int, default=0, help="base random seed")
@@ -97,6 +104,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--telemetry", type=Path, default=None, metavar="JSONL",
         help="append per-cell telemetry records to this JSON-lines file",
+    )
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--metrics", type=Path, default=None, metavar="JSON",
+        help="collect simulation/execution metrics and write the snapshot here",
+    )
+    obs.add_argument(
+        "--trace-events", type=Path, default=None, metavar="JSON",
+        help="collect span events and write a Chrome-trace file here "
+             "(load in chrome://tracing or Perfetto)",
+    )
+    obs.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="profile: rows per table (default 10)",
     )
     fault = parser.add_argument_group("fault tolerance")
     fault.add_argument(
@@ -148,6 +169,8 @@ def _run_one(
     csv_path: Optional[Path],
 ) -> None:
     mark = len(TELEMETRY)
+    reg = obs_metrics.active()
+    metrics_before = reg.snapshot() if reg.enabled else None
     t0 = time.time()
     rows, text = run_named_experiment(name, scale=scale, seed=seed)
     elapsed = time.time() - t0
@@ -155,6 +178,10 @@ def _run_one(
     failures = render_failures(TELEMETRY.records[mark:])
     if failures:
         text += "\n" + failures
+    if metrics_before is not None:
+        delta = render_metrics_delta(metrics_before, reg.snapshot())
+        if delta:
+            text += "\n" + delta + "\n"
     print(text)
     print(f"[{name}] {len(rows)} rows in {elapsed:.1f}s (scale={scale}, seed={seed})\n")
     if out is not None:
@@ -237,6 +264,8 @@ def _experiment_config(args) -> Dict[str, Any]:
         "retries": args.retries,
         "backoff_s": args.backoff,
         "keep_going": bool(args.keep_going),
+        "metrics": str(args.metrics) if args.metrics else None,
+        "trace_events": str(args.trace_events) if args.trace_events else None,
     }
 
 
@@ -285,8 +314,21 @@ def _run_experiments(names: List[str], config: Dict[str, Any], ckpt: Optional[Ru
     csv_path = Path(config["csv"]) if config.get("csv") else None
     telemetry_path = Path(config["telemetry"]) if config.get("telemetry") else None
     cache_dir = Path(config["cache_dir"]) if config.get("cache_dir") else None
+    metrics_path = Path(config["metrics"]) if config.get("metrics") else None
+    trace_path = Path(config["trace_events"]) if config.get("trace_events") else None
+    # observability wraps the engine scope so pool workers see the env
+    # flags at start-up and the output files flush even on interrupt
+    if metrics_path is not None or trace_path is not None:
+        obs_scope = observability(
+            metrics=metrics_path is not None,
+            trace=trace_path is not None,
+            metrics_json=metrics_path,
+            trace_json=trace_path,
+        )
+    else:
+        obs_scope = contextlib.nullcontext()
     try:
-        with _SignalGuard():
+        with _SignalGuard(), obs_scope:
             with execution(
                 jobs=int(config.get("jobs", 1)),
                 cache=not config.get("no_cache", False),
@@ -319,6 +361,48 @@ def _run_experiments(names: List[str], config: Dict[str, Any], ckpt: Optional[Ru
         else:
             print("\ninterrupted (no checkpoint; rerun to recompute)", file=sys.stderr)
         return 130
+
+
+def _profile_command(args) -> int:
+    """``repro profile <experiment>``: run under full observability.
+
+    Prints three tables: aggregate time by span name, the individually
+    slowest spans (each row keeps the span's args, so a heavy-tail cell
+    is localized to its exact label/seed), and the top counters.
+    ``--metrics`` / ``--trace-events`` additionally write the raw
+    snapshot and Chrome-trace files.
+    """
+    from .analysis.report import render_table
+    from .obs import tracing as obs_tracing
+    from .obs.tracing import aggregate_spans, slowest_spans
+
+    name = args.arg
+    if name not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        print(f"repro profile: pick an experiment to profile ({known})", file=sys.stderr)
+        return 2
+    top = max(1, args.top)
+    t0 = time.time()
+    with observability(
+        metrics=True, trace=True, metrics_json=args.metrics, trace_json=args.trace_events
+    ) as scope:
+        with execution(jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir):
+            with obs_tracing.span("experiment.run", experiment=name, scale=args.scale):
+                run_named_experiment(name, scale=args.scale, seed=args.seed)
+    elapsed = time.time() - t0
+    events = scope.tracer.events
+    print(render_table(aggregate_spans(events)[:top], title=f"{name}: time by span (top {top})"))
+    print(render_table(slowest_spans(events, n=top), title=f"{name}: slowest individual spans"))
+    snap = scope.metrics_snapshot()
+    counters = sorted(snap.get("counters", {}).items(), key=lambda kv: (-kv[1], kv[0]))
+    rows = [{"counter": k, "value": v} for k, v in counters[:top]]
+    print(render_table(rows, title=f"{name}: top counters"))
+    print(f"profiled {name} in {elapsed:.1f}s ({len(events)} trace events)")
+    if args.metrics is not None:
+        print(f"metrics snapshot written to {args.metrics}")
+    if args.trace_events is not None:
+        print(f"trace events written to {args.trace_events}")
+    return 0
 
 
 def _resume_command(run_id: Optional[str], runs_dir: Optional[Path]) -> int:
@@ -485,6 +569,14 @@ def build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", type=Path, default=None, help="result-cache root")
     parser.add_argument("--out", type=Path, default=None, help="write the rendered table here")
     parser.add_argument("--csv", type=Path, default=None, help="write the rows here as CSV")
+    parser.add_argument(
+        "--metrics", type=Path, default=None, metavar="JSON",
+        help="collect simulation/execution metrics and write the snapshot here",
+    )
+    parser.add_argument(
+        "--trace-events", type=Path, default=None, metavar="JSON",
+        help="collect span events and write a Chrome-trace file here",
+    )
     return parser
 
 
@@ -515,10 +607,20 @@ def _run_trace_command(argv: List[str]) -> int:
         return 2
     mark = len(TELEMETRY)
     t0 = time.time()
-    with execution(jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir):
-        rows = run_experiment(
-            workload, specs, seeds=range(args.seeds), include_impact_lb=not args.no_lb
+    if args.metrics is not None or args.trace_events is not None:
+        obs_scope = observability(
+            metrics=args.metrics is not None,
+            trace=args.trace_events is not None,
+            metrics_json=args.metrics,
+            trace_json=args.trace_events,
         )
+    else:
+        obs_scope = contextlib.nullcontext()
+    with obs_scope:
+        with execution(jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir):
+            rows = run_experiment(
+                workload, specs, seeds=range(args.seeds), include_impact_lb=not args.no_lb
+            )
     dicts = [row.as_dict() for row in rows]
     digest = dicts[0]["trace"] if dicts else ""
     text = render_table(dicts, title=f"trace {args.trace} ({str(digest)[:12]})")
@@ -537,11 +639,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     raw = list(argv) if argv is not None else sys.argv[1:]
     # `trace` and `run` take their own option sets, so they dispatch to
-    # dedicated parsers before the experiment parser sees the argv
+    # dedicated parsers before the experiment parser sees the argv.
+    # `repro run e1 ...` is accepted as a synonym for `repro e1 ...`
+    # (the bare `run` form is reserved for trace-corpus runs).
     if raw and raw[0] == "trace":
         return _trace_command(raw[1:])
     if raw and raw[0] == "run":
-        return _run_trace_command(raw[1:])
+        if len(raw) > 1 and (raw[1] in EXPERIMENTS or raw[1] == "all"):
+            raw = raw[1:]
+        else:
+            return _run_trace_command(raw[1:])
     parser = build_parser()
     args = parser.parse_args(raw)
     if args.jobs < 1:
@@ -550,8 +657,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--retries must be >= 0")
     if args.timeout is not None and args.timeout <= 0:
         parser.error("--timeout must be positive")
-    if args.arg is not None and args.experiment not in ("cache", "resume"):
-        parser.error("a positional argument only applies to 'cache' and 'resume'")
+    if args.arg is not None and args.experiment not in ("cache", "resume", "profile"):
+        parser.error("a positional argument only applies to 'cache', 'resume', and 'profile'")
+    if args.experiment == "profile":
+        return _profile_command(args)
     if args.experiment == "cache":
         if args.arg not in (None, "stats", "clear"):
             parser.error("'cache' takes 'stats' or 'clear'")

@@ -37,8 +37,9 @@ __all__ = [
 ]
 
 #: Bump whenever an executor's semantics change so old entries can't leak
-#: stale results into new tables.
-CACHE_VERSION = 1
+#: stale results into new tables.  v2: CellOutcome gained metrics /
+#: trace_events observability fields.
+CACHE_VERSION = 2
 
 
 def workload_fingerprint(workload: ParallelWorkload) -> str:

@@ -36,6 +36,9 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
+from ..obs.runtime import absorb_outcome
 from .cache import ResultCache
 from .checkpoint import RunCheckpoint
 from .policy import ExecutionPolicy, FailedCell, UnitExecutionError, UnitTimeoutError, run_unit_with_policy
@@ -303,8 +306,22 @@ class ExecutionEngine:
                                 sim_steps=outcome.sim_steps,
                             )
                         )
+                        obs_metrics.counter("exec.cells").inc()
+                        obs_metrics.counter("exec.cache.hits").inc()
+                        obs_tracing.instant("exec.cache_hit", kind=unit.kind, label=unit.label)
+                        # a hit replays the metrics/spans recorded when the
+                        # cell was computed, so warm runs report the same
+                        # sim.* counters as the run that filled the cache
+                        absorb_outcome(outcome)
                         continue
             pending.append(i)
+        # submit markers live here (and completion events in ``absorb``)
+        # because these paths are shared by serial and pooled execution,
+        # so the canonical trace is identical under any --jobs value
+        if obs_tracing.enabled():
+            for i in pending:
+                obs_tracing.instant("exec.submit", kind=units[i].kind, label=units[i].label)
+
         def absorb(i: int, outcome: Union[CellOutcome, FailedCell], attempts: int) -> None:
             # Fires per unit as it completes, so an interrupt mid-batch
             # loses at most the in-flight units: everything already
@@ -324,6 +341,15 @@ class ExecutionEngine:
                         error=outcome.error,
                     )
                 )
+                obs_metrics.counter("exec.cells").inc()
+                obs_metrics.counter("exec.failed_cells").inc()
+                obs_tracing.instant(
+                    "exec.unit_failed",
+                    kind=outcome.kind,
+                    label=outcome.label,
+                    attempts=outcome.attempts,
+                    error_type=outcome.error_type,
+                )
                 return
             if self.cache is not None and keys[i] is not None:
                 self.cache.store(keys[i], outcome)
@@ -340,8 +366,24 @@ class ExecutionEngine:
                     attempts=attempts,
                 )
             )
+            obs_metrics.counter("exec.cells").inc()
+            obs_metrics.counter("exec.computed").inc()
+            if attempts > 1:
+                obs_metrics.counter("exec.retries").inc(attempts - 1)
+            obs_metrics.counter("wall.exec.compute_s").inc(outcome.duration_s)
+            tracer = obs_tracing.active()
+            if tracer.enabled:
+                tracer.complete(
+                    "exec.unit",
+                    outcome.duration_s,
+                    kind=units[i].kind,
+                    label=units[i].label,
+                    attempts=attempts,
+                )
+            absorb_outcome(outcome)
 
-        self._compute_missing(pending, units, keys, absorb)
+        with obs_tracing.span("exec.batch", units=len(units), pending=len(pending)):
+            self._compute_missing(pending, units, keys, absorb)
         return [o.value if isinstance(o, CellOutcome) else o for o in outcomes]
 
 

@@ -17,11 +17,16 @@ worker, or on a different machine.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
+from ..obs.metrics import MetricsRegistry
+from ..obs.runtime import capture_requested
+from ..obs.tracing import Tracer
 from .cache import stable_key
 from .faults import maybe_inject
 
@@ -58,11 +63,21 @@ class CellOutcome:
 
     ``duration_s`` records the *original* compute time, so a cache hit
     can still report how much work it avoided.
+
+    ``metrics`` and ``trace_events`` are the observability deltas
+    captured while the unit executed (``None``/empty when obs was off):
+    a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict and a
+    tuple of Chrome-trace events.  They travel *inside* the outcome —
+    through pickling to pool workers and through the result cache — so
+    the parent engine can merge identical metrics whether the cell was
+    computed serially, on a worker, or served from cache.
     """
 
     value: Any
     sim_steps: int
     duration_s: float
+    metrics: Optional[Mapping[str, Any]] = None
+    trace_events: Tuple[Mapping[str, Any], ...] = ()
 
 
 def _run_parallel(params: Mapping[str, Any]) -> CellOutcome:
@@ -190,6 +205,13 @@ def execute_unit(unit: WorkUnit) -> CellOutcome:
     Honors any fault declared via :mod:`repro.exec.faults` (a single env
     lookup when none are configured), so chaos tests can crash, hang, or
     kill exactly this execution — in-process or in a pool worker.
+
+    When observability is on (ambient scope or the ``REPRO_OBS_*``
+    environment flags a pool worker inherits), the unit runs under a
+    fresh registry/tracer and its deltas are attached to the outcome —
+    the same code path serially and pooled, so an attempt that fails and
+    retries contributes its metrics exactly once (only the successful
+    attempt's outcome survives).
     """
     try:
         executor = UNIT_EXECUTORS[unit.kind]
@@ -197,4 +219,16 @@ def execute_unit(unit: WorkUnit) -> CellOutcome:
         known = ", ".join(sorted(UNIT_EXECUTORS))
         raise KeyError(f"unknown work-unit kind {unit.kind!r}; known: {known}") from None
     maybe_inject(unit)
-    return executor(unit.params)
+    want_metrics, want_trace = capture_requested()
+    if not (want_metrics or want_trace):
+        return executor(unit.params)
+    registry = MetricsRegistry(enabled=want_metrics)
+    tracer = Tracer(enabled=want_trace)
+    with obs_metrics.collecting(registry), obs_tracing.collecting(tracer):
+        with obs_tracing.span(f"unit:{unit.kind}", kind=unit.kind, label=unit.label):
+            outcome = executor(unit.params)
+    return replace(
+        outcome,
+        metrics=None if registry.is_empty() else registry.snapshot(),
+        trace_events=tuple(tracer.events),
+    )

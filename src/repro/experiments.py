@@ -38,6 +38,7 @@ from .core.black_box import BlackBoxPar
 from .exec.engine import current_engine
 from .exec.policy import FailedCell
 from .exec.units import WorkUnit
+from .parallel.schedulers import observe_pager
 from .workloads.adversarial import build_adversarial_instance, lemma8_opt_makespan
 from .workloads.generators import cyclic, multiscale_cycles, phased_working_sets, polluted_cycle, scan
 from .workloads.trace import ParallelWorkload
@@ -142,7 +143,7 @@ def e2_chunk_balance(scale: str = "quick", seed: int = 0) -> Tuple[Rows, str]:
         K, s = 8 * p, 16
         n = 30000 if scale == "quick" else 120000
         wl = ParallelWorkload.from_local([cyclic(n, 3) for _ in range(p)])
-        res = RandPar(K, s, np.random.default_rng(seed)).run(wl, max_chunks=500)
+        res = observe_pager(RandPar(K, s, np.random.default_rng(seed))).run(wl, max_chunks=500)
         chunks = [c for c in res.meta["chunks"] if c.active_at_start == p]
         len_ratios = [c.secondary_length / c.primary_length for c in chunks]
         imp_ratios = [c.secondary_impact / max(1, c.primary_impact) for c in chunks]
@@ -239,7 +240,7 @@ def e4_well_rounded(scale: str = "quick", seed: int = 0) -> Tuple[Rows, str]:
         k = 4 * p
         rng = np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(p,)))
         wl = make_parallel_workload(p=p, n_requests=300 if scale == "quick" else 800, k=k, rng=rng)
-        res = DetPar(2 * k, 16).run(wl)
+        res = observe_pager(DetPar(2 * k, 16)).run(wl)
         report = audit_well_rounded(res)
         balance = audit_balance(res)
         rows.append(
@@ -302,9 +303,9 @@ def e7_lower_bound(scale: str = "quick", seed: int = 0) -> Tuple[Rows, str]:
         s = inst.recommended_miss_cost()
         K = 2 * inst.k
         opt = lemma8_opt_makespan(inst, s)
-        bb = BlackBoxPar(K, s).run(inst.workload)
-        dp = DetPar(K, s).run(inst.workload)
-        rp = RandPar(K, s, np.random.default_rng(seed)).run(inst.workload)
+        bb = observe_pager(BlackBoxPar(K, s)).run(inst.workload)
+        dp = observe_pager(DetPar(K, s)).run(inst.workload)
+        rp = observe_pager(RandPar(K, s, np.random.default_rng(seed))).run(inst.workload)
         logp = math.log2(inst.p)
         ll = math.log2(max(2.0, logp))
         from .analysis.eras import era_analysis

@@ -37,7 +37,7 @@ import numpy as np
 
 from ..core.box import BoxProfile, HeightLattice
 from ..core.rand_green import GreenRunResult
-from ..paging.engine import BoxRun, ProfileRun, run_box
+from ..paging.engine import BoxRun, ProfileRun, _record_profile_metrics, run_box
 
 __all__ = ["AdaptiveGreen"]
 
@@ -123,6 +123,7 @@ class AdaptiveGreen:
             elif fault_frac <= self.descend and level > 0:
                 level -= 1
                 backoff = 1
+        _record_profile_metrics(runs, impact, wall)
         pr = ProfileRun(
             runs=tuple(runs),
             completed=pos >= n,

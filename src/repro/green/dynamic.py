@@ -36,7 +36,7 @@ import numpy as np
 from ..core.box import BoxProfile, HeightLattice
 from ..core.det_green import DetGreen
 from ..core.rand_green import GreenRunResult
-from ..paging.engine import BoxRun, ProfileRun, run_box
+from ..paging.engine import BoxRun, ProfileRun, _record_profile_metrics, run_box
 
 __all__ = ["ThresholdSchedule", "survivor_schedule", "DynamicGreen"]
 
@@ -163,6 +163,7 @@ class DynamicGreen:
             wall += s * h
             t += s * h
             pos = box.end
+        _record_profile_metrics(runs, impact, wall)
         pr = ProfileRun(
             runs=tuple(runs),
             completed=pos >= n,

@@ -32,6 +32,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.box import BoxProfile, HeightLattice
+from ..obs import metrics as obs_metrics
 from ..paging.engine import run_box
 
 __all__ = ["OfflineGreenResult", "optimal_box_profile", "prefix_optimal_impacts"]
@@ -102,6 +103,12 @@ def optimal_box_profile(
         rev.append(int(parent_h[q]))
         q = int(parent_pos[q])
     rev.reverse()
+    # one counter per DP solve — never per run_box probe: the relaxation
+    # loop above calls run_box O(n * levels) times and must stay cheap
+    reg = obs_metrics.active()
+    if reg.enabled:
+        reg.counter("sim.green.opt.profiles").inc()
+        reg.counter("sim.green.opt.requests").inc(n)
     return OfflineGreenResult(profile=BoxProfile(rev), impact=int(dist[n]), distances=dist)
 
 

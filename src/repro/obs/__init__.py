@@ -1,0 +1,55 @@
+"""Observability: metrics registry, span tracing, simulation counters.
+
+``repro.obs`` gives every layer of the stack — the exec engine, the
+paging engine, the parallel schedulers, green paging, and trace
+streaming — a shared, low-overhead place to record what happened:
+
+* :mod:`repro.obs.metrics` — process-local counters, gauges, and
+  fixed-bucket histograms with a deterministic JSON snapshot.  Disabled
+  (the default) every instrumentation site costs one attribute check.
+* :mod:`repro.obs.tracing` — ``span(...)`` context managers emitting
+  Chrome-trace/Perfetto-compatible JSON events.
+* :mod:`repro.obs.runtime` — the :func:`observability` scope that turns
+  both on, ships them across process-pool boundaries, and merges worker
+  deltas back so ``--jobs N`` metrics equal serial metrics exactly.
+
+Metric names are namespaced by determinism class: ``sim.*`` counters are
+pure functions of the simulated work (byte-identical across reruns and
+worker counts), ``exec.*`` counters describe this run's execution
+(cache hits, retries, failed cells — identical serial vs parallel from
+the same cache state), and ``wall.*`` values are wall-clock measurements
+(stripped before any determinism comparison).
+"""
+
+from .metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    snapshot_to_json,
+    strip_wall,
+)
+from .runtime import ObsScope, absorb_outcome, observability, render_metrics_delta, reset_observability
+from .tracing import Tracer, aggregate_spans, canonical_events, slowest_spans
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsScope",
+    "Tracer",
+    "absorb_outcome",
+    "aggregate_spans",
+    "canonical_events",
+    "diff_snapshots",
+    "observability",
+    "render_metrics_delta",
+    "reset_observability",
+    "slowest_spans",
+    "snapshot_to_json",
+    "strip_wall",
+]

@@ -1,0 +1,190 @@
+"""Observability runtime: scoping, cross-process capture, and merging.
+
+:func:`observability` is the one entry point: it scopes an enabled
+:class:`~repro.obs.metrics.MetricsRegistry` and/or
+:class:`~repro.obs.tracing.Tracer` as the ambient sinks, exports the
+``REPRO_OBS_METRICS`` / ``REPRO_OBS_TRACE`` environment flags so process
+pool workers started inside the scope capture too, and flushes the
+requested output files on exit — even when the body raises, so an
+interrupted run keeps its partial metrics (mirroring how
+``execution(telemetry_jsonl=...)`` flushes telemetry).
+
+The cross-process contract is deliberately simple: a worker (or the
+serial in-process path — they share :func:`repro.exec.units.execute_unit`)
+runs each unit under a *fresh* registry/tracer, and the resulting deltas
+ride back to the parent **inside the unit's**
+:class:`~repro.exec.units.CellOutcome`.  The engine merges each delta as
+the unit completes (:func:`absorb_outcome`).  Because the outcome is what
+the result cache stores, a cache hit replays the exact metrics and spans
+recorded at compute time — which is why ``--jobs N``, serial, and
+warm-cache runs all report identical ``sim.*`` metrics.
+
+One caveat falls out of that design: outcomes cached by an obs-*disabled*
+run carry no deltas, so a later obs-enabled run served from that cache
+reports empty ``sim.*`` counters for those cells.  Use ``--no-cache`` (or
+a fresh ``--cache-dir``) when an exact simulation profile matters.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from . import metrics as _metrics
+from . import tracing as _tracing
+from .metrics import MetricsRegistry, diff_snapshots, snapshot_to_json
+from .tracing import Tracer
+
+__all__ = [
+    "METRICS_ENV",
+    "TRACE_ENV",
+    "ObsScope",
+    "absorb_outcome",
+    "capture_requested",
+    "observability",
+    "render_metrics_delta",
+    "reset_observability",
+]
+
+#: Environment flags that tell pool workers to capture unit deltas.
+METRICS_ENV = "REPRO_OBS_METRICS"
+TRACE_ENV = "REPRO_OBS_TRACE"
+
+
+@dataclass
+class ObsScope:
+    """The pair of sinks an :func:`observability` scope installs."""
+
+    metrics: MetricsRegistry
+    tracer: Tracer
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Deterministic snapshot of everything collected so far."""
+        return self.metrics.snapshot()
+
+
+def capture_requested() -> Tuple[bool, bool]:
+    """Should a unit execution capture (metrics, trace) deltas?
+
+    True when the ambient sink is enabled (serial in-process execution
+    under an :func:`observability` scope) *or* the corresponding
+    environment flag is set (pool workers inherit the parent's
+    environment at pool start-up).
+    """
+    return (
+        _metrics.enabled() or bool(os.environ.get(METRICS_ENV)),
+        _tracing.enabled() or bool(os.environ.get(TRACE_ENV)),
+    )
+
+
+def absorb_outcome(outcome: object) -> None:
+    """Merge a unit outcome's obs deltas into the ambient sinks.
+
+    Safe to call on any outcome: missing/empty deltas (old cache
+    entries, obs-disabled capture) are no-ops.  Counter/histogram merge
+    is commutative, so pooled completion order cannot change the result.
+    """
+    reg = _metrics.active()
+    if reg.enabled:
+        reg.merge(getattr(outcome, "metrics", None))
+    tracer = _tracing.active()
+    if tracer.enabled:
+        events = getattr(outcome, "trace_events", None)
+        if events:
+            tracer.extend(events)
+
+
+@contextmanager
+def observability(
+    metrics: bool = True,
+    trace: bool = False,
+    metrics_json: Optional[os.PathLike] = None,
+    trace_json: Optional[os.PathLike] = None,
+) -> Iterator[ObsScope]:
+    """Scope ambient metrics/trace collection for everything inside.
+
+    Parameters
+    ----------
+    metrics, trace:
+        Which sinks to enable.  Passing an output path implies the
+        corresponding sink.
+    metrics_json:
+        Write the final metrics snapshot here on exit (deterministic
+        JSON; see :func:`repro.obs.metrics.snapshot_to_json`).
+    trace_json:
+        Write the collected trace events here on exit, in Chrome-trace
+        format (load in ``chrome://tracing`` or Perfetto).
+
+    Both files are written even when the body raises, so interrupted
+    runs keep their partial observability output.
+    """
+    reg = MetricsRegistry(enabled=metrics or metrics_json is not None)
+    tracer = Tracer(enabled=trace or trace_json is not None)
+    old_env = {name: os.environ.get(name) for name in (METRICS_ENV, TRACE_ENV)}
+    if reg.enabled:
+        os.environ[METRICS_ENV] = "1"
+    if tracer.enabled:
+        os.environ[TRACE_ENV] = "1"
+    _metrics._STACK.append(reg)
+    _tracing._STACK.append(tracer)
+    try:
+        yield ObsScope(metrics=reg, tracer=tracer)
+    finally:
+        _tracing._STACK.pop()
+        _metrics._STACK.pop()
+        for name, old in old_env.items():
+            if old is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = old
+        try:
+            if metrics_json is not None:
+                path = Path(metrics_json)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(snapshot_to_json(reg.snapshot()))
+            if trace_json is not None:
+                tracer.write_chrome(trace_json)
+        except OSError as exc:  # pragma: no cover — disk-full etc.
+            warnings.warn(f"could not flush observability output: {exc}", RuntimeWarning)
+
+
+def render_metrics_delta(
+    before: Mapping[str, object],
+    after: Mapping[str, object],
+    limit: int = 12,
+) -> str:
+    """One ``[metrics]`` block for experiment reports.
+
+    Shows the top ``limit`` counter deltas (largest first, then by name)
+    from this experiment's window, wall-clock entries excluded, so the
+    block is deterministic for deterministic work.  Returns ``""`` when
+    nothing was counted, so callers can append unconditionally.
+    """
+    delta = diff_snapshots(before, after)
+    items = [
+        (name, value)
+        for name, value in delta.get("counters", {}).items()  # type: ignore[union-attr]
+        if not name.startswith("wall.")
+    ]
+    if not items:
+        return ""
+    items.sort(key=lambda kv: (-kv[1], kv[0]))
+    shown = " ".join(f"{name}={value}" for name, value in items[: max(1, limit)])
+    extra = len(items) - limit
+    tail = f" (+{extra} more)" if extra > 0 else ""
+    return f"[metrics] {shown}{tail}"
+
+
+def reset_observability() -> None:
+    """Restore pristine ambient obs state (test-isolation hook).
+
+    Pops any stray registries/tracers left by a failed test and clears
+    the disabled base sinks, so process-global state cannot leak between
+    pytest cases.
+    """
+    _metrics._reset()
+    _tracing._reset()

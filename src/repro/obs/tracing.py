@@ -1,0 +1,272 @@
+"""Span tracing: Chrome-trace / Perfetto-compatible JSON event capture.
+
+A :class:`Tracer` collects *trace events* — complete spans (``ph: "X"``,
+with microsecond ``ts``/``dur``) and instant markers (``ph: "i"``) — and
+writes them in the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+consumed by ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_.
+
+Spans nest naturally through the ordinary call stack::
+
+    with span("execute_profile", proc=3):
+        with span("run_box", height=16):
+            ...
+
+Wall-clock fields (``ts``, ``dur``, ``pid``, ``tid``) are obviously not
+deterministic; :func:`canonical_events` strips and sorts them away so the
+determinism tests can compare *what happened* across runs and worker
+counts.  Aggregation helpers (:func:`aggregate_spans`,
+:func:`slowest_spans`) back the ``repro profile`` CLI table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "active",
+    "aggregate_spans",
+    "canonical_events",
+    "collecting",
+    "enabled",
+    "instant",
+    "slowest_spans",
+    "span",
+    "write_chrome_trace",
+]
+
+#: Version of the emitted trace-file envelope.
+TRACE_SCHEMA_VERSION = 1
+
+
+class Tracer:
+    """Append-only trace-event buffer with a per-process time origin."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self.events: List[Dict[str, object]] = []
+        self._origin = time.perf_counter()
+
+    def _us(self, t: float) -> float:
+        """Microseconds since this tracer's origin, rounded for stable JSON."""
+        return round((t - self._origin) * 1e6, 1)
+
+    @contextmanager
+    def span(self, name: str, **args: object) -> Iterator[None]:
+        """Record a complete span around the body (``ph: "X"``)."""
+        if not self.enabled:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            t1 = time.perf_counter()
+            self.events.append(
+                {
+                    "name": name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": self._us(t0),
+                    "dur": round((t1 - t0) * 1e6, 1),
+                    "pid": os.getpid(),
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+
+    def complete(self, name: str, dur_s: float, **args: object) -> None:
+        """Record a span that already happened (known duration, ends now)."""
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        self.events.append(
+            {
+                "name": name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": self._us(now - dur_s),
+                "dur": round(dur_s * 1e6, 1),
+                "pid": os.getpid(),
+                "tid": 0,
+                "args": args,
+            }
+        )
+
+    def instant(self, name: str, **args: object) -> None:
+        """Record an instant marker (``ph: "i"``)."""
+        if not self.enabled:
+            return
+        self.events.append(
+            {
+                "name": name,
+                "cat": "repro",
+                "ph": "i",
+                "s": "t",
+                "ts": self._us(time.perf_counter()),
+                "pid": os.getpid(),
+                "tid": 0,
+                "args": args,
+            }
+        )
+
+    def extend(self, events: Iterable[Mapping[str, object]]) -> None:
+        """Append already-built events (worker deltas replayed by the engine)."""
+        if not self.enabled:
+            return
+        self.events.extend(dict(e) for e in events)
+
+    def write_chrome(self, path: "str | Path") -> None:
+        """Write the buffer as a Chrome-trace JSON file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "traceEvents": self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.obs", "schema_version": TRACE_SCHEMA_VERSION},
+        }
+        path.write_text(json.dumps(envelope, sort_keys=True) + "\n")
+
+
+def write_chrome_trace(events: Sequence[Mapping[str, object]], path: "str | Path") -> None:
+    """Write a standalone event list as a Chrome-trace JSON file."""
+    tracer = Tracer(enabled=True)
+    tracer.extend(events)
+    tracer.write_chrome(path)
+
+
+# --------------------------------------------------------------------- #
+# canonicalization & aggregation
+# --------------------------------------------------------------------- #
+_WALL_FIELDS = ("ts", "dur", "pid", "tid")
+
+
+def canonical_events(events: Iterable[Mapping[str, object]]) -> List[Dict[str, object]]:
+    """Events minus wall-clock fields, in a canonical sort order.
+
+    Two runs doing the same logical work — serial or pooled, in any
+    completion order — canonicalize to the same list, which is exactly
+    what the determinism suite asserts.
+    """
+    stripped = [{k: v for k, v in e.items() if k not in _WALL_FIELDS} for e in events]
+    return sorted(stripped, key=lambda e: json.dumps(e, sort_keys=True))
+
+
+def aggregate_spans(events: Iterable[Mapping[str, object]]) -> List[Dict[str, object]]:
+    """Group complete spans by name: count, total/mean/max duration (ms).
+
+    Returns rows sorted by total duration descending — the ``repro
+    profile`` "where did the time go" table.
+    """
+    totals: Dict[str, List[float]] = {}
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        totals.setdefault(str(e["name"]), []).append(float(e.get("dur", 0.0)) / 1e3)
+    rows = []
+    for name, durs in totals.items():
+        rows.append(
+            {
+                "span": name,
+                "count": len(durs),
+                "total_ms": round(sum(durs), 2),
+                "mean_ms": round(sum(durs) / len(durs), 2),
+                "max_ms": round(max(durs), 2),
+            }
+        )
+    rows.sort(key=lambda r: (-float(r["total_ms"]), str(r["span"])))
+    return rows
+
+
+def slowest_spans(events: Iterable[Mapping[str, object]], n: int = 10) -> List[Dict[str, object]]:
+    """The ``n`` individually slowest complete spans, with their args.
+
+    This is the table that localizes a heavy-tail cell: each row keeps
+    the span's ``label``/args, so one slow ``unit:rand-green`` row names
+    the exact workload, ``p``, and replicate seed responsible.
+    """
+    spans = [e for e in events if e.get("ph") == "X"]
+    spans.sort(key=lambda e: -float(e.get("dur", 0.0)))
+    rows = []
+    for e in spans[: max(0, int(n))]:
+        args = e.get("args") or {}
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(args.items())) if isinstance(args, Mapping) else str(args)
+        rows.append(
+            {
+                "span": e["name"],
+                "dur_ms": round(float(e.get("dur", 0.0)) / 1e3, 2),
+                "detail": detail,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# ambient tracer stack
+# --------------------------------------------------------------------- #
+_BASE_TRACER = Tracer(enabled=False)
+_STACK: List[Tracer] = [_BASE_TRACER]
+
+
+class _NullSpan:
+    """Reusable no-op context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def active() -> Tracer:
+    """The innermost tracer scoped via :func:`collecting` (or the disabled base)."""
+    return _STACK[-1]
+
+
+def enabled() -> bool:
+    """True iff the ambient tracer is recording."""
+    return _STACK[-1].enabled
+
+
+def span(name: str, **args: object):
+    """Span on the ambient tracer; a shared no-op when tracing is off."""
+    tracer = _STACK[-1]
+    if not tracer.enabled:
+        return _NULL_SPAN
+    return tracer.span(name, **args)
+
+
+def instant(name: str, **args: object) -> None:
+    """Instant marker on the ambient tracer (no-op when disabled)."""
+    tracer = _STACK[-1]
+    if tracer.enabled:
+        tracer.instant(name, **args)
+
+
+@contextmanager
+def collecting(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Scope ``tracer`` (default: a fresh enabled one) as the ambient sink."""
+    t = tracer if tracer is not None else Tracer(enabled=True)
+    _STACK.append(t)
+    try:
+        yield t
+    finally:
+        _STACK.pop()
+
+
+def _reset() -> None:
+    """Restore the pristine module state (test isolation hook)."""
+    del _STACK[1:]
+    _BASE_TRACER.events.clear()

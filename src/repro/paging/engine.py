@@ -34,6 +34,8 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+
 __all__ = [
     "BoxRun",
     "run_box",
@@ -204,6 +206,29 @@ class ProfileRun:
     wall_time: int
 
 
+def _record_profile_metrics(runs: Sequence[BoxRun], impact: int, wall: int) -> None:
+    """Fold one profile execution into the ambient ``sim.*`` counters.
+
+    Called once per profile (not per box, and never from inside
+    :func:`run_box` — the offline DP probes ``run_box`` millions of times
+    and must stay uninstrumented).  All values are pure functions of the
+    simulated work, so they are byte-identical across reruns and worker
+    counts.
+    """
+    reg = obs_metrics.active()
+    if not reg.enabled or not runs:
+        return
+    reg.counter("sim.paging.boxes").inc(len(runs))
+    reg.counter("sim.paging.hits").inc(sum(r.hits for r in runs))
+    reg.counter("sim.paging.faults").inc(sum(r.faults for r in runs))
+    reg.counter("sim.paging.stall_time").inc(sum(r.budget - r.time_used for r in runs))
+    reg.counter("sim.paging.wall_time").inc(wall)
+    reg.counter("sim.green.impact").inc(impact)
+    hist = reg.histogram("sim.paging.box_height")
+    for r in runs:
+        hist.observe(r.height)
+
+
 def execute_profile(
     seq: np.ndarray,
     heights: Iterable[int],
@@ -248,6 +273,7 @@ def execute_profile(
             # A full box always serves at least one request: its first
             # request is either a hit (cost 1) or a miss (cost s <= s*h).
             raise AssertionError("box with budget >= miss_cost made no progress")
+    _record_profile_metrics(runs, impact, wall)
     return ProfileRun(
         runs=tuple(runs),
         completed=pos >= n,
@@ -344,6 +370,7 @@ def execute_profile_streaming(
         count += 1
         if run.served == 0 and pos < loaded and budget >= mc:
             raise AssertionError("box with budget >= miss_cost made no progress")
+    _record_profile_metrics(runs, impact, wall)
     return ProfileRun(
         runs=tuple(runs),
         completed=exhausted and pos >= loaded,

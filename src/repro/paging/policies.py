@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Protocol, runtime_checkable
 
+from ..obs import metrics as obs_metrics
+
 __all__ = [
     "ReplacementPolicy",
     "POLICY_REGISTRY",
@@ -99,7 +101,24 @@ def count_faults(policy: ReplacementPolicy, requests: Iterable[int]) -> int:
     possible by design.
     """
     faults = 0
+    served = 0
+    occupancy_before = len(policy)
+    evictions_before = getattr(policy, "evictions", None)
     for page in requests:
+        served += 1
         if not policy.touch(int(page)):
             faults += 1
+    reg = obs_metrics.active()
+    if reg.enabled and served:
+        name = type(policy).__name__
+        reg.counter("sim.policy.requests", policy=name).inc(served)
+        reg.counter("sim.policy.hits", policy=name).inc(served - faults)
+        reg.counter("sim.policy.faults", policy=name).inc(faults)
+        if evictions_before is not None:
+            evictions = int(getattr(policy, "evictions")) - int(evictions_before)
+        else:
+            # every fault admits a page; admissions beyond the occupancy
+            # growth must have displaced a resident page
+            evictions = faults - (len(policy) - occupancy_before)
+        reg.counter("sim.policy.evictions", policy=name).inc(int(evictions))
     return faults

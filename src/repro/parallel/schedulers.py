@@ -21,6 +21,8 @@ import warnings
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Protocol, Union, runtime_checkable
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..workloads.trace import ParallelWorkload
 from .events import ParallelRunResult
 
@@ -30,6 +32,7 @@ __all__ = [
     "ALGORITHM_REGISTRY",
     "register_algorithm",
     "make_algorithm",
+    "observe_pager",
 ]
 
 
@@ -159,4 +162,85 @@ def make_algorithm(
     except KeyError:
         known = ", ".join(sorted(ALGORITHM_REGISTRY))
         raise KeyError(f"unknown algorithm {spec.algorithm!r}; known: {known}") from None
-    return factory(spec.cache_size, spec.miss_cost, spec.seed)
+    return observe_pager(factory(spec.cache_size, spec.miss_cost, spec.seed))
+
+
+def observe_pager(pager: ParallelPager) -> ParallelPager:
+    """Wrap ``pager`` so its runs record obs spans and ``sim.*`` counters.
+
+    :func:`make_algorithm` applies this automatically; call it directly
+    when constructing an algorithm by hand (as experiments with bespoke
+    run arguments do) so ``repro profile`` and ``--metrics`` still see
+    the run.  With no observability scope active this returns ``pager``
+    unchanged, so the uninstrumented path stays allocation-free.
+    """
+    if obs_metrics.enabled() or obs_tracing.enabled():
+        return _ObservedPager(pager)
+    return pager
+
+
+def _record_run_metrics(result: ParallelRunResult) -> None:
+    """Fold one parallel run's box trace into the ambient ``sim.*`` counters.
+
+    Everything here is derived from the :class:`ParallelRunResult` trace —
+    a pure function of the simulated schedule — so the counters are
+    byte-identical across reruns and worker counts.  Boxes are split by
+    their ``tag`` (the §3.2 primary/secondary distinction, plus the
+    packing construction's "base"/"strip"/"singleton" labels), and stall
+    time is the reserved duration not spent serving requests.
+    """
+    reg = obs_metrics.active()
+    if not reg.enabled:
+        return
+    alg = result.algorithm
+    s = result.miss_cost
+    stall = 0
+    transitions = 0
+    last_height: Dict[int, int] = {}
+    hist = reg.histogram("sim.parallel.box_height", algorithm=alg)
+    for box in result.trace:
+        tag = box.tag or "untagged"
+        reg.counter("sim.parallel.boxes", algorithm=alg, tag=tag).inc()
+        reg.counter("sim.parallel.served", algorithm=alg, proc=box.proc).inc(box.served)
+        stall += max(0, box.duration - (box.hits + s * box.faults))
+        prev = last_height.get(box.proc)
+        if prev is not None and prev != box.height:
+            transitions += 1
+        last_height[box.proc] = box.height
+        hist.observe(box.height)
+    if result.trace:
+        reg.counter("sim.parallel.stall_time", algorithm=alg).inc(stall)
+        reg.counter("sim.parallel.height_transitions", algorithm=alg).inc(transitions)
+        reg.counter("sim.parallel.impact", algorithm=alg).inc(result.total_impact())
+    reg.gauge("sim.parallel.makespan", algorithm=alg).record_max(result.makespan)
+
+
+class _ObservedPager:
+    """Transparent pager wrapper that records obs spans and counters.
+
+    Installed by :func:`make_algorithm` only when an observability scope
+    is active, so the uninstrumented path stays allocation-free.  All
+    attribute access (``name``, ``cache_size``, seeds, …) delegates to
+    the wrapped pager, so the wrapper satisfies :class:`ParallelPager`
+    whenever the inner algorithm does.
+    """
+
+    def __init__(self, inner: ParallelPager) -> None:
+        self._inner = inner
+
+    def __getattr__(self, name: str):
+        """Delegate everything but ``run`` to the wrapped pager."""
+        return getattr(self._inner, name)
+
+    def run(self, workload: ParallelWorkload, **kwargs) -> ParallelRunResult:
+        """Run the wrapped algorithm under a span, then record its trace.
+
+        Extra keyword arguments (``max_chunks`` and friends) pass through
+        to the wrapped pager's ``run``.
+        """
+        with obs_tracing.span(
+            "algorithm.run", algorithm=self._inner.name, p=workload.p
+        ):
+            result = self._inner.run(workload, **kwargs)
+        _record_run_metrics(result)
+        return result

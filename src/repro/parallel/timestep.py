@@ -21,6 +21,7 @@ from typing import List
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
 from ..paging.lru import LRUCache
 from ..workloads.trace import ParallelWorkload
 from .events import BoxRecord, ParallelRunResult
@@ -86,6 +87,14 @@ class GlobalLRU:
             # every active processor is now busy past t; jump to the next
             # service-completion instant (event skipping)
             t = min(busy_until[i] for i in range(p) if not done[i])
+        reg = obs_metrics.active()
+        if reg.enabled:
+            reg.counter("sim.timestep.hits").inc(cache.hits)
+            reg.counter("sim.timestep.faults").inc(cache.faults)
+            reg.counter("sim.timestep.evictions").inc(cache.evictions)
+            for i in range(p):
+                reg.counter("sim.timestep.served", proc=i).inc(n[i])
+            reg.gauge("sim.timestep.makespan").record_max(int(completion.max()) if p else 0)
         return ParallelRunResult(
             algorithm=self.name,
             completion_times=completion,

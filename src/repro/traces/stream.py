@@ -10,8 +10,12 @@ the in-memory paths (the test suite asserts it).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Iterator, Optional
 
+import numpy as np
+
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..paging.engine import ProfileRun, execute_profile_streaming
 from ..workloads.stats import SequenceStats, characterize_chunks
 from .store import TraceStore
@@ -38,13 +42,33 @@ def execute_store_profile(
     concatenates the column: chunks stream from the store (optionally
     digest-verified) and are dropped as the execution position passes them.
     """
-    return execute_profile_streaming(
-        store.iter_chunks(proc, verify=verify),
-        heights,
-        miss_cost,
-        start=start,
-        max_boxes=max_boxes,
-    )
+    with obs_tracing.span("traces.execute_store_profile", proc=proc, trace=store.name):
+        return execute_profile_streaming(
+            _counted_chunks(store.iter_chunks(proc, verify=verify), proc),
+            heights,
+            miss_cost,
+            start=start,
+            max_boxes=max_boxes,
+        )
+
+
+def _counted_chunks(chunks: Iterable[np.ndarray], proc: int) -> Iterator[np.ndarray]:
+    """Pass chunks through, counting stream traffic into ``sim.traces.*``.
+
+    Counts only what the execution actually *pulled* — lazy streaming
+    means untouched tail chunks are never read, and the counters reflect
+    that.
+    """
+    reg = obs_metrics.active()
+    if not reg.enabled:
+        yield from chunks
+        return
+    n_chunks = reg.counter("sim.traces.chunks", proc=proc)
+    n_requests = reg.counter("sim.traces.requests_streamed", proc=proc)
+    for chunk in chunks:
+        n_chunks.inc()
+        n_requests.inc(len(chunk))
+        yield chunk
 
 
 def characterize_store(

@@ -1,0 +1,80 @@
+"""Unit tests for the p-sweep driver and its series extraction helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.harness import ExperimentRow
+from repro.analysis.sweep import SweepResult, default_workload_factory, series_of, sweep_p
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    import repro.experiments  # noqa: F401  (registers algorithm factories)
+
+    return sweep_p(
+        algorithms=["det-par", "global-lru"],
+        p_values=[2, 4],
+        miss_cost=3,
+        workload_factory=default_workload_factory(kind="cyclic", n_requests_per_proc=120),
+        seeds=(0,),
+    )
+
+
+def test_sweep_produces_one_row_per_algorithm_per_p(small_sweep):
+    assert small_sweep.p_values == [2, 4]
+    assert len(small_sweep.rows) == 4  # 2 algorithms x 2 p values
+    assert {(r.algorithm, r.p) for r in small_sweep.rows} == {
+        ("det-par", 2), ("det-par", 4), ("global-lru", 2), ("global-lru", 4),
+    }
+
+
+def test_rows_carry_certified_ratios(small_sweep):
+    for row in small_sweep.rows:
+        assert row.makespan > 0
+        assert row.makespan_ratio is not None and row.makespan_ratio >= 1.0
+        assert row.failed == 0
+
+
+def test_series_extracts_per_algorithm_curve(small_sweep):
+    series = small_sweep.series("det-par")
+    assert sorted(series) == [2, 4]
+    assert all(v >= 1.0 for v in series.values())
+    assert small_sweep.series("no-such-algorithm") == {}
+
+
+def test_series_of_returns_sorted_arrays(small_sweep):
+    ps, ys = series_of(small_sweep, "global-lru")
+    assert list(ps) == [2.0, 4.0]
+    assert ys.dtype == np.float64 and len(ys) == 2
+
+
+def test_as_dicts_round_trips_schema(small_sweep):
+    dicts = small_sweep.as_dicts()
+    assert len(dicts) == len(small_sweep.rows)
+    assert all("algorithm" in d and "p" in d for d in dicts)
+
+
+def test_series_skips_rows_with_missing_field():
+    rows = [
+        ExperimentRow(
+            algorithm="a", p=2, seeds=1, makespan=10.0, makespan_ratio=None,
+            max_makespan_ratio=None, mean_completion_ratio=None,
+            xi_measured=1.0, utilization=0.5,
+        ),
+        ExperimentRow(
+            algorithm="a", p=4, seeds=1, makespan=20.0, makespan_ratio=1.5,
+            max_makespan_ratio=1.5, mean_completion_ratio=1.2,
+            xi_measured=1.0, utilization=0.5,
+        ),
+    ]
+    result = SweepResult(rows=rows, p_values=[2, 4])
+    assert result.series("a") == {4: 1.5}
+
+
+def test_default_workload_factory_scales_with_p():
+    factory = default_workload_factory(kind="cyclic", n_requests_per_proc=50)
+    wl = factory(4, 16, np.random.default_rng(0))
+    assert wl.p == 4
+    assert all(len(s) == 50 for s in wl.sequences)

@@ -9,7 +9,11 @@ from hypothesis import HealthCheck, settings
 settings.register_profile(
     "repro",
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
+    # function_scoped_fixture: the autouse _pristine_observability reset
+    # fixture below is function-scoped by design (it guards *every* test
+    # against leaked ambient obs/telemetry state); it is idempotent and
+    # example-independent, so rerunning examples under one setup is fine.
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
     derandomize=True,
 )
 settings.load_profile("repro")
@@ -18,6 +22,25 @@ settings.load_profile("repro")
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: heavier end-to-end experiment tests")
     config.addinivalue_line("markers", "chaos: fault-injection tests of the execution engine")
+
+
+@pytest.fixture(autouse=True)
+def _pristine_observability():
+    """Reset process-global observability and telemetry state per test.
+
+    The ambient metrics/tracer stacks and the process-wide ``TELEMETRY``
+    collector are module-level singletons; a test that fails mid-scope
+    (or simply records cells) must not leak records into the next test's
+    assertions.  Regression guard for the cross-test Telemetry leak.
+    """
+    from repro.exec.telemetry import TELEMETRY
+    from repro.obs.runtime import reset_observability
+
+    reset_observability()
+    TELEMETRY.clear()
+    yield
+    reset_observability()
+    TELEMETRY.clear()
 
 
 @pytest.fixture(autouse=True, scope="session")

@@ -1,0 +1,130 @@
+"""Chaos tests for the obs layer: metrics under faults, failures, resume.
+
+The claims: a retried cell contributes its simulation metrics exactly
+once (the failed attempts' scoped registries are discarded with the
+raise); a cell that exhausts its retries under ``keep_going`` shows up in
+``exec.failed_cells`` without polluting ``sim.*``; and a run interrupted
+mid-sweep then resumed reports the same ``sim.*`` totals as one that was
+never interrupted.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exec import ExecutionEngine, ExecutionPolicy, FailedCell, WorkUnit, inject_faults
+from repro.obs import metrics as M
+from repro.obs.metrics import strip_wall
+from repro.workloads import cyclic
+
+pytestmark = pytest.mark.chaos
+
+
+def green_units(n=4, tag="chaos"):
+    seq = cyclic(100, 6)
+    return [
+        WorkUnit(
+            "rand-green",
+            {"seq": seq, "k": 8, "p": 2, "miss_cost": 4, "entropy": 17, "spawn_key": (i,)},
+            label=f"{tag}/u{i}",
+        )
+        for i in range(n)
+    ]
+
+
+def observed_run(units, policy=None, faults=None, jobs=1):
+    ctx = inject_faults(faults) if faults else contextlib.nullcontext()
+    with ctx, M.collecting() as reg:
+        outcomes = ExecutionEngine(jobs=jobs, policy=policy).run(units)
+    return strip_wall(reg.snapshot()), outcomes
+
+
+def sim_counters(snap):
+    return {k: v for k, v in snap["counters"].items() if k.startswith("sim.")}
+
+
+# --------------------------------------------------------------------- #
+# retries
+# --------------------------------------------------------------------- #
+def test_retried_cell_counts_sim_metrics_once():
+    clean, _ = observed_run(green_units())
+    policy = ExecutionPolicy(retries=2, backoff_s=0.01)
+    flaky, _ = observed_run(green_units(), policy=policy, faults="flaky:chaos/u1:2")
+    # the two failed attempts ran inside scoped registries that were
+    # discarded with the raise: simulation totals are untouched
+    assert sim_counters(flaky) == sim_counters(clean)
+    assert flaky["histograms"] == clean["histograms"]
+    assert flaky["counters"]["exec.retries"] == 2
+    assert flaky["counters"]["exec.computed"] == clean["counters"]["exec.computed"]
+    assert "exec.retries" not in clean["counters"]
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_retried_cell_counts_once_in_pool_too(jobs):
+    clean, _ = observed_run(green_units())
+    policy = ExecutionPolicy(retries=1, backoff_s=0.01)
+    flaky, _ = observed_run(green_units(), policy=policy, faults="flaky:chaos/u2:1", jobs=jobs)
+    assert sim_counters(flaky) == sim_counters(clean)
+    assert flaky["counters"]["exec.retries"] == 1
+
+
+# --------------------------------------------------------------------- #
+# exhausted cells under keep_going
+# --------------------------------------------------------------------- #
+def test_failed_cell_counted_and_excluded_from_sim():
+    clean, _ = observed_run(green_units())
+    policy = ExecutionPolicy(retries=0, keep_going=True)
+    snap, outcomes = observed_run(green_units(), policy=policy, faults="crash:chaos/u1:0")
+    assert sum(isinstance(o, FailedCell) for o in outcomes) == 1
+    assert snap["counters"]["exec.failed_cells"] == 1
+    assert snap["counters"]["exec.cells"] == len(green_units())
+    assert snap["counters"]["exec.computed"] == len(green_units()) - 1
+    # the dead cell contributed nothing to simulation accounting: no sim
+    # counter exceeds the clean run, and per-box totals are strictly lower
+    for key, value in sim_counters(snap).items():
+        assert value <= sim_counters(clean)[key], key
+    assert snap["counters"]["sim.paging.boxes"] < clean["counters"]["sim.paging.boxes"]
+    assert snap["counters"]["sim.green.impact"] < clean["counters"]["sim.green.impact"]
+
+
+# --------------------------------------------------------------------- #
+# interrupt + resume
+# --------------------------------------------------------------------- #
+def test_resume_metrics_equal_uninterrupted_run(tmp_path, capsys):
+    def args_for(root, *extra):
+        return [
+            "--cache-dir", str(root / "cache"),
+            "--runs-dir", str(root / "runs"),
+            *extra,
+        ]
+
+    clean_dir = tmp_path / "clean"
+    rc = main(["e1", "--metrics", str(clean_dir / "m.json"),
+               "--out", str(clean_dir / "e1.md"), *args_for(clean_dir)])
+    assert rc == 0
+    capsys.readouterr()
+
+    # interrupt mid-sweep; the metrics path rides in the stored manifest
+    work = tmp_path / "work"
+    with inject_faults("interrupt:e1/rand-green:1"):
+        rc = main(["e1", "--run-id", "obs-resume", "--metrics", str(work / "m.json"),
+                   "--out", str(work / "e1.md"), *args_for(work)])
+    assert rc == 130
+    capsys.readouterr()
+
+    rc = main(["resume", "obs-resume", "--runs-dir", str(work / "runs")])
+    assert rc == 0
+    capsys.readouterr()
+
+    clean = strip_wall(json.loads((clean_dir / "m.json").read_text()))
+    resumed = strip_wall(json.loads((work / "m.json").read_text()))
+    # journaled cells replay their sim.* deltas as cache hits, so the
+    # resumed run's simulation totals match a run that never died
+    assert sim_counters(resumed) == sim_counters(clean)
+    assert resumed["histograms"] == clean["histograms"]
+    assert resumed["counters"]["exec.cells"] == clean["counters"]["exec.cells"]
+    assert resumed["counters"]["exec.cache.hits"] > 0

@@ -1,0 +1,113 @@
+"""CLI observability surface: --metrics, --trace-events, repro profile."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.metrics import strip_wall
+from repro.obs.tracing import canonical_events
+
+
+def args_for(tmp_path, *extra):
+    return [
+        "--no-checkpoint",
+        "--cache-dir", str(tmp_path / "cache"),
+        *extra,
+    ]
+
+
+def test_metrics_flag_writes_snapshot(tmp_path, capsys):
+    path = tmp_path / "m.json"
+    rc = main(["e1", "--metrics", str(path), *args_for(tmp_path)])
+    assert rc == 0
+    snap = json.loads(path.read_text())
+    assert snap["schema_version"] >= 1
+    assert snap["counters"]["exec.cells"] > 0
+    assert any(k.startswith("sim.") for k in snap["counters"])
+    # the report text carries the metrics delta block
+    assert "[metrics]" in capsys.readouterr().out
+
+
+def test_trace_events_flag_writes_chrome_trace(tmp_path):
+    path = tmp_path / "t.trace.json"
+    rc = main(["e1", "--trace-events", str(path), *args_for(tmp_path)])
+    assert rc == 0
+    doc = json.loads(path.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "exec.batch" in names
+    assert any(n == "exec.unit" for n in names)
+
+
+def test_run_synonym_accepts_obs_flags(tmp_path):
+    path = tmp_path / "m.json"
+    rc = main(["run", "e1", "--metrics", str(path), *args_for(tmp_path)])
+    assert rc == 0
+    assert path.exists()
+
+
+def test_no_obs_flags_means_no_ambient_collection(tmp_path, capsys):
+    rc = main(["e1", *args_for(tmp_path)])
+    assert rc == 0
+    assert "[metrics]" not in capsys.readouterr().out
+
+
+def test_serial_vs_jobs_metrics_identical_at_cli_level(tmp_path):
+    serial, pooled = tmp_path / "serial.json", tmp_path / "pooled.json"
+    assert main(["e1", "--metrics", str(serial),
+                 *args_for(tmp_path / "a", "--no-cache")]) == 0
+    assert main(["e1", "--jobs", "2", "--metrics", str(pooled),
+                 *args_for(tmp_path / "b", "--no-cache")]) == 0
+    a = strip_wall(json.loads(serial.read_text()))
+    b = strip_wall(json.loads(pooled.read_text()))
+    assert a == b
+
+
+def test_serial_vs_jobs_traces_identical_at_cli_level(tmp_path):
+    serial, pooled = tmp_path / "serial.trace.json", tmp_path / "pooled.trace.json"
+    assert main(["e1", "--trace-events", str(serial),
+                 *args_for(tmp_path / "a", "--no-cache")]) == 0
+    assert main(["e1", "--jobs", "2", "--trace-events", str(pooled),
+                 *args_for(tmp_path / "b", "--no-cache")]) == 0
+    a = json.loads(serial.read_text())["traceEvents"]
+    b = json.loads(pooled.read_text())["traceEvents"]
+    assert canonical_events(a) == canonical_events(b)
+
+
+def test_profile_command_prints_span_tables(tmp_path, capsys):
+    rc = main(["profile", "e1", "--top", "5", *args_for(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "e1: time by span" in out
+    assert "e1: slowest individual spans" in out
+    assert "e1: top counters" in out
+    assert "exec.unit" in out
+    assert "trace events)" in out
+
+
+def test_profile_writes_requested_files(tmp_path, capsys):
+    m, t = tmp_path / "m.json", tmp_path / "t.json"
+    rc = main(["profile", "e1", "--metrics", str(m), "--trace-events", str(t),
+               *args_for(tmp_path)])
+    assert rc == 0
+    assert json.loads(m.read_text())["counters"]
+    assert json.loads(t.read_text())["traceEvents"]
+
+
+def test_profile_unknown_experiment_errors(tmp_path, capsys):
+    rc = main(["profile", "nope", *args_for(tmp_path)])
+    assert rc == 2
+    assert "pick an experiment" in capsys.readouterr().err
+
+
+def test_profile_requires_an_argument(tmp_path, capsys):
+    rc = main(["profile", *args_for(tmp_path)])
+    assert rc == 2
+
+
+def test_positional_arg_rejected_for_plain_experiments(capsys):
+    with pytest.raises(SystemExit):
+        main(["e1", "extra"])

@@ -1,0 +1,151 @@
+"""Cross-check properties: counters must equal the ground-truth accounting.
+
+Every counter the obs layer emits is redundant with some first-class
+result object (:class:`ProfileRun`, :class:`ParallelRunResult`, a cache's
+own tallies).  These hypothesis properties pin the two books together, so
+an instrumentation bug cannot silently drift from the simulation truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.green.impact import profile_impact
+from repro.obs import metrics as M
+from repro.paging.engine import execute_profile
+from repro.paging.fifo import FIFOCache
+from repro.paging.lru import LRUCache
+from repro.paging.policies import count_faults
+from repro.core.rand_par import RandPar
+from repro.parallel.schedulers import RunSpec, make_algorithm, observe_pager
+from repro.parallel.timestep import GlobalLRU
+from repro.workloads.generators import make_parallel_workload
+
+sequences = st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=200)
+
+
+@given(seq=sequences, heights=st.lists(st.sampled_from([1, 2, 4, 8]), min_size=1, max_size=8))
+@settings(max_examples=40)
+def test_profile_counters_match_profile_run(seq, heights):
+    arr = np.asarray(seq, dtype=np.int64)
+    with M.collecting() as reg:
+        pr = execute_profile(arr, iter(heights * 200), miss_cost=4)
+    snap = reg.snapshot()["counters"]
+    if not pr.runs:
+        assert reg.is_empty()
+        return
+    assert snap["sim.paging.faults"] == sum(r.faults for r in pr.runs)
+    assert snap["sim.paging.hits"] == sum(r.hits for r in pr.runs)
+    assert snap["sim.paging.boxes"] == len(pr.runs)
+    assert snap["sim.paging.wall_time"] == pr.wall_time
+    assert snap["sim.paging.stall_time"] == sum(r.stalled for r in pr.runs)
+
+
+@given(seq=sequences, heights=st.lists(st.sampled_from([1, 2, 4, 8]), min_size=1, max_size=8))
+@settings(max_examples=40)
+def test_green_impact_counter_matches_impact_module(seq, heights):
+    arr = np.asarray(seq, dtype=np.int64)
+    with M.collecting() as reg:
+        pr = execute_profile(arr, iter(heights * 200), miss_cost=4)
+    if not pr.runs:
+        return
+    counted = reg.snapshot()["counters"]["sim.green.impact"]
+    assert counted == pr.impact
+    assert counted == profile_impact([r.height for r in pr.runs], 4)
+
+
+@pytest.mark.parametrize("cache_cls", [LRUCache, FIFOCache])
+@given(seq=sequences, capacity=st.integers(min_value=1, max_value=6))
+@settings(max_examples=30)
+def test_policy_counters_match_cache_tallies(cache_cls, seq, capacity):
+    cache = cache_cls(capacity)
+    with M.collecting() as reg:
+        faults = count_faults(cache, seq)
+    snap = reg.snapshot()["counters"]
+    name = cache_cls.__name__
+    assert snap[f"sim.policy.faults{{policy={name}}}"] == faults == cache.faults
+    assert snap[f"sim.policy.hits{{policy={name}}}"] == cache.hits
+    assert snap[f"sim.policy.requests{{policy={name}}}"] == len(seq)
+    assert snap[f"sim.policy.evictions{{policy={name}}}"] == cache.evictions
+
+
+@given(seq=sequences, capacity=st.integers(min_value=1, max_value=6))
+@settings(max_examples=30)
+def test_policy_eviction_fallback_matches_size_delta(seq, capacity):
+    """A policy without an ``evictions`` attribute gets the computed delta."""
+
+    class BareLRU:
+        """LRU facade hiding the eviction tally (exercises the fallback)."""
+
+        def __init__(self, cap):
+            self._inner = LRUCache(cap)
+            self.capacity = cap
+
+        def touch(self, page):
+            return self._inner.touch(page)
+
+        def __contains__(self, page):
+            return page in self._inner
+
+        def __len__(self):
+            return len(self._inner)
+
+        def clear(self):
+            self._inner.clear()
+
+    bare = BareLRU(capacity)
+    with M.collecting() as reg:
+        count_faults(bare, seq)
+    snap = reg.snapshot()["counters"]
+    assert snap["sim.policy.evictions{policy=BareLRU}"] == bare._inner.evictions
+
+
+@given(seed=st.integers(min_value=0, max_value=50), p=st.sampled_from([2, 4]))
+@settings(max_examples=15, deadline=None)
+def test_timestep_counters_match_result_meta(seed, p):
+    wl = make_parallel_workload(p, 120, 8, np.random.default_rng(seed), kind="cyclic")
+    with M.collecting() as reg:
+        result = GlobalLRU(cache_size=8, miss_cost=3).run(wl)
+    snap = reg.snapshot()
+    assert snap["counters"]["sim.timestep.hits"] == result.meta["hits"]
+    assert snap["counters"]["sim.timestep.faults"] == result.meta["faults"]
+    assert snap["gauges"]["sim.timestep.makespan"] == result.makespan
+    for proc in range(p):
+        assert snap["counters"][f"sim.timestep.served{{proc={proc}}}"] == len(wl.sequences[proc])
+
+
+@pytest.mark.parametrize("algorithm", ["det-par", "rand-par"])
+def test_parallel_counters_match_run_result(algorithm):
+    wl = make_parallel_workload(2, 200, 8, np.random.default_rng(3), kind="mixed")
+    spec = RunSpec(algorithm=algorithm, cache_size=16, miss_cost=3, seed=1)
+    with M.collecting() as reg:
+        result = make_algorithm(spec).run(wl)
+    snap = reg.snapshot()
+    boxes = sum(
+        v for k, v in snap["counters"].items() if k.startswith("sim.parallel.boxes{")
+    )
+    assert boxes == len(result.trace)
+    assert snap["counters"][f"sim.parallel.impact{{algorithm={algorithm}}}"] == result.total_impact()
+    assert snap["gauges"][f"sim.parallel.makespan{{algorithm={algorithm}}}"] == result.makespan
+    served = sum(
+        v for k, v in snap["counters"].items() if k.startswith("sim.parallel.served{")
+    )
+    assert served == sum(r.served for r in result.trace)
+    hist = snap["histograms"][f"sim.parallel.box_height{{algorithm={algorithm}}}"]
+    assert hist["count"] == len(result.trace)
+
+
+def test_observe_pager_wraps_direct_constructions():
+    """Hand-built pagers (the e2/e4/e7 style) record via observe_pager."""
+    wl = make_parallel_workload(2, 150, 8, np.random.default_rng(5), kind="cyclic")
+    pager = RandPar(16, 3, np.random.default_rng(0))
+    assert observe_pager(pager) is pager  # no scope active: unchanged
+    with M.collecting() as reg:
+        observed = observe_pager(RandPar(16, 3, np.random.default_rng(0)))
+        assert observed is not pager and observed.name == "rand-par"
+        result = observed.run(wl, max_chunks=50)  # kwargs pass through
+    counters = reg.snapshot()["counters"]
+    assert counters["sim.parallel.impact{algorithm=rand-par}"] == result.total_impact()

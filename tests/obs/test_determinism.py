@@ -1,0 +1,135 @@
+"""Determinism suite: byte-identical obs output across runs, workers, caches.
+
+The load-bearing claims of the observability layer:
+
+* two identical runs produce **byte-identical** metrics JSON and
+  canonical trace events;
+* serial and ``jobs=4`` execution produce identical metrics (after
+  :func:`strip_wall`) and identical canonical traces;
+* a warm-cache run replays the exact ``sim.*`` metrics of the run that
+  filled the cache.
+
+The golden files under ``tests/obs/golden/`` pin the exact rendering;
+regenerate with ``REPRO_UPDATE_GOLDENS=1 pytest tests/obs``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exec import ExecutionEngine, ResultCache, WorkUnit
+from repro.obs import observability
+from repro.obs.metrics import snapshot_to_json, strip_wall
+from repro.obs.tracing import canonical_events
+from repro.workloads import cyclic
+from repro.workloads.generators import make_parallel_workload
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _units():
+    """A small fixed workload touching every instrumented subsystem."""
+    wl = make_parallel_workload(2, 240, 8, np.random.default_rng(7), kind="cyclic")
+    seq = cyclic(120, 6)
+    units = [
+        WorkUnit(
+            "parallel-run",
+            {"workload": wl, "algorithm": name, "cache_size": 16, "miss_cost": 3, "seed": 0},
+            label=f"det/{name}",
+        )
+        for name in ("det-par", "rand-par", "global-lru")
+    ]
+    units += [
+        WorkUnit(
+            "rand-green",
+            {"seq": seq, "k": 8, "p": 2, "miss_cost": 4, "entropy": 17, "spawn_key": (i,)},
+            label=f"det/rand-green/{i}",
+        )
+        for i in range(2)
+    ]
+    units.append(
+        WorkUnit("green-opt", {"seq": seq, "k": 8, "p": 2, "miss_cost": 4}, label="det/opt")
+    )
+    return units
+
+
+def _run(jobs=1, cache=None):
+    """One observed engine pass; returns (stripped snapshot, events)."""
+    with observability(metrics=True, trace=True) as scope:
+        ExecutionEngine(jobs=jobs, cache=cache).run(_units())
+        return strip_wall(scope.metrics_snapshot()), list(scope.tracer.events)
+
+
+def _check_golden(name: str, text: str) -> None:
+    """Compare against (or regenerate) a golden file."""
+    path = GOLDEN_DIR / name
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return
+    assert path.exists(), (
+        f"golden file {path} missing; regenerate with REPRO_UPDATE_GOLDENS=1 pytest tests/obs"
+    )
+    assert text == path.read_text(), (
+        f"output diverged from {path.name}; if the change is intended, "
+        "regenerate with REPRO_UPDATE_GOLDENS=1 pytest tests/obs"
+    )
+
+
+def test_two_runs_byte_identical():
+    snap_a, events_a = _run()
+    snap_b, events_b = _run()
+    assert snapshot_to_json(snap_a) == snapshot_to_json(snap_b)
+    assert canonical_events(events_a) == canonical_events(events_b)
+
+
+def test_metrics_golden():
+    snap, _ = _run()
+    _check_golden("engine_small.metrics.json", snapshot_to_json(snap))
+
+
+def test_canonical_trace_golden():
+    _, events = _run()
+    text = json.dumps(canonical_events(events), sort_keys=True, indent=2) + "\n"
+    _check_golden("engine_small.trace.json", text)
+
+
+def test_serial_vs_jobs4_identical():
+    snap_serial, events_serial = _run(jobs=1)
+    snap_pooled, events_pooled = _run(jobs=4)
+    assert snap_serial == snap_pooled
+    assert canonical_events(events_serial) == canonical_events(events_pooled)
+
+
+def test_warm_cache_replays_sim_metrics(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    cold, _ = _run(cache=cache)
+    warm, _ = _run(cache=cache)
+    # sim.* replays exactly; exec.* legitimately differs (hits vs computes)
+    sim_cold = {k: v for k, v in cold["counters"].items() if k.startswith("sim.")}
+    sim_warm = {k: v for k, v in warm["counters"].items() if k.startswith("sim.")}
+    assert sim_cold == sim_warm
+    assert cold["histograms"] == warm["histograms"]
+    assert warm["counters"]["exec.cache.hits"] == len(_units())
+    assert "exec.computed" not in warm["counters"]
+
+
+def test_pooled_warm_cache_matches_serial_cold(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    cold, _ = _run(jobs=1, cache=cache)
+    warm_pooled, _ = _run(jobs=4, cache=cache)
+    sim = lambda s: {k: v for k, v in s["counters"].items() if k.startswith("sim.")}  # noqa: E731
+    assert sim(cold) == sim(warm_pooled)
+
+
+def test_disabled_obs_attaches_no_deltas():
+    outcomes = ExecutionEngine(jobs=1).run(_units()[:1])
+    assert outcomes  # ran clean with obs off; nothing ambient recorded
+    from repro.obs import metrics as M
+
+    assert M.active().is_empty()

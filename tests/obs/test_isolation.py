@@ -1,0 +1,57 @@
+"""Regression tests: process-global state must not leak across test cases.
+
+The bug: ``repro.exec.TELEMETRY`` is a process-global append-only list,
+so one test's cell records used to bleed into the next test's
+``summary()`` (and a leaked ambient obs registry would silently collect
+metrics for every subsequent test).  The autouse ``_pristine_observability``
+fixture in ``tests/conftest.py`` now resets both around every test;
+these cases would fail without it.
+
+The two ``*_pollutes_*`` tests are an order-independent pair: whichever
+runs second proves the first one's garbage was swept.
+"""
+
+from __future__ import annotations
+
+from repro.exec import ExecutionEngine, WorkUnit
+from repro.exec.telemetry import TELEMETRY
+from repro.obs import metrics as M
+from repro.obs import tracing as T
+from repro.workloads import cyclic
+
+
+def _one_unit(tag):
+    return [
+        WorkUnit(
+            "rand-green",
+            {"seq": cyclic(60, 4), "k": 8, "p": 2, "miss_cost": 3, "entropy": 1, "spawn_key": (0,)},
+            label=f"{tag}/u0",
+        )
+    ]
+
+
+def test_global_telemetry_pollutes_a():
+    assert len(TELEMETRY) == 0, "TELEMETRY leaked in from a previous test"
+    ExecutionEngine(jobs=1).run(_one_unit("iso-a"))
+    assert len(TELEMETRY) == 1  # deliberately left dirty for the fixture
+
+
+def test_global_telemetry_pollutes_b():
+    assert len(TELEMETRY) == 0, "TELEMETRY leaked in from a previous test"
+    ExecutionEngine(jobs=1).run(_one_unit("iso-b"))
+    assert TELEMETRY.summary()["cells"] == 1
+    assert TELEMETRY.records[0].label == "iso-b/u0"
+
+
+def test_ambient_obs_stack_is_pristine():
+    assert not M.enabled() and not T.enabled()
+    assert M.active().is_empty()
+    assert T.active().events == []
+
+
+def test_leaked_collecting_scope_is_swept():
+    # enter scopes and never exit: the fixture must tear them down so the
+    # next test (above, in either order) still sees a disabled stack
+    M._STACK.append(M.MetricsRegistry())
+    T._STACK.append(T.Tracer())
+    assert M.enabled() and T.enabled()

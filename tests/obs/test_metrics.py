@@ -1,0 +1,196 @@
+"""Unit tests for the metrics registry: cells, snapshots, merge algebra."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metrics as M
+from repro.obs.metrics import (
+    DEFAULT_BUCKET_EDGES,
+    NULL_METRIC,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    snapshot_to_json,
+    strip_wall,
+)
+
+
+# --------------------------------------------------------------------- #
+# cells
+# --------------------------------------------------------------------- #
+def test_counter_inc():
+    c = Counter()
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+
+
+def test_gauge_set_and_record_max():
+    g = Gauge()
+    g.set(7)
+    g.record_max(3)  # lower: ignored
+    assert g.value == 7
+    g.record_max(11)
+    assert g.value == 11
+
+
+def test_histogram_bucketing():
+    h = Histogram(edges=[1.0, 2.0, 4.0])
+    for v in (0.5, 1.0, 1.5, 4.0, 100.0):
+        h.observe(v)
+    # <=1 | <=2 | <=4 | overflow
+    assert h.counts == [2, 1, 1, 1]
+    assert h.count == 5
+    assert h.sum == pytest.approx(107.0)
+
+
+def test_histogram_rejects_bad_edges():
+    with pytest.raises(ValueError):
+        Histogram(edges=[])
+    with pytest.raises(ValueError):
+        Histogram(edges=[2.0, 1.0])
+
+
+def test_default_edges_are_powers_of_two():
+    assert DEFAULT_BUCKET_EDGES[0] == 1.0
+    assert DEFAULT_BUCKET_EDGES[-1] == float(1 << 20)
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+def test_disabled_registry_hands_out_null_metric():
+    reg = MetricsRegistry(enabled=False)
+    assert reg.counter("x") is NULL_METRIC
+    assert reg.gauge("x") is NULL_METRIC
+    assert reg.histogram("x") is NULL_METRIC
+    # null metric swallows everything
+    NULL_METRIC.inc()
+    NULL_METRIC.set(3)
+    NULL_METRIC.record_max(3)
+    NULL_METRIC.observe(3)
+    assert reg.is_empty()
+
+
+def test_labels_canonicalize_sorted():
+    reg = MetricsRegistry()
+    a = reg.counter("sim.x", b=2, a=1)
+    b = reg.counter("sim.x", a=1, b=2)
+    assert a is b
+    assert list(reg.snapshot()["counters"]) == ["sim.x{a=1,b=2}"]
+
+
+def test_histogram_edge_mismatch_rejected():
+    reg = MetricsRegistry()
+    reg.histogram("h", edges=[1.0, 2.0])
+    with pytest.raises(ValueError, match="different edges"):
+        reg.histogram("h", edges=[1.0, 3.0])
+
+
+def test_snapshot_is_sorted_and_integral():
+    reg = MetricsRegistry()
+    reg.counter("b").inc(2.0)  # integral float -> int in snapshot
+    reg.counter("a").inc()
+    reg.gauge("g").set(1.5)
+    snap = reg.snapshot()
+    assert list(snap["counters"]) == ["a", "b"]
+    assert snap["counters"]["b"] == 2 and isinstance(snap["counters"]["b"], int)
+    assert snap["gauges"]["g"] == 1.5
+
+
+def test_merge_is_commutative():
+    def make(x, y):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(x)
+        reg.gauge("g").record_max(y)
+        reg.histogram("h", edges=[1.0, 2.0]).observe(y)
+        return reg.snapshot()
+
+    a, b = make(3, 10), make(4, 2)
+    ab = MetricsRegistry()
+    ab.merge(a)
+    ab.merge(b)
+    ba = MetricsRegistry()
+    ba.merge(b)
+    ba.merge(a)
+    assert ab.snapshot() == ba.snapshot()
+    assert ab.snapshot()["counters"]["c"] == 7
+    assert ab.snapshot()["gauges"]["g"] == 10
+
+
+def test_merge_histogram_edge_mismatch_rejected():
+    reg = MetricsRegistry()
+    reg.histogram("h", edges=[1.0])
+    donor = MetricsRegistry()
+    donor.histogram("h", edges=[2.0]).observe(1)
+    with pytest.raises(ValueError, match="edge mismatch"):
+        reg.merge(donor.snapshot())
+
+
+def test_merge_none_is_noop():
+    reg = MetricsRegistry()
+    reg.merge(None)
+    reg.merge({})
+    assert reg.is_empty()
+
+
+# --------------------------------------------------------------------- #
+# snapshot utilities
+# --------------------------------------------------------------------- #
+def test_strip_wall_removes_wall_prefix():
+    reg = MetricsRegistry()
+    reg.counter("sim.a").inc()
+    reg.counter("wall.b").inc()
+    snap = strip_wall(reg.snapshot())
+    assert "sim.a" in snap["counters"] and "wall.b" not in snap["counters"]
+
+
+def test_diff_snapshots_drops_zero_deltas():
+    reg = MetricsRegistry()
+    reg.counter("x").inc(5)
+    before = reg.snapshot()
+    reg.counter("x").inc(0)
+    reg.counter("y").inc(2)
+    delta = diff_snapshots(before, reg.snapshot())
+    assert delta["counters"] == {"y": 2}
+
+
+def test_snapshot_to_json_is_canonical():
+    reg = MetricsRegistry()
+    reg.counter("z").inc()
+    reg.counter("a").inc()
+    text = snapshot_to_json(reg.snapshot())
+    assert text == snapshot_to_json(json.loads(text)) or json.loads(text)["counters"] == {"a": 1, "z": 1}
+    assert text.endswith("\n")
+    assert text.index('"a"') < text.index('"z"')
+
+
+# --------------------------------------------------------------------- #
+# ambient stack
+# --------------------------------------------------------------------- #
+def test_ambient_stack_default_disabled():
+    assert not M.enabled()
+    M.counter("x").inc()  # goes to the disabled base: no-op
+    assert M.active().is_empty()
+
+
+def test_collecting_scopes_and_restores():
+    with M.collecting() as reg:
+        assert M.enabled()
+        M.counter("inside").inc()
+        assert reg.snapshot()["counters"] == {"inside": 1}
+    assert not M.enabled()
+
+
+def test_collecting_nests():
+    with M.collecting() as outer:
+        M.counter("o").inc()
+        with M.collecting() as inner:
+            M.counter("i").inc()
+        assert "i" not in outer.snapshot()["counters"]
+        assert inner.snapshot()["counters"] == {"i": 1}

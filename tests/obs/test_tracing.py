@@ -1,0 +1,115 @@
+"""Unit tests for span tracing: events, canonicalization, aggregation."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import tracing as T
+from repro.obs.tracing import (
+    Tracer,
+    aggregate_spans,
+    canonical_events,
+    slowest_spans,
+    write_chrome_trace,
+)
+
+
+def test_span_records_complete_event():
+    tracer = Tracer()
+    with tracer.span("work", label="a"):
+        pass
+    (event,) = tracer.events
+    assert event["name"] == "work" and event["ph"] == "X"
+    assert event["args"] == {"label": "a"}
+    assert event["dur"] >= 0 and "ts" in event
+
+
+def test_span_records_even_when_body_raises():
+    tracer = Tracer()
+    try:
+        with tracer.span("boom"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    assert [e["name"] for e in tracer.events] == ["boom"]
+
+
+def test_instant_and_complete():
+    tracer = Tracer()
+    tracer.instant("mark", kind="k")
+    tracer.complete("past", 0.5, label="l")
+    instants = [e for e in tracer.events if e["ph"] == "i"]
+    completes = [e for e in tracer.events if e["ph"] == "X"]
+    assert len(instants) == 1 and len(completes) == 1
+    assert completes[0]["dur"] == 500000.0
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    with tracer.span("x"):
+        tracer.instant("y")
+        tracer.complete("z", 1.0)
+    assert tracer.events == []
+
+
+def test_canonical_events_strips_wall_fields_and_sorts():
+    a = Tracer()
+    b = Tracer()
+    with a.span("s1", i=1):
+        pass
+    a.instant("m")
+    b.instant("m")  # opposite order, different timestamps
+    with b.span("s1", i=1):
+        pass
+    assert canonical_events(a.events) == canonical_events(b.events)
+    for event in canonical_events(a.events):
+        assert not set(event) & {"ts", "dur", "pid", "tid"}
+
+
+def test_aggregate_spans_orders_by_total():
+    tracer = Tracer()
+    tracer.complete("small", 0.001)
+    tracer.complete("big", 0.5)
+    tracer.complete("big", 0.25)
+    rows = aggregate_spans(tracer.events)
+    assert [r["span"] for r in rows] == ["big", "small"]
+    assert rows[0]["count"] == 2
+    assert rows[0]["total_ms"] == 750.0
+
+
+def test_slowest_spans_keeps_args_detail():
+    tracer = Tracer()
+    tracer.complete("unit", 0.2, label="e1/opt/p=16", kind="green-opt")
+    tracer.complete("unit", 0.1, label="e1/opt/p=4", kind="green-opt")
+    rows = slowest_spans(tracer.events, n=1)
+    assert len(rows) == 1
+    assert rows[0]["dur_ms"] == 200.0
+    assert "label=e1/opt/p=16" in rows[0]["detail"]
+
+
+def test_write_chrome_trace_envelope(tmp_path):
+    tracer = Tracer()
+    with tracer.span("s"):
+        pass
+    path = tmp_path / "sub" / "trace.json"
+    tracer.write_chrome(path)  # creates parent dirs
+    doc = json.loads(path.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["schema_version"] == T.TRACE_SCHEMA_VERSION
+    assert len(doc["traceEvents"]) == 1
+    # the standalone writer produces the same envelope
+    write_chrome_trace(tracer.events, tmp_path / "t2.json")
+    doc2 = json.loads((tmp_path / "t2.json").read_text())
+    assert doc2["traceEvents"] == doc["traceEvents"]
+
+
+def test_ambient_tracer_stack():
+    assert not T.enabled()
+    with T.span("noop"):  # shared null span: records nowhere
+        pass
+    with T.collecting() as tracer:
+        assert T.enabled()
+        with T.span("inside", x=1):
+            T.instant("mark")
+        assert [e["name"] for e in tracer.events] == ["mark", "inside"]
+    assert not T.enabled()

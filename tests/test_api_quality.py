@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.analysis",
     "repro.exec",
+    "repro.obs",
 ]
 
 

@@ -1,0 +1,84 @@
+"""Unit tests for tools/coverage_summary.py (stdlib cobertura renderer)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+spec = importlib.util.spec_from_file_location("coverage_summary", TOOLS / "coverage_summary.py")
+coverage_summary = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(coverage_summary)
+
+COBERTURA = """<?xml version="1.0" ?>
+<coverage line-rate="0.625">
+  <packages><package name="repro">
+    <classes>
+      <class name="a.py" filename="src/repro/a.py">
+        <lines>
+          <line number="1" hits="3"/>
+          <line number="2" hits="0"/>
+          <line number="3" hits="1"/>
+          <line number="4" hits="0"/>
+        </lines>
+      </class>
+      <class name="b.py" filename="src/repro/b.py">
+        <lines>
+          <line number="1" hits="1"/>
+          <line number="2" hits="1"/>
+          <line number="3" hits="1"/>
+          <line number="4" hits="1"/>
+        </lines>
+      </class>
+    </classes>
+  </package></packages>
+</coverage>
+"""
+
+
+@pytest.fixture
+def xml_path(tmp_path):
+    path = tmp_path / "coverage.xml"
+    path.write_text(COBERTURA)
+    return path
+
+
+def test_module_rates_counts_lines(xml_path):
+    total, modules = coverage_summary.module_rates(xml_path)
+    assert modules["src/repro/a.py"] == (2, 4)
+    assert modules["src/repro/b.py"] == (4, 4)
+    assert total == pytest.approx(6 / 8)
+
+
+def test_duplicate_classes_merge_by_line(tmp_path):
+    doubled = COBERTURA.replace(
+        '<class name="b.py" filename="src/repro/b.py">',
+        '<class name="a2.py" filename="src/repro/a.py">', 1,
+    )
+    path = tmp_path / "c.xml"
+    path.write_text(doubled)
+    _, modules = coverage_summary.module_rates(path)
+    # same file twice: lines union, a hit anywhere counts
+    assert modules["src/repro/a.py"] == (4, 4)
+
+
+def test_render_summary_lists_lowest_first(xml_path):
+    text = coverage_summary.render_summary(xml_path, lowest=1)
+    assert "## Coverage: 75.0% line rate (2 modules)" in text
+    assert "src/repro/a.py" in text and "src/repro/b.py" not in text
+    assert "| src/repro/a.py | 2 | 4 | 50.0% |" in text
+
+
+def test_main_prints_summary(xml_path, capsys):
+    assert coverage_summary.main([str(xml_path)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("## Coverage:")
+    assert out.endswith("\n")
+
+
+def test_main_missing_file_errors(tmp_path, capsys):
+    assert coverage_summary.main([str(tmp_path / "nope.xml")]) == 2
+    assert "not found" in capsys.readouterr().err

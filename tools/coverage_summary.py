@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Render a Cobertura ``coverage.xml`` as a compact markdown summary.
+
+Used by CI to publish the coverage gate's result as a step summary and
+artifact:
+
+    python tools/coverage_summary.py coverage.xml --lowest 10 > summary.md
+
+Reads only the stdlib (``xml.etree``), so it runs in any environment
+that produced the report — no ``coverage`` install needed to render it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+
+def module_rates(xml_path: Path) -> Tuple[float, Dict[str, Tuple[int, int]]]:
+    """Parse cobertura XML into (total_rate, {module: (covered, total)}).
+
+    Lines are aggregated per source file across all ``<class>`` elements
+    (coverage.py emits one class per file, but duplicates are merged
+    defensively), counting a line covered when any element saw hits.
+    """
+    root = ET.parse(xml_path).getroot()
+    per_file: Dict[str, Dict[int, bool]] = {}
+    for cls in root.iter("class"):
+        fname = cls.get("filename", "?")
+        lines = per_file.setdefault(fname, {})
+        for line in cls.iter("line"):
+            number = int(line.get("number", "0"))
+            hit = int(line.get("hits", "0")) > 0
+            lines[number] = lines.get(number, False) or hit
+    modules = {
+        fname: (sum(1 for h in lines.values() if h), len(lines))
+        for fname, lines in per_file.items()
+    }
+    covered = sum(c for c, _ in modules.values())
+    total = sum(t for _, t in modules.values())
+    return (covered / total if total else 1.0), modules
+
+
+def render_summary(xml_path: Path, lowest: int = 10) -> str:
+    """The markdown report: total line, then the least-covered modules."""
+    total_rate, modules = module_rates(xml_path)
+    rows: List[Tuple[float, str, int, int]] = sorted(
+        ((c / t if t else 1.0), name, c, t) for name, (c, t) in modules.items()
+    )
+    out = [
+        f"## Coverage: {total_rate:.1%} line rate ({len(modules)} modules)",
+        "",
+        f"Lowest-covered modules (bottom {min(lowest, len(rows))}):",
+        "",
+        "| module | covered | lines | rate |",
+        "|---|---|---|---|",
+    ]
+    for rate, name, covered, total in rows[:lowest]:
+        out.append(f"| {name} | {covered} | {total} | {rate:.1%} |")
+    return "\n".join(out) + "\n"
+
+
+def main(argv=None) -> int:
+    """CLI entry point; prints the summary to stdout."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("xml", type=Path, help="path to coverage.xml (cobertura format)")
+    parser.add_argument("--lowest", type=int, default=10, help="how many modules to list")
+    args = parser.parse_args(argv)
+    if not args.xml.exists():
+        print(f"coverage_summary: {args.xml} not found", file=sys.stderr)
+        return 2
+    sys.stdout.write(render_summary(args.xml, lowest=args.lowest))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.traces",
     "repro.analysis",
     "repro.exec",
+    "repro.obs",
 ]
 
 OUT = Path(__file__).resolve().parent.parent / "docs" / "API.md"
@@ -166,6 +167,47 @@ ever requiring a whole trace in memory:
   corpus; `repro run --trace <ref> --algorithms det-par,rand-par
   --cache-size K --miss-cost S` runs the standard harness on a
   registered trace, with the digest in the report and in `--csv` rows.
+
+## Observability
+
+`repro.obs` is a determinism-first metrics and tracing layer: simulation
+counters are a pure function of the simulated work, so two runs of the
+same experiment — serial or `--jobs N`, cold or warm cache — produce
+byte-identical metrics snapshots and canonical traces:
+
+- **Metrics registry.** `MetricsRegistry` holds counters, max-gauges,
+  and fixed-bucket histograms, addressed by name plus sorted labels
+  (`sim.policy.faults{policy=LRUCache}`).  When no registry is
+  collecting, the ambient `counter()/gauge()/histogram()` helpers hand
+  back a shared no-op cell, so instrumentation in hot paths costs
+  nothing (`benchmarks/bench_obs.py` holds the enabled path under 5% on
+  E1 quick).  `snapshot()` is sorted and canonical; `merge()` is
+  commutative, so pooled completion order cannot change results.
+- **Metric namespaces.** `sim.*` counters (per-box progress, faults,
+  stalls, box-height transitions, the §3.2 primary/secondary split,
+  green impact) depend only on the simulated work and are byte-identical
+  across reruns, worker counts, and cache states.  `exec.*` records
+  run-local facts (computed vs cache-served cells, retries, failed
+  cells); `wall.*` is wall-clock and is stripped by `strip_wall` before
+  any determinism comparison.
+- **Span tracing.** `Tracer` emits Chrome-trace/Perfetto JSON (open in
+  `chrome://tracing` or https://ui.perfetto.dev): nested spans across
+  the exec engine (`exec.batch`, `exec.unit`), trace streaming, and the
+  paging/scheduler layer (`algorithm.run`).  `canonical_events` strips
+  wall-clock fields for comparison; `aggregate_spans` / `slowest_spans`
+  power `repro profile`.
+- **Determinism across execution modes.** Each work unit records into a
+  scoped registry/tracer; the deltas ride back in its `CellOutcome` and
+  are merged on the main process (`absorb_outcome`).  Cache hits replay
+  the stored deltas, and failed attempts' scoped registries are
+  discarded with the raise, so retried cells count exactly once.
+- **Surfacing.** `repro <exp> --metrics out.json --trace-events
+  out.trace.json` writes snapshot and trace (flushed even on Ctrl-C);
+  reports append a `[metrics]` delta block; `repro profile <exp>` runs
+  one experiment fully instrumented and prints span and counter tables
+  (see EXPERIMENTS.md for a worked example).  In code, wrap anything in
+  `with observability(metrics=True, trace=True) as scope:` and read
+  `scope.metrics_snapshot()` / `scope.tracer`.
 """
 
 
