@@ -35,6 +35,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..paging.engine import run_box
+from ..paging.kernel import maybe_kernel, run_box_fast
 from ..parallel.events import BoxRecord, ParallelRunResult
 from ..workloads.trace import ParallelWorkload
 from .box import HeightLattice, is_power_of_two
@@ -130,6 +131,11 @@ class BlackBoxPar:
         if next_power_of_two(p) > green_budget:
             raise ValueError(f"cache_size={K} too small for p={p} (need K/2 >= next_pow2(p))")
         seqs = workload.sequences
+        digest = getattr(workload, "content_digest", None)
+        kerns = [
+            maybe_kernel(sq, key=(digest, i) if digest else None)
+            for i, sq in enumerate(seqs)
+        ]
         n = [len(x) for x in seqs]
         pos = [0] * p
         done = [n[i] == 0 for i in range(p)]
@@ -156,7 +162,11 @@ class BlackBoxPar:
         def admit(i: int, h: int, now: int, tag: str) -> None:
             nonlocal counter
             st = states[i]
-            run = run_box(seqs[i], pos[i], h, s * h, s)
+            run = (
+                run_box_fast(kerns[i], pos[i], h, s * h, s)
+                if kerns[i] is not None
+                else run_box(seqs[i], pos[i], h, s * h, s)
+            )
             trace.append(
                 BoxRecord(
                     proc=i,

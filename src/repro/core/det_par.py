@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..paging.engine import run_box
+from ..paging.kernel import maybe_kernel, run_box_fast
 from ..parallel.events import BoxRecord, ParallelRunResult
 from ..workloads.trace import ParallelWorkload
 from .box import is_power_of_two
@@ -141,6 +142,11 @@ class DetPar:
         if p < 1:
             raise ValueError("workload must have at least one processor")
         seqs = workload.sequences
+        digest = getattr(workload, "content_digest", None)
+        kerns = [
+            maybe_kernel(sq, key=(digest, i) if digest else None)
+            for i, sq in enumerate(seqs)
+        ]
         n = [len(x) for x in seqs]
         pos = [0] * p
         done = [n[i] == 0 for i in range(p)]
@@ -174,7 +180,11 @@ class DetPar:
             budget = t - seg.start
             if budget <= 0:
                 return
-            run = run_box(seqs[i], pos[i], seg.height, budget, s)
+            run = (
+                run_box_fast(kerns[i], pos[i], seg.height, budget, s)
+                if kerns[i] is not None
+                else run_box(seqs[i], pos[i], seg.height, budget, s)
+            )
             trace.append(
                 BoxRecord(
                     proc=i,

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..paging.engine import run_box
+from ..paging.kernel import maybe_kernel, run_box_fast
 from ..parallel.events import BoxRecord, ParallelRunResult
 from ..workloads.trace import ParallelWorkload
 from .box import HeightLattice, is_power_of_two
@@ -109,6 +110,11 @@ class RandPar:
         if next_power_of_two(p) > K:
             raise ValueError(f"cache_size={K} too small for p={p} (need K >= next_pow2(p))")
         seqs = workload.sequences
+        digest = getattr(workload, "content_digest", None)
+        kerns = [
+            maybe_kernel(sq, key=(digest, i) if digest else None)
+            for i, sq in enumerate(seqs)
+        ]
         n = [len(x) for x in seqs]
         pos = [0] * p
         done = [n[i] == 0 for i in range(p)]
@@ -142,7 +148,11 @@ class RandPar:
                 for i in active:
                     if done[i]:
                         continue
-                    run = run_box(seqs[i], pos[i], h_min, dur, s)
+                    run = (
+                        run_box_fast(kerns[i], pos[i], h_min, dur, s)
+                        if kerns[i] is not None
+                        else run_box(seqs[i], pos[i], h_min, dur, s)
+                    )
                     trace.append(
                         BoxRecord(
                             proc=i,
@@ -178,7 +188,11 @@ class RandPar:
                     if done[i]:
                         continue
                     ran_any = True
-                    run = run_box(seqs[i], pos[i], j, dur, s)
+                    run = (
+                        run_box_fast(kerns[i], pos[i], j, dur, s)
+                        if kerns[i] is not None
+                        else run_box(seqs[i], pos[i], j, dur, s)
+                    )
                     trace.append(
                         BoxRecord(
                             proc=i,

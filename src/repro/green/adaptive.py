@@ -38,6 +38,7 @@ import numpy as np
 from ..core.box import BoxProfile, HeightLattice
 from ..core.rand_green import GreenRunResult
 from ..paging.engine import BoxRun, ProfileRun, _record_profile_metrics, run_box
+from ..paging.kernel import maybe_kernel, run_box_fast
 
 __all__ = ["AdaptiveGreen"]
 
@@ -89,11 +90,16 @@ class AdaptiveGreen:
         runs: List[BoxRun] = []
         impact = 0
         wall = 0
+        kern = maybe_kernel(seq)
         while pos < n:
             if max_boxes is not None and len(runs) >= max_boxes:
                 break
             h = heights[level]
-            box = run_box(seq, pos, h, s * h, s)
+            box = (
+                run_box_fast(kern, pos, h, s * h, s)
+                if kern is not None
+                else run_box(seq, pos, h, s * h, s)
+            )
             runs.append(box)
             impact += s * h * h
             wall += s * h

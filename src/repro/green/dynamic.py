@@ -37,6 +37,7 @@ from ..core.box import BoxProfile, HeightLattice
 from ..core.det_green import DetGreen
 from ..core.rand_green import GreenRunResult
 from ..paging.engine import BoxRun, ProfileRun, _record_profile_metrics, run_box
+from ..paging.kernel import maybe_kernel, run_box_fast
 
 __all__ = ["ThresholdSchedule", "survivor_schedule", "DynamicGreen"]
 
@@ -149,6 +150,7 @@ class DynamicGreen:
         wall = 0
         seg_idx = self.schedule.segment_index_at(0)
         source = self.source_factory(self.schedule.segments[seg_idx][1])
+        kern = maybe_kernel(seq)
         while pos < n:
             if max_boxes is not None and len(runs) >= max_boxes:
                 break
@@ -157,7 +159,11 @@ class DynamicGreen:
                 seg_idx = now_idx
                 source = self.source_factory(self.schedule.segments[seg_idx][1])
             h = int(next(source))
-            box = run_box(seq, pos, h, s * h, s)
+            box = (
+                run_box_fast(kern, pos, h, s * h, s)
+                if kern is not None
+                else run_box(seq, pos, h, s * h, s)
+            )
             runs.append(box)
             impact += s * h * h
             wall += s * h

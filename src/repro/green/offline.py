@@ -34,6 +34,7 @@ import numpy as np
 from ..core.box import BoxProfile, HeightLattice
 from ..obs import metrics as obs_metrics
 from ..paging.engine import run_box
+from ..paging.kernel import maybe_kernel
 
 __all__ = ["OfflineGreenResult", "optimal_box_profile", "prefix_optimal_impacts"]
 
@@ -70,30 +71,72 @@ def optimal_box_profile(
 
     Returns the profile, its impact, and the full distance table.
     """
+    raw = seq
     seq = np.ascontiguousarray(seq, dtype=np.int64)
     n = len(seq)
     s = int(miss_cost)
     heights = lattice.heights
-    dist = np.full(n + 1, _INF, dtype=np.int64)
-    # parent pointers for profile reconstruction: best (prev_pos, height)
-    parent_pos = np.full(n + 1, -1, dtype=np.int64)
-    parent_h = np.zeros(n + 1, dtype=np.int64)
-    dist[0] = 0
+    # Validation is hoisted out of the relaxation sweep: the fast path
+    # below probes box endpoints O(n · levels) times with no per-probe
+    # branching, so bad parameters must be rejected here, with the same
+    # errors the reference run_box raises per probe.
+    if s <= 1:
+        raise ValueError(f"miss_cost must be > 1, got {s}")
+    for h in heights:
+        if h < 1:
+            raise ValueError(f"box height must be >= 1, got {h}")
+    # One reuse-distance precompute amortized over every probe — keyed on
+    # the caller's array when no copy was needed, so repeated solves on
+    # the same sequence (replications, sweeps) share one kernel.
+    kern = maybe_kernel(seq if seq is raw or not isinstance(raw, np.ndarray) else raw)
     costs = [s * h * h for h in heights]
-    for q in range(n):
-        d = dist[q]
-        if d == _INF:
-            continue
-        for h, c in zip(heights, costs):
-            end = run_box(seq, q, h, s * h, s).end
-            nd = d + c
-            if nd < dist[end]:
-                dist[end] = nd
-                parent_pos[end] = q
-                parent_h[end] = h
-            # A taller box reaching the same endpoint is dominated, but we
-            # still need every height because endpoints differ; no pruning
-            # beyond the relaxation itself is sound in general.
+    if kern is not None:
+        # Batched relaxation: blocked windowed passes yield the endpoints
+        # of every lattice height for a run of consecutive starts at once
+        # (the hit sets of a geometric height ladder are nested — see
+        # SequenceKernel.box_ends).  The tables live as plain-int lists
+        # during the sweep: the loop body is scalar compares, where numpy
+        # scalar indexing would triple the cost.
+        hladder = tuple(int(h) for h in heights)
+        budgets = tuple(s * h for h in hladder)
+        ends = kern.ladder_plan(hladder, budgets, s).ends
+        dist_l = [_INF] * (n + 1)
+        parent_pos_l = [-1] * (n + 1)
+        parent_h_l = [0] * (n + 1)
+        dist_l[0] = 0
+        for q in range(n):
+            d = dist_l[q]
+            if d == _INF:
+                continue
+            for h, c, end in zip(hladder, costs, ends(q)):
+                nd = d + c
+                if nd < dist_l[end]:
+                    dist_l[end] = nd
+                    parent_pos_l[end] = q
+                    parent_h_l[end] = h
+        dist = np.array(dist_l, dtype=np.int64)
+        parent_pos = np.array(parent_pos_l, dtype=np.int64)
+        parent_h = np.array(parent_h_l, dtype=np.int64)
+    else:
+        dist = np.full(n + 1, _INF, dtype=np.int64)
+        # parent pointers for profile reconstruction: best (prev_pos, height)
+        parent_pos = np.full(n + 1, -1, dtype=np.int64)
+        parent_h = np.zeros(n + 1, dtype=np.int64)
+        dist[0] = 0
+        for q in range(n):
+            d = dist[q]
+            if d == _INF:
+                continue
+            for h, c in zip(heights, costs):
+                end = run_box(seq, q, h, s * h, s).end
+                nd = d + c
+                if nd < dist[end]:
+                    dist[end] = nd
+                    parent_pos[end] = q
+                    parent_h[end] = h
+                # A taller box reaching the same endpoint is dominated, but
+                # we still need every height because endpoints differ; no
+                # pruning beyond the relaxation itself is sound in general.
     if dist[n] == _INF:
         raise RuntimeError("offline DP failed to reach the end of the sequence (bug)")
     # reconstruct

@@ -8,6 +8,9 @@ This package is the foundation everything else stands on:
   certified makespan lower bounds;
 * :mod:`~repro.paging.engine` — the compartmentalized-box execution engine
   shared by every algorithm in :mod:`repro.core`;
+* :mod:`~repro.paging.kernel` — the vectorized reuse-distance box kernel
+  (``run_box_fast``) that serves every hot path, with the engine's
+  dict-LRU kept as the cross-checked reference (``REPRO_KERNEL``);
 * :mod:`~repro.paging.stack` — Mattson stack distances / miss-ratio curves
   for workload characterization and test oracles.
 """
@@ -17,6 +20,15 @@ from .lfu import LFUCache
 from .belady import BeladySimulation, belady_faults, min_service_time, next_use_indices
 from .engine import BoxRun, ProfileRun, box_budget, execute_profile, execute_profile_streaming, run_box
 from .engine_policy import run_box_min, run_box_policy
+from .kernel import (
+    SequenceKernel,
+    StreamKernel,
+    clear_kernel_cache,
+    get_kernel,
+    kernel_backend,
+    maybe_kernel,
+    run_box_fast,
+)
 from .fifo import FIFOCache
 from .lru import LRUCache
 from .marking import MarkingCache, RandomMarkCache, phase_partition
@@ -34,8 +46,15 @@ __all__ = [
     "execute_profile",
     "execute_profile_streaming",
     "run_box",
+    "run_box_fast",
     "run_box_min",
     "run_box_policy",
+    "SequenceKernel",
+    "StreamKernel",
+    "clear_kernel_cache",
+    "get_kernel",
+    "kernel_backend",
+    "maybe_kernel",
     "ClockCache",
     "LFUCache",
     "FIFOCache",

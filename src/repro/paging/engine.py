@@ -8,11 +8,14 @@ sequence through exactly one operation:
     *give the processor a compartmentalized box of height ``h`` for
     ``s·h`` time steps and let it run LRU, cold-started, inside it.*
 
-:func:`run_box` implements that operation.  It is the hot inner loop of the
-whole reproduction, so it keeps a hand-rolled dict+linked-list LRU inline
-(hoisting all lookups into locals) rather than going through the
-:class:`~repro.paging.lru.LRUCache` attribute API; the two implementations
-are cross-checked against each other in the test suite.
+:func:`run_box` implements that operation with a hand-rolled
+dict+linked-list LRU inline (hoisting all lookups into locals) rather than
+going through the :class:`~repro.paging.lru.LRUCache` attribute API.  It is
+no longer the production hot loop: the vectorized reuse-distance kernel in
+:mod:`repro.paging.kernel` (``run_box_fast``) now serves every threaded
+call site, and this per-request loop is kept as the cross-checked reference
+semantics and the ``REPRO_KERNEL=reference`` escape hatch.  The two
+implementations are asserted bit-identical in the test suite.
 
 Timing semantics (paper §2, with the additive +1 folded into ``s``):
 
@@ -29,8 +32,9 @@ phase boundary) and so tests can probe edge cases.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Deque, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,9 +55,12 @@ def box_budget(height: int, miss_cost: int) -> int:
     return int(height) * int(miss_cost)
 
 
-@dataclass(frozen=True)
-class BoxRun:
+class BoxRun(NamedTuple):
     """Outcome of executing one box.
+
+    A NamedTuple rather than a (frozen) dataclass: one ``BoxRun`` is
+    built per box across every simulator, and tuple construction is an
+    order of magnitude cheaper than ``object.__setattr__`` per field.
 
     Attributes
     ----------
@@ -244,15 +251,22 @@ def execute_profile(
     progress — e.g. heights that never reach a long cycle's working set
     would still progress, so in practice the guard only trips on bugs).
 
+    Boxes are evaluated by the cached reuse-distance kernel
+    (:mod:`repro.paging.kernel`) unless ``REPRO_KERNEL=reference`` selects
+    the dict-LRU loop; both produce bit-identical runs.
+
     Every consumed box is charged in full for impact and wall time, even
     the final partially-used one — matching the paper's box accounting.
     """
+    from .kernel import maybe_kernel, run_box_fast
+
     runs: List[BoxRun] = []
     pos = int(start)
     n = len(seq)
     impact = 0
     wall = 0
     mc = int(miss_cost)
+    kern = maybe_kernel(seq)
     it: Iterator[int] = iter(heights)
     count = 0
     while pos < n:
@@ -263,7 +277,11 @@ def execute_profile(
         except StopIteration:
             break
         budget = mc * h
-        run = run_box(seq, pos, h, budget, mc)
+        run = (
+            run_box_fast(kern, pos, h, budget, mc)
+            if kern is not None
+            else run_box(seq, pos, h, budget, mc)
+        )
         runs.append(run)
         pos = run.end
         impact += mc * h * h
@@ -298,14 +316,24 @@ def execute_profile_streaming(
     :func:`execute_profile` on the concatenated array, but peak memory is
     bounded by one box window plus one chunk: a box of height ``h`` can
     serve at most ``miss_cost·h`` requests (each costs >= 1 time unit), so
-    only ``[pos, pos + budget)`` ever needs to be resident, and chunks
-    behind the execution position are dropped as it advances.
+    only ``[pos, pos + budget)`` ever needs to be resident.
+
+    Under the fast backend, chunks feed an incremental
+    :class:`~repro.paging.kernel.StreamKernel` — one amortized sweep per
+    request, zero window concatenation — and the swept prefix is compacted
+    away as execution advances.  Under ``REPRO_KERNEL=reference``, resident
+    chunks live in a :class:`~collections.deque` (dropping a served chunk
+    is O(1)) and an unchanged resident window is never re-concatenated:
+    front-drops shrink the cached concatenation by view.
     """
+    from . import kernel as _kernel
+
     mc = int(miss_cost)
     runs: List[BoxRun] = []
     height_it: Iterator[int] = iter(heights)
     chunk_it: Iterator[np.ndarray] = iter(chunks)
-    parts: List[np.ndarray] = []  # resident chunks, in order
+    stream = _kernel.StreamKernel() if _kernel.kernel_backend() == "fast" else None
+    parts: Deque[np.ndarray] = deque()  # reference backend: resident chunks
     base = 0  # global index of parts[0][0]
     loaded = 0  # total requests pulled from the stream so far
     exhausted = False
@@ -328,9 +356,12 @@ def execute_profile_streaming(
             if arr.ndim != 1:
                 raise ValueError("chunks must be 1-D request arrays")
             if len(arr):
-                parts.append(arr)
+                if stream is not None:
+                    stream.append(arr)
+                else:
+                    parts.append(arr)
+                    cat = None
                 loaded += len(arr)
-                cat = None
                 return True
 
     while True:
@@ -347,22 +378,35 @@ def execute_profile_streaming(
         budget = mc * h
         while not exhausted and loaded < pos + budget:
             pull()
-        while parts and base + len(parts[0]) <= pos:
-            base += len(parts[0])
-            parts.pop(0)
-            cat = None
-        if cat is None:
-            cat = parts[0] if len(parts) == 1 else np.concatenate(parts)
-        local = run_box(cat, pos - base, h, budget, mc)
-        run = BoxRun(
-            start=local.start + base,
-            end=local.end + base,
-            hits=local.hits,
-            faults=local.faults,
-            time_used=local.time_used,
-            budget=local.budget,
-            height=local.height,
-        )
+        if stream is not None:
+            # No future box starts before ``pos``, so everything behind it
+            # is dead weight; compact once the dead prefix outweighs the
+            # live window (amortizing the Fenwick rebuild).
+            dead = pos - stream.base
+            if dead >= _kernel.STREAM_COMPACT_MIN and dead >= len(stream) - dead:
+                stream.compact(pos)
+            run = _kernel.run_box_fast(stream, pos, h, budget, mc)
+        else:
+            dropped = 0
+            while parts and base + len(parts[0]) <= pos:
+                n0 = len(parts[0])
+                base += n0
+                dropped += n0
+                parts.popleft()
+            if cat is not None and dropped:
+                cat = cat[dropped:]  # same window minus a served prefix
+            if cat is None:
+                cat = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            local = run_box(cat, pos - base, h, budget, mc)
+            run = BoxRun(
+                start=local.start + base,
+                end=local.end + base,
+                hits=local.hits,
+                faults=local.faults,
+                time_used=local.time_used,
+                budget=local.budget,
+                height=local.height,
+            )
         runs.append(run)
         pos = run.end
         impact += mc * h * h

@@ -35,6 +35,7 @@ import numpy as np
 
 from ..core.box import HeightLattice
 from ..paging.engine import run_box
+from ..paging.kernel import maybe_kernel, run_box_fast
 from ..workloads.trace import ParallelWorkload
 
 __all__ = ["exact_two_proc_makespan"]
@@ -61,13 +62,21 @@ def exact_two_proc_makespan(
     seqs = (workload.sequences[0], workload.sequences[1])
     lens = (len(seqs[0]), len(seqs[1]))
 
-    # progress[i][h][pos] = (end position, charged duration)
+    # progress[i][h][pos] = (end position, charged duration) — the
+    # lens[i] · k box probes below dominate small instances, so they go
+    # through the cached reuse-distance kernel when enabled.
+    digest = getattr(workload, "content_digest", None)
     progress: Tuple[Dict[int, Dict[int, Tuple[int, int]]], ...] = ({}, {})
     for i in (0, 1):
+        kern = maybe_kernel(seqs[i], key=(digest, i) if digest else None)
         for h in heights:
             table: Dict[int, Tuple[int, int]] = {}
             for pos in range(lens[i]):
-                r = run_box(seqs[i], pos, h, s * h, s)
+                r = (
+                    run_box_fast(kern, pos, h, s * h, s)
+                    if kern is not None
+                    else run_box(seqs[i], pos, h, s * h, s)
+                )
                 duration = r.time_used if r.end >= lens[i] else s * h
                 table[pos] = (r.end, duration)
             progress[i][h] = table

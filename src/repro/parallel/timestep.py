@@ -9,15 +9,20 @@ from the single shared LRU order, so one thrashing processor can evict
 everyone else's working set — the interference the paper's box model is
 designed to control.
 
-The loop advances processor-at-a-time over *events* rather than literal
-unit steps where possible, but a miss by one processor can change another's
-future hits, so the simulation is inherently sequential in time; we keep
-the inner loop allocation-free (one shared LRUCache, locals hoisted).
+The loop advances over service-completion *events* via a min-heap on
+``busy_until`` rather than literal unit steps, but a miss by one processor
+can change another's future hits, so the simulation is inherently
+sequential in time; we keep the inner loop allocation-free (one shared
+LRUCache, locals hoisted).  Every processor has exactly one heap entry
+while active, and ties pop in ascending processor index — the same order
+the historical full-rescan loop served them — so results are byte-identical
+to that loop (asserted by a regression test).
 """
 
 from __future__ import annotations
 
-from typing import List
+import heapq
+from typing import List, Tuple
 
 import numpy as np
 
@@ -60,33 +65,32 @@ class GlobalLRU:
         seqs = workload.sequences
         n = [len(x) for x in seqs]
         pos = [0] * p
-        busy_until = [0] * p  # time the current request finishes serving
         done = [n[i] == 0 for i in range(p)]
         completion = np.zeros(p, dtype=np.int64)
         cache = LRUCache(self.cache_size)
-        remaining = sum(1 for d in done if not d)
-        t = 0
-        # Round-robin the issue order each step for fairness; processors
-        # issue their next request the step after the previous completes.
-        while remaining > 0:
-            # serve every processor whose channel is free at time t
-            for i in range(p):
-                if done[i] or busy_until[i] > t:
-                    continue
+        # One (busy_until, proc) entry per active processor; the next event
+        # instant is always the heap root, so skipping to it is O(log p)
+        # instead of a full rescan.  Ties pop in ascending processor index
+        # (tuple order), matching the historical round-robin scan, so the
+        # shared-LRU touch order — and hence every count — is unchanged.
+        heap: List[Tuple[int, int]] = [(0, i) for i in range(p) if not done[i]]
+        heapq.heapify(heap)
+        touch = cache.touch
+        push = heapq.heappush
+        pop = heapq.heappop
+        while heap:
+            t = heap[0][0]
+            # serve every processor whose channel frees at time t
+            while heap and heap[0][0] == t:
+                _, i = pop(heap)
                 page = int(seqs[i][pos[i]])
-                hit = cache.touch(page)
-                cost = 1 if hit else s
-                busy_until[i] = t + cost
+                cost = 1 if touch(page) else s
                 pos[i] += 1
                 if pos[i] >= n[i]:
                     done[i] = True
                     completion[i] = t + cost
-                    remaining -= 1
-            if remaining == 0:
-                break
-            # every active processor is now busy past t; jump to the next
-            # service-completion instant (event skipping)
-            t = min(busy_until[i] for i in range(p) if not done[i])
+                else:
+                    push(heap, (t + cost, i))
         reg = obs_metrics.active()
         if reg.enabled:
             reg.counter("sim.timestep.hits").inc(cache.hits)

@@ -41,6 +41,11 @@ def execute_store_profile(
     Identical to ``execute_profile(store.column(proc), ...)`` but never
     concatenates the column: chunks stream from the store (optionally
     digest-verified) and are dropped as the execution position passes them.
+    Under the fast backend the chunks feed an incremental
+    :class:`~repro.paging.kernel.StreamKernel`, so the reuse-distance sweep
+    is shared across every box and chunk of the run; store-backed
+    workloads handed to the parallel schedulers additionally share one
+    cached kernel per ``(content_digest, proc)`` across runs.
     """
     with obs_tracing.span("traces.execute_store_profile", proc=proc, trace=store.name):
         return execute_profile_streaming(

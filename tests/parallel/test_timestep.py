@@ -76,3 +76,56 @@ def test_makespan_is_latest_completion():
     sim = GlobalLRU(cache_size=8, miss_cost=2)
     result = sim.run(wl([0, 0, 0], [1, 2, 3, 4, 5]))
     assert result.makespan == int(result.completion_times.max())
+
+
+def _run_full_rescan(workload, cache_size, miss_cost):
+    """The historical O(p)-per-event GlobalLRU loop, kept verbatim as the
+    oracle for the heap-based event loop: same round-robin service order
+    at equal times, so every count must be byte-identical."""
+    from repro.paging.lru import LRUCache
+
+    s = miss_cost
+    p = workload.p
+    seqs = workload.sequences
+    n = [len(x) for x in seqs]
+    pos = [0] * p
+    busy_until = [0] * p
+    done = [n[i] == 0 for i in range(p)]
+    completion = np.zeros(p, dtype=np.int64)
+    cache = LRUCache(cache_size)
+    remaining = sum(1 for d in done if not d)
+    t = 0
+    while remaining > 0:
+        for i in range(p):
+            if done[i] or busy_until[i] > t:
+                continue
+            page = int(seqs[i][pos[i]])
+            hit = cache.touch(page)
+            cost = 1 if hit else s
+            busy_until[i] = t + cost
+            pos[i] += 1
+            if pos[i] >= n[i]:
+                done[i] = True
+                completion[i] = t + cost
+                remaining -= 1
+        if remaining == 0:
+            break
+        t = min(busy_until[i] for i in range(p) if not done[i])
+    return completion, {"hits": cache.hits, "faults": cache.faults}
+
+
+def test_heap_loop_is_byte_identical_to_full_rescan():
+    rng = np.random.default_rng(42)
+    for trial in range(20):
+        p = int(rng.integers(1, 9))
+        seqs = [
+            rng.integers(0, int(rng.integers(2, 20)), size=int(rng.integers(0, 120))).tolist()
+            for _ in range(p)
+        ]
+        cache_size = int(rng.integers(1, 12))
+        miss_cost = int(rng.integers(2, 9))
+        workload = wl(*seqs, allow_shared=True)
+        result = GlobalLRU(cache_size=cache_size, miss_cost=miss_cost).run(workload)
+        completion, meta = _run_full_rescan(workload, cache_size, miss_cost)
+        assert list(result.completion_times) == list(completion), trial
+        assert result.meta == meta, trial

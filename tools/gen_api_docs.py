@@ -168,6 +168,40 @@ ever requiring a whole trace in memory:
   --cache-size K --miss-cost S` runs the standard harness on a
   registered trace, with the digest in the report and in `--csv` rows.
 
+## Fast box kernel
+
+`repro.paging.kernel` is the production box engine: a per-sequence
+reuse-distance precompute plus vectorized box evaluation that is
+**bit-identical** to the reference dict-LRU loop in
+`repro.paging.engine.run_box` at a fraction of the cost (≥5× on
+`repro run e1 --scale quick` and on the offline green DP;
+`benchmarks/bench_kernel.py` measures and enforces it in CI):
+
+- **Precompute once, probe cheaply.** `SequenceKernel(seq)` computes
+  `prev_occ[i]` (previous occurrence of the same page) and
+  `reuse_dist[i]` (distinct pages since then) — a chunked vectorized
+  pass for typical lengths, an O(n log n) Fenwick sweep beyond it.  By
+  LRU's inclusion property, request `i` hits in a cold box
+  `(start, height)` iff `prev_occ[i] >= start` and
+  `reuse_dist[i] < height`, so `run_box_fast(kernel, start, height,
+  budget, miss_cost)` evaluates a whole box with a handful of array
+  ops (short boxes take a scalar walk — RAND-GREEN draws mostly tiny
+  boxes).  `box_ends` / `ladder_plan` batch the offline DP's probes:
+  one blocked windowed pass yields every lattice height's endpoint for
+  32 consecutive starts at once.
+- **Shared and bounded.** `get_kernel(seq)` / `maybe_kernel(seq)`
+  serve kernels from an LRU-bounded cache keyed on array identity
+  (weakref-guarded) or an explicit key (trace `content_digest` +
+  processor), so DP solves, schedulers, and replicated experiment
+  cells on the same sequence share one precompute.  `StreamKernel`
+  extends the sweep incrementally for chunked trace streaming, with
+  `compact()` keeping only the active window resident.
+- **Escape hatch.** `REPRO_KERNEL=reference` routes every threaded
+  call site back to the dict-LRU loop, which is retained as the
+  cross-check oracle; `tests/paging/test_kernel.py` pins bit-identical
+  `BoxRun`s, DP impacts, result rows, and `sim.*` metrics between the
+  two backends.
+
 ## Observability
 
 `repro.obs` is a determinism-first metrics and tracing layer: simulation
