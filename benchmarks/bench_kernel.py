@@ -13,7 +13,9 @@ interleaved across backends (same drift-cancelling idiom as bench_obs):
 
 Backends are selected via the ``REPRO_KERNEL`` environment variable
 (``fast`` / ``reference``), the same escape hatch users have.  Results
-go to ``benchmarks/out/BENCH_kernel.json``.  The run **fails** if the
+go to ``benchmarks/out/BENCH_kernel.json`` **and** to the repo-root
+``BENCH_kernel.json``, which is committed per-PR (ROADMAP item 2c) so
+the bench trajectory is diffable in review.  The run **fails** if the
 fast kernel is slower than the reference loop on the DP microbench, or
 if either measurement's outputs differ between backends (the kernel is
 only valid if it is bit-identical).
@@ -24,6 +26,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -140,7 +143,10 @@ def bench_kernel_speedup(benchmark, out_dir):
         "outputs_identical": True,
     }
     out_dir.mkdir(parents=True, exist_ok=True)
-    (out_dir / "BENCH_kernel.json").write_text(json.dumps(report, indent=2) + "\n")
+    payload = json.dumps(report, indent=2) + "\n"
+    (out_dir / "BENCH_kernel.json").write_text(payload)
+    # the committed, diffable copy (benchmarks/out/ is gitignored)
+    (Path(__file__).resolve().parents[1] / "BENCH_kernel.json").write_text(payload)
 
     assert dp_fast <= dp_ref, (
         f"fast kernel is slower than the reference loop on the offline DP "

@@ -22,10 +22,13 @@ The package implements the paper's algorithms and everything they stand on:
   registry and Chrome-trace span tracing, surfaced as ``--metrics``,
   ``--trace-events``, and ``repro profile <experiment>``.
 
-The stable experiment-runner surface is :class:`RunSpec` +
-:func:`run_experiment` + :func:`sweep_p` (rows are
-:class:`ExperimentRow`); plug in your own algorithm with
-:func:`register_algorithm`.
+The stable experiment-runner surface is :class:`Session` (in-process)
+and :class:`HttpSession` (against ``repro serve``): one typed
+request/reply API over :func:`run_experiment` / :func:`sweep_p` /
+named experiments (rows are :class:`ExperimentRow`); plug in your own
+algorithm with :func:`register_algorithm`.  The historical call
+signatures (:func:`run_experiment`, :func:`sweep_p`, ``repro run``)
+keep working unchanged.
 
 Quickstart::
 
@@ -43,6 +46,17 @@ paper-vs-measured record.
 
 from .analysis.harness import SCHEMA_VERSION, ExperimentRow, run_experiment
 from .analysis.sweep import SweepResult, sweep_p
+from .client import (
+    ExperimentRequest,
+    HttpSession,
+    RunReply,
+    RunRequest,
+    ServiceError,
+    Session,
+    SweepRequest,
+    WorkloadSpec,
+    open_session,
+)
 from .core import (
     BlackBoxPar,
     Box,
@@ -128,6 +142,15 @@ __all__ = [
     "run_experiment",
     "SweepResult",
     "sweep_p",
+    "ExperimentRequest",
+    "HttpSession",
+    "RunReply",
+    "RunRequest",
+    "ServiceError",
+    "Session",
+    "SweepRequest",
+    "WorkloadSpec",
+    "open_session",
     "ExecutionEngine",
     "ExecutionPolicy",
     "FailedCell",

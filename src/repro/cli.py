@@ -35,6 +35,15 @@ Build and use a local trace corpus (see docs/API.md, "Trace corpus")::
     repro trace ls
     repro trace info app
     repro run --trace app --algorithms det-par,rand-par --cache-size 64 --miss-cost 16
+
+Serve the engine to concurrent network clients, then drive it (see
+docs/API.md, "Service & Session API")::
+
+    repro serve --port 8177 --jobs 4 --cache-dir .repro_cache
+    repro submit e1 --url http://127.0.0.1:8177 --csv e1.csv
+    repro submit --url http://127.0.0.1:8177 --trace app \
+        --algorithms det-par --cache-size 64 --miss-cost 16
+    python -m repro.service.loadgen --url http://127.0.0.1:8177 --clients 8
 """
 
 from __future__ import annotations
@@ -635,15 +644,164 @@ def _run_trace_command(argv: List[str]) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# service commands: repro serve, repro submit
+# --------------------------------------------------------------------- #
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro serve``: the long-running HTTP service."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve the execution engine over HTTP: submit traces, runs, sweeps, "
+            "and experiments; poll jobs; read live metrics (see repro.service)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8177, help="TCP port, 0 = ephemeral (default 8177)")
+    parser.add_argument("--jobs", type=int, default=1, help="engine worker processes (default 1)")
+    parser.add_argument("--no-cache", action="store_true", help="disable the shared result cache")
+    parser.add_argument("--cache-dir", type=Path, default=None, help="result-cache root")
+    parser.add_argument("--registry", type=Path, default=None, help="trace-corpus root")
+    parser.add_argument("--queue-limit", type=int, default=64, help="admission queue bound (default 64)")
+    parser.add_argument(
+        "--max-pending", type=int, default=8,
+        help="per-client live-job quota; beyond it submissions get 429 (default 8)",
+    )
+    parser.add_argument("--timeout", type=float, default=None, help="per-cell wall-clock budget (s)")
+    parser.add_argument("--retries", type=int, default=0, help="retries per cell (default 0)")
+    parser.add_argument("--keep-going", action="store_true", help="failed cells become FAIL rows")
+    parser.add_argument("--runs-dir", type=Path, default=None, help="checkpoint root (default .repro_runs)")
+    parser.add_argument("--run-id", default=None, help="name the service checkpoint explicitly")
+    parser.add_argument("--no-checkpoint", action="store_true", help="do not journal completed cells")
+    parser.add_argument(
+        "--drain-timeout", type=float, default=5.0,
+        help="seconds to wait for the running job on SIGTERM before exiting (default 5)",
+    )
+    return parser
+
+
+def _serve_command(argv: List[str]) -> int:
+    """Dispatch ``repro serve ...``: boot the asyncio HTTP frontend."""
+    from .service.backend import ServiceBackend, ServiceQuota
+    from .service.server import run_server
+
+    args = build_serve_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("repro serve: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    ckpt = None
+    if not args.no_checkpoint:
+        config = {"serve": True, "jobs": args.jobs, "cache_dir": str(args.cache_dir) if args.cache_dir else None}
+        ckpt = RunCheckpoint.start(["service"], config, root=args.runs_dir, run_id=args.run_id)
+    backend = ServiceBackend(
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        policy=ExecutionPolicy(
+            timeout_s=args.timeout, retries=args.retries, keep_going=args.keep_going
+        ),
+        checkpoint=ckpt,
+        registry=str(args.registry) if args.registry else None,
+        quota=ServiceQuota(max_queue=args.queue_limit, max_pending_per_client=args.max_pending),
+    )
+    with observability(metrics=True):
+        return run_server(backend, host=args.host, port=args.port, drain_timeout=args.drain_timeout)
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro submit``: drive a running service as a client."""
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description=(
+            "Submit work to a running 'repro serve' and render the rows exactly "
+            "like the local CLI would (same tables, same CSV bytes)."
+        ),
+    )
+    parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment id (e1..e11) to run remotely; omit when using --trace",
+    )
+    parser.add_argument("--url", required=True, help="service base URL (from 'repro serve')")
+    parser.add_argument("--client", default="cli", help="client identity for quotas/metrics (default cli)")
+    parser.add_argument("--scale", choices=("quick", "full"), default="quick")
+    parser.add_argument("--seed", type=int, default=0, help="experiment base seed")
+    parser.add_argument("--trace", default=None, help="server-side trace name/digest to run on")
+    parser.add_argument("--algorithms", default="det-par", help="comma-separated algorithm names")
+    parser.add_argument("--cache-size", type=int, default=None, help="physical cache size xi*k")
+    parser.add_argument("--miss-cost", type=int, default=None, help="fault cost s")
+    parser.add_argument("--xi", type=int, default=2, help="resource augmentation factor")
+    parser.add_argument("--seeds", type=int, default=3, help="replication seeds (default 3)")
+    parser.add_argument("--no-lb", action="store_true", help="skip the impact lower bound")
+    parser.add_argument("--out", type=Path, default=None, help="write the rendered table here")
+    parser.add_argument("--csv", type=Path, default=None, help="write the rows here as CSV")
+    parser.add_argument("--timeout", type=float, default=600.0, help="client-side wait budget (s)")
+    return parser
+
+
+def _submit_command(argv: List[str]) -> int:
+    """Dispatch ``repro submit ...``: one request against a service."""
+    from .client.protocol import ExperimentRequest, RunRequest, ServiceError
+    from .client.session import HttpSession
+
+    args = build_submit_parser().parse_args(argv)
+    if (args.experiment is None) == (args.trace is None):
+        print("repro submit: name an experiment OR pass --trace", file=sys.stderr)
+        return 2
+    if args.trace is not None and (args.cache_size is None or args.miss_cost is None):
+        print("repro submit: --trace requires --cache-size and --miss-cost", file=sys.stderr)
+        return 2
+    session = HttpSession(args.url, client=args.client, timeout=args.timeout)
+    t0 = time.time()
+    try:
+        if args.experiment is not None:
+            reply = session.experiment(
+                ExperimentRequest(name=args.experiment, scale=args.scale, seed=args.seed, client=args.client)
+            )
+        else:
+            algorithms = tuple(a.strip() for a in args.algorithms.split(",") if a.strip())
+            reply = session.run(
+                RunRequest(
+                    algorithms=algorithms,
+                    cache_size=args.cache_size,
+                    miss_cost=args.miss_cost,
+                    xi=args.xi,
+                    seeds=tuple(range(args.seeds)),
+                    trace=args.trace,
+                    include_lb=not args.no_lb,
+                    client=args.client,
+                )
+            )
+    except ServiceError as exc:
+        print(f"repro submit: {exc.code}: {exc.message}", file=sys.stderr)
+        return 3 if exc.code in ("quota-exceeded", "queue-full") else 2
+    text = reply.table.rstrip("\n") + "\n"
+    print(text)
+    print(
+        f"[{reply.job_id}] {len(reply.rows)} rows in {time.time() - t0:.1f}s "
+        f"(server compute {reply.elapsed_s:.1f}s, cells={reply.cells}, cache_hits={reply.cache_hits})"
+    )
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text)
+    if args.csv is not None:
+        write_csv(list(reply.rows), args.csv)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     raw = list(argv) if argv is not None else sys.argv[1:]
-    # `trace` and `run` take their own option sets, so they dispatch to
-    # dedicated parsers before the experiment parser sees the argv.
-    # `repro run e1 ...` is accepted as a synonym for `repro e1 ...`
-    # (the bare `run` form is reserved for trace-corpus runs).
+    # `trace`, `run`, `serve`, and `submit` take their own option sets, so
+    # they dispatch to dedicated parsers before the experiment parser sees
+    # the argv.  `repro run e1 ...` is accepted as a synonym for
+    # `repro e1 ...` (the bare `run` form is reserved for trace-corpus
+    # runs).
     if raw and raw[0] == "trace":
         return _trace_command(raw[1:])
+    if raw and raw[0] == "serve":
+        return _serve_command(raw[1:])
+    if raw and raw[0] == "submit":
+        return _submit_command(raw[1:])
     if raw and raw[0] == "run":
         if len(raw) > 1 and (raw[1] in EXPERIMENTS or raw[1] == "all"):
             raw = raw[1:]

@@ -1,0 +1,54 @@
+"""Unified client API: typed requests, one Session facade, two transports.
+
+* :mod:`~repro.client.protocol` — frozen request/reply dataclasses and
+  the typed :class:`ServiceError`, shared **verbatim** between
+  in-process and HTTP use (:data:`PROTOCOL_VERSION` guards the wire
+  form);
+* :mod:`~repro.client.session` — :class:`Session` (in-process, owns a
+  persistent :class:`~repro.exec.ExecutionEngine`) and
+  :class:`HttpSession` (stdlib urllib against ``repro serve``), plus
+  :func:`open_session` to pick one from a URL-or-None.
+
+The facade consolidates the historical entry points —
+``run_experiment``, ``sweep_p``, ``repro run --trace``, raw engine
+submission — without replacing them: every pre-existing public call
+signature keeps working (see ``tests/client/test_legacy_api.py``).
+"""
+
+from .protocol import (
+    PROTOCOL_VERSION,
+    ExperimentRequest,
+    JobStatus,
+    MetricsReply,
+    Request,
+    RunReply,
+    RunRequest,
+    ServiceError,
+    SweepRequest,
+    TraceReply,
+    TraceUpload,
+    WorkloadSpec,
+    request_from_dict,
+)
+from .session import HttpSession, JobHandle, Session, execute_request, open_session
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ExperimentRequest",
+    "JobStatus",
+    "MetricsReply",
+    "Request",
+    "RunReply",
+    "RunRequest",
+    "ServiceError",
+    "SweepRequest",
+    "TraceReply",
+    "TraceUpload",
+    "WorkloadSpec",
+    "request_from_dict",
+    "HttpSession",
+    "JobHandle",
+    "Session",
+    "execute_request",
+    "open_session",
+]

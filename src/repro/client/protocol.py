@@ -1,0 +1,413 @@
+"""The service protocol: typed requests and replies, shared verbatim.
+
+One set of frozen dataclasses describes everything a client can ask of
+the paging service — run algorithms on a trace or generated workload,
+run a named experiment, sweep ``p``, upload a trace, read metrics — and
+everything the service answers with.  The **same objects** are used by
+the in-process :class:`~repro.client.session.Session` and serialized
+over HTTP by :class:`~repro.client.session.HttpSession` /
+:mod:`repro.service.server`, so switching a caller from library use to
+network use changes the constructor, never the request code.
+
+Serialization is deliberately boring: ``to_dict()`` produces a flat
+JSON-safe dict carrying a ``type`` tag and :data:`PROTOCOL_VERSION`;
+:func:`request_from_dict` / each reply's ``from_dict`` invert it.
+``content_key()`` hashes the canonical JSON form *minus client
+identity*, which is what lets the service coalesce identical in-flight
+requests across clients.
+
+Errors travel as :class:`ServiceError` — a typed code plus the HTTP
+status it maps to (``quota-exceeded`` → 429, ``queue-full`` → 503, …) —
+raised identically by the in-process backend and the HTTP client.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple, Type, Union
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ServiceError",
+    "WorkloadSpec",
+    "RunRequest",
+    "ExperimentRequest",
+    "SweepRequest",
+    "TraceUpload",
+    "JobStatus",
+    "RunReply",
+    "TraceReply",
+    "MetricsReply",
+    "Request",
+    "request_from_dict",
+]
+
+#: Version of the wire format; bumped whenever a request/reply field is
+#: added, renamed, or re-typed so mixed-version client/server pairs fail
+#: loudly instead of misreading each other.
+PROTOCOL_VERSION = 1
+
+#: HTTP status each error code maps to (and is reconstructed from).
+ERROR_STATUS: Dict[str, int] = {
+    "bad-request": 400,
+    "not-found": 404,
+    "quota-exceeded": 429,
+    "server-error": 500,
+    "queue-full": 503,
+    "unavailable": 503,
+    "timeout": 504,
+}
+
+
+class ServiceError(Exception):
+    """A typed service rejection/failure, identical in- and cross-process.
+
+    ``code`` is one of :data:`ERROR_STATUS`'s keys; ``status`` is the
+    HTTP status the server responds with and the client reconstructs the
+    error from, so ``except ServiceError as e: e.code`` works the same
+    against a :class:`~repro.service.backend.ServiceBackend` or a URL.
+    """
+
+    def __init__(self, code: str, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.status = status if status is not None else ERROR_STATUS.get(code, 500)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"code": self.code, "message": self.message, "status": self.status}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServiceError":
+        return cls(
+            str(data.get("code", "server-error")),
+            str(data.get("message", "")),
+            int(data.get("status", 500)),
+        )
+
+
+def _json_safe(obj: Any) -> Any:
+    """Recursively coerce numpy scalars / tuples into JSON-native types."""
+    if isinstance(obj, dict):
+        return {str(k): _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v) for v in obj]
+    if hasattr(obj, "item") and not isinstance(obj, (str, bytes)):
+        try:
+            return obj.item()
+        except (TypeError, ValueError):
+            pass
+    return obj
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A generated workload, by recipe — deterministic on any machine.
+
+    The builder mirrors :func:`repro.analysis.sweep.sweep_p`'s seeding
+    (``SeedSequence(entropy=workload_seed, spawn_key=(p,))``), so a
+    client and a server given the same spec construct byte-identical
+    request sequences and therefore share cache keys.
+    """
+
+    p: int
+    n_requests: int
+    k: int
+    kind: str = "mixed_kinds"
+    workload_seed: int = 12345
+
+    def build(self):
+        """Materialize the :class:`~repro.workloads.ParallelWorkload`."""
+        import numpy as np
+
+        from ..workloads.generators import make_parallel_workload
+
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=int(self.workload_seed), spawn_key=(int(self.p),))
+        )
+        return make_parallel_workload(
+            p=int(self.p), n_requests=int(self.n_requests), k=int(self.k), rng=rng, kind=self.kind
+        )
+
+
+def _request_dict(req: "Request", type_tag: str) -> Dict[str, Any]:
+    data = _json_safe(asdict(req))
+    data["type"] = type_tag
+    data["protocol_version"] = PROTOCOL_VERSION
+    return data
+
+
+def _filter_fields(cls: Type, data: Mapping[str, Any]) -> Dict[str, Any]:
+    names = {f.name for f in fields(cls)}
+    return {k: v for k, v in data.items() if k in names}
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Run algorithms on one workload — the ``repro run`` entry point.
+
+    ``trace`` names a registry trace (name / digest / prefix); mutually
+    exclusive ``workload`` describes a generated one.  Everything else
+    mirrors :func:`repro.run_experiment`'s stable form with the specs
+    flattened (all algorithms share ``cache_size``/``miss_cost``/``xi``,
+    as the comparable-lower-bound rule already requires).
+    """
+
+    algorithms: Tuple[str, ...]
+    cache_size: int
+    miss_cost: int
+    xi: int = 2
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    trace: Optional[str] = None
+    workload: Optional[WorkloadSpec] = None
+    include_lb: bool = True
+    client: str = "anonymous"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "algorithms", tuple(str(a) for a in self.algorithms))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        if isinstance(self.workload, Mapping):
+            object.__setattr__(self, "workload", WorkloadSpec(**_filter_fields(WorkloadSpec, self.workload)))
+
+    def validate(self) -> None:
+        if not self.algorithms:
+            raise ServiceError("bad-request", "RunRequest needs at least one algorithm")
+        if not self.seeds:
+            raise ServiceError("bad-request", "RunRequest needs at least one seed")
+        if (self.trace is None) == (self.workload is None):
+            raise ServiceError("bad-request", "RunRequest needs exactly one of trace / workload")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _request_dict(self, "run")
+
+    def content_key(self) -> str:
+        return _content_key(self)
+
+
+@dataclass(frozen=True)
+class ExperimentRequest:
+    """Run one named experiment (``e1`` … ``e11``) at a scale and seed."""
+
+    name: str
+    scale: str = "quick"
+    seed: int = 0
+    client: str = "anonymous"
+
+    def validate(self) -> None:
+        from ..experiments import EXPERIMENTS
+
+        if self.name not in EXPERIMENTS:
+            known = ", ".join(sorted(EXPERIMENTS))
+            raise ServiceError("bad-request", f"unknown experiment {self.name!r}; known: {known}")
+        if self.scale not in ("quick", "full"):
+            raise ServiceError("bad-request", f"scale must be quick|full, got {self.scale!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _request_dict(self, "experiment")
+
+    def content_key(self) -> str:
+        return _content_key(self)
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """Sweep ``p`` with ``k = cache_factor·p`` — the ratio-vs-p curves."""
+
+    algorithms: Tuple[str, ...]
+    p_values: Tuple[int, ...]
+    miss_cost: int
+    cache_factor: int = 4
+    xi: int = 2
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    workload_seed: int = 12345
+    include_lb: bool = True
+    client: str = "anonymous"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "algorithms", tuple(str(a) for a in self.algorithms))
+        object.__setattr__(self, "p_values", tuple(int(p) for p in self.p_values))
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+
+    def validate(self) -> None:
+        if not self.algorithms or not self.p_values:
+            raise ServiceError("bad-request", "SweepRequest needs algorithms and p_values")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _request_dict(self, "sweep")
+
+    def content_key(self) -> str:
+        return _content_key(self)
+
+
+@dataclass(frozen=True)
+class TraceUpload:
+    """Import a trace into the service's registry (the upload path).
+
+    ``text`` carries the raw trace file content; the server funnels it
+    through the same format-sniffing importers as ``repro trace import``
+    and answers with the registered content digest.
+    """
+
+    name: str
+    text: str
+    fmt: str = "auto"
+    page_size: int = 4096
+    delimiter: str = ","
+    key_field: int = 0
+    proc_field: Optional[int] = None
+    allow_shared: bool = False
+    client: str = "anonymous"
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ServiceError("bad-request", "TraceUpload needs a name")
+        if not self.text:
+            raise ServiceError("bad-request", "TraceUpload needs non-empty text content")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _request_dict(self, "trace-upload")
+
+
+Request = Union[RunRequest, ExperimentRequest, SweepRequest]
+
+_REQUEST_TYPES: Dict[str, Type] = {
+    "run": RunRequest,
+    "experiment": ExperimentRequest,
+    "sweep": SweepRequest,
+    "trace-upload": TraceUpload,
+}
+
+
+def request_from_dict(data: Mapping[str, Any]) -> Union[Request, TraceUpload]:
+    """Rebuild a typed request from its wire dict (inverse of ``to_dict``)."""
+    tag = data.get("type")
+    cls = _REQUEST_TYPES.get(str(tag))
+    if cls is None:
+        known = ", ".join(sorted(_REQUEST_TYPES))
+        raise ServiceError("bad-request", f"unknown request type {tag!r}; known: {known}")
+    version = int(data.get("protocol_version", PROTOCOL_VERSION))
+    if version != PROTOCOL_VERSION:
+        raise ServiceError(
+            "bad-request",
+            f"protocol version mismatch: peer speaks v{version}, this side v{PROTOCOL_VERSION}",
+        )
+    kwargs = _filter_fields(cls, data)
+    for name in ("algorithms", "seeds", "p_values"):
+        if name in kwargs and kwargs[name] is not None:
+            kwargs[name] = tuple(kwargs[name])
+    req = cls(**kwargs)
+    req.validate()
+    return req
+
+
+def _content_key(req: Request) -> str:
+    """SHA-256 of the canonical request JSON, client identity excluded.
+
+    Two clients asking for the same computation hash identically, so the
+    service can coalesce their in-flight jobs and share cached results.
+    """
+    data = req.to_dict()
+    data.pop("client", None)
+    return hashlib.sha256(json.dumps(data, sort_keys=True).encode()).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# replies
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class JobStatus:
+    """Where one submitted job stands (the poll answer)."""
+
+    job_id: str
+    state: str  # queued | running | done | failed
+    kind: str = ""
+    client: str = ""
+    queued_ahead: int = 0
+    coalesced: bool = False
+    error: Optional[Mapping[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = _json_safe(asdict(self))
+        data["protocol_version"] = PROTOCOL_VERSION
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobStatus":
+        return cls(**_filter_fields(cls, data))
+
+
+@dataclass(frozen=True)
+class RunReply:
+    """The result of a run/experiment/sweep job.
+
+    ``rows`` are the exact dict rows the serial CLI would have written
+    (``schema_version`` rides inside each row), so a client-side CSV of
+    a service run is byte-identical to a local one.  ``cells`` and
+    ``cache_hits`` are this job's telemetry window: how many work units
+    it touched and how many were served from the shared cache.
+    """
+
+    job_id: str
+    state: str
+    rows: Tuple[Mapping[str, Any], ...] = ()
+    table: str = ""
+    elapsed_s: float = 0.0
+    cells: int = 0
+    cache_hits: int = 0
+    error: Optional[Mapping[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = _json_safe(asdict(self))
+        data["protocol_version"] = PROTOCOL_VERSION
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunReply":
+        kwargs = _filter_fields(cls, data)
+        kwargs["rows"] = tuple(kwargs.get("rows") or ())
+        return cls(**kwargs)
+
+    def raise_for_state(self) -> "RunReply":
+        """Raise the job's :class:`ServiceError` if it failed; else self."""
+        if self.state == "failed":
+            raise ServiceError.from_dict(self.error or {})
+        return self
+
+
+@dataclass(frozen=True)
+class TraceReply:
+    """Answer to a trace upload: the registered identity."""
+
+    name: str
+    digest: str
+    p: int = 0
+    requests: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = _json_safe(asdict(self))
+        data["protocol_version"] = PROTOCOL_VERSION
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceReply":
+        return cls(**_filter_fields(cls, data))
+
+
+@dataclass(frozen=True)
+class MetricsReply:
+    """A deterministic metrics snapshot (see :mod:`repro.obs.metrics`)."""
+
+    snapshot: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"snapshot": _json_safe(dict(self.snapshot)), "protocol_version": PROTOCOL_VERSION}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MetricsReply":
+        return cls(snapshot=dict(data.get("snapshot") or {}))
+
+    def counter(self, name: str) -> float:
+        """Convenience: one counter's value (0 when absent)."""
+        return float(dict(self.snapshot).get("counters", {}).get(name, 0))

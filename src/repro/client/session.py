@@ -1,0 +1,382 @@
+"""The unified client: one ``Session`` facade over every entry point.
+
+Historically each way of running the reproduction had its own surface:
+:func:`repro.run_experiment` for one workload, :func:`repro.sweep_p` for
+ratio-vs-p curves, ``repro run --trace`` for corpus traces,
+``repro <exp>`` for named experiments, and raw
+``ExecutionEngine.run(units)`` for custom cells.  A
+:class:`Session` folds them into one object with typed request/reply
+dataclasses (:mod:`repro.client.protocol`) — and because those
+dataclasses are shared verbatim with the HTTP service, the same calling
+code works in-process::
+
+    with Session(jobs=4, cache=True) as session:
+        reply = session.run(RunRequest(("det-par",), 64, 8,
+                                       workload=WorkloadSpec(8, 400, 32)))
+
+or against a running ``repro serve`` instance::
+
+    with HttpSession("http://127.0.0.1:8177") as session:
+        reply = session.run(RunRequest(("det-par",), 64, 8,
+                                       workload=WorkloadSpec(8, 400, 32)))
+
+:func:`open_session` picks the right one from a URL-or-None.  The legacy
+call paths (``run_experiment``, ``sweep_p``, positional shims from PR 1)
+keep working unchanged — the facade delegates to them, it does not fork
+their logic — so rows from a session are byte-identical to rows from the
+historical API.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, List, Optional, Sequence, Union
+
+from ..exec.cache import ResultCache
+from ..exec.checkpoint import RunCheckpoint
+from ..exec.engine import ExecutionEngine, use_engine
+from ..exec.policy import ExecutionPolicy
+from ..exec.telemetry import TELEMETRY
+from ..exec.units import WorkUnit
+from .protocol import (
+    ExperimentRequest,
+    MetricsReply,
+    Request,
+    RunReply,
+    RunRequest,
+    ServiceError,
+    SweepRequest,
+    TraceReply,
+    TraceUpload,
+)
+
+__all__ = ["Session", "HttpSession", "open_session", "execute_request"]
+
+
+def execute_request(
+    request: Request,
+    engine: ExecutionEngine,
+    registry_root: Optional[str] = None,
+    job_id: str = "",
+) -> RunReply:
+    """Execute one typed request on ``engine`` — the service's core.
+
+    This is the single choke point the in-process :class:`Session` and
+    the :class:`~repro.service.backend.ServiceBackend` share, which is
+    what makes "rows from the service" and "rows from the library" the
+    same rows by construction.  The reply's ``cells``/``cache_hits``
+    come from the telemetry window this request occupied.
+    """
+    from ..analysis.report import render_table
+
+    request.validate()
+    mark = len(TELEMETRY)
+    t0 = time.perf_counter()
+    with use_engine(engine):
+        if isinstance(request, RunRequest):
+            rows, table = _execute_run(request, registry_root)
+        elif isinstance(request, ExperimentRequest):
+            from ..experiments import run_named_experiment
+
+            rows, table = run_named_experiment(request.name, scale=request.scale, seed=request.seed)
+        elif isinstance(request, SweepRequest):
+            from ..analysis.sweep import sweep_p
+
+            result = sweep_p(
+                list(request.algorithms),
+                list(request.p_values),
+                miss_cost=int(request.miss_cost),
+                cache_factor=int(request.cache_factor),
+                xi=int(request.xi),
+                seeds=list(request.seeds),
+                workload_seed=int(request.workload_seed),
+                include_impact_lb=bool(request.include_lb),
+            )
+            rows = result.as_dicts()
+            table = render_table(rows, title="sweep")
+        else:  # pragma: no cover — request_from_dict already rejects these
+            raise ServiceError("bad-request", f"cannot execute request of type {type(request).__name__}")
+    window = TELEMETRY.records[mark:]
+    return RunReply(
+        job_id=job_id,
+        state="done",
+        rows=tuple(rows),
+        table=table,
+        elapsed_s=time.perf_counter() - t0,
+        cells=len(window),
+        cache_hits=sum(1 for r in window if r.cached),
+    )
+
+
+def _execute_run(request: RunRequest, registry_root: Optional[str]) -> tuple:
+    """A :class:`RunRequest` through the historical harness, unchanged."""
+    from ..analysis.harness import run_experiment
+    from ..analysis.report import render_table
+    from ..parallel.schedulers import ALGORITHM_REGISTRY, RunSpec
+    from ..traces.errors import TraceError
+
+    unknown = [name for name in request.algorithms if name not in ALGORITHM_REGISTRY]
+    if unknown:
+        known = ", ".join(sorted(ALGORITHM_REGISTRY))
+        raise ServiceError("bad-request", f"unknown algorithm(s) {unknown}; known: {known}")
+    if request.trace is not None:
+        from ..traces.registry import TraceRegistry
+
+        try:
+            workload = TraceRegistry(registry_root).workload(request.trace)
+        except TraceError as exc:
+            raise ServiceError("not-found", str(exc)) from exc
+        title = f"trace {request.trace}"
+    else:
+        workload = request.workload.build()
+        title = workload.describe() if hasattr(workload, "describe") else "workload"
+    try:
+        specs = [
+            RunSpec(
+                algorithm=name,
+                cache_size=int(request.cache_size),
+                miss_cost=int(request.miss_cost),
+                xi=int(request.xi),
+            )
+            for name in request.algorithms
+        ]
+        result_rows = run_experiment(
+            workload, specs, seeds=list(request.seeds), include_impact_lb=bool(request.include_lb)
+        )
+    except (KeyError, ValueError) as exc:
+        raise ServiceError("bad-request", str(exc)) from exc
+    rows = [row.as_dict() for row in result_rows]
+    return rows, render_table(rows, title=title)
+
+
+class Session:
+    """In-process session: a persistent engine behind the typed API.
+
+    Parameters mirror :func:`repro.exec.execution`, but the engine lives
+    for the whole session instead of one ``with`` block, so its cache,
+    policy, and checkpoint serve every request.  ``registry`` points
+    trace-referencing requests at a specific corpus root.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: bool = False,
+        cache_dir: Optional[Any] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        checkpoint: Optional[RunCheckpoint] = None,
+        engine: Optional[ExecutionEngine] = None,
+        registry: Optional[str] = None,
+    ) -> None:
+        self.engine = engine if engine is not None else ExecutionEngine(
+            jobs=jobs,
+            cache=ResultCache(cache_dir) if cache else None,
+            policy=policy,
+            checkpoint=checkpoint,
+        )
+        self.registry_root = str(registry) if registry is not None else None
+
+    # -- the unified request surface ----------------------------------- #
+    def run(self, request: RunRequest) -> RunReply:
+        """Algorithms × one workload (trace or generated) → rows."""
+        return execute_request(request, self.engine, self.registry_root)
+
+    def experiment(self, request: Union[ExperimentRequest, str], **kwargs: Any) -> RunReply:
+        """A named experiment; accepts a request or just its name."""
+        if isinstance(request, str):
+            request = ExperimentRequest(name=request, **kwargs)
+        return execute_request(request, self.engine, self.registry_root)
+
+    def sweep(self, request: SweepRequest) -> RunReply:
+        """A ratio-vs-p sweep → rows (one per algorithm × p)."""
+        return execute_request(request, self.engine, self.registry_root)
+
+    def submit_units(self, units: Sequence[WorkUnit]) -> List[Any]:
+        """Raw engine submission for custom cells (expert path)."""
+        return self.engine.run(list(units))
+
+    def upload_trace(self, upload: TraceUpload) -> TraceReply:
+        """Import raw trace text into the session's registry."""
+        import os
+        import tempfile
+
+        from ..traces.registry import TraceRegistry
+
+        upload.validate()
+        registry = TraceRegistry(self.registry_root)
+        fd, tmp = tempfile.mkstemp(suffix=".trace.txt")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(upload.text)
+            store = registry.import_file(
+                tmp,
+                name=upload.name,
+                fmt=upload.fmt,
+                page_size=int(upload.page_size),
+                delimiter=upload.delimiter,
+                key_field=int(upload.key_field),
+                proc_field=upload.proc_field,
+                allow_shared=bool(upload.allow_shared),
+            )
+        except ServiceError:
+            raise
+        except Exception as exc:
+            raise ServiceError("bad-request", f"trace import failed: {exc}") from exc
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        return TraceReply(
+            name=upload.name,
+            digest=store.content_digest,
+            p=int(store.p),
+            requests=int(store.total_requests),
+        )
+
+    def metrics(self) -> MetricsReply:
+        """Snapshot of the ambient metrics registry (may be disabled/empty)."""
+        from ..obs import metrics as obs_metrics
+
+        return MetricsReply(snapshot=obs_metrics.active().snapshot())
+
+    # -- lifecycle ------------------------------------------------------ #
+    def close(self) -> None:
+        """Sessions hold no open handles; provided for API symmetry."""
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class HttpSession:
+    """The same session surface, spoken over HTTP to a ``repro serve``.
+
+    Pure stdlib (``urllib``); every method serializes the shared
+    protocol dataclasses and reconstructs typed replies — including
+    :class:`ServiceError` with its original code — from the JSON the
+    server answers with.
+    """
+
+    def __init__(self, base_url: str, client: str = "anonymous", timeout: float = 600.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client = client
+        self.timeout = float(timeout)
+
+    # -- plumbing ------------------------------------------------------- #
+    def _call(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            url, data=data, method=method, headers={"Content-Type": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                payload = resp.read()
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode() or "{}")
+            except (ValueError, OSError):
+                detail = {}
+            err = detail.get("error") or {"code": "server-error", "message": str(exc), "status": exc.code}
+            raise ServiceError.from_dict(err) from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceError("unavailable", f"cannot reach {self.base_url}: {exc}") from exc
+        return json.loads(payload.decode() or "{}")
+
+    def _branded(self, request: Any) -> Any:
+        """Stamp this session's client identity onto an anonymous request."""
+        if getattr(request, "client", None) == "anonymous" and self.client != "anonymous":
+            import dataclasses
+
+            return dataclasses.replace(request, client=self.client)
+        return request
+
+    def _submit_and_wait(self, request: Request) -> RunReply:
+        reply = self._call("POST", "/v1/jobs?wait=1", self._branded(request).to_dict())
+        return RunReply.from_dict(reply).raise_for_state()
+
+    # -- the unified request surface ----------------------------------- #
+    def run(self, request: RunRequest) -> RunReply:
+        """Algorithms × one workload (trace or generated) → rows."""
+        return self._submit_and_wait(request)
+
+    def experiment(self, request: Union[ExperimentRequest, str], **kwargs: Any) -> RunReply:
+        """A named experiment; accepts a request or just its name."""
+        if isinstance(request, str):
+            request = ExperimentRequest(name=request, **kwargs)
+        return self._submit_and_wait(request)
+
+    def sweep(self, request: SweepRequest) -> RunReply:
+        """A ratio-vs-p sweep → rows (one per algorithm × p)."""
+        return self._submit_and_wait(request)
+
+    def submit(self, request: Request) -> "JobHandle":
+        """Fire-and-poll submission: returns a handle, does not block."""
+        from .protocol import JobStatus
+
+        status = JobStatus.from_dict(self._call("POST", "/v1/jobs", self._branded(request).to_dict()))
+        return JobHandle(self, status.job_id, status)
+
+    def status(self, job_id: str) -> "JobStatus":
+        from .protocol import JobStatus
+
+        return JobStatus.from_dict(self._call("GET", f"/v1/jobs/{urllib.parse.quote(job_id)}"))
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> RunReply:
+        wait = self.timeout if timeout is None else float(timeout)
+        path = f"/v1/jobs/{urllib.parse.quote(job_id)}?wait={wait:g}"
+        return RunReply.from_dict(self._call("GET", path)).raise_for_state()
+
+    def upload_trace(self, upload: TraceUpload) -> TraceReply:
+        """Import raw trace text into the server's registry."""
+        return TraceReply.from_dict(self._call("POST", "/v1/traces", self._branded(upload).to_dict()))
+
+    def metrics(self) -> MetricsReply:
+        """The server's live metrics snapshot."""
+        return MetricsReply.from_dict(self._call("GET", "/v1/metrics"))
+
+    def health(self) -> dict:
+        """Liveness probe: server identity and versions."""
+        return self._call("GET", "/v1/health")
+
+    # -- lifecycle ------------------------------------------------------ #
+    def close(self) -> None:
+        """Connections are per-request; provided for API symmetry."""
+
+    def __enter__(self) -> "HttpSession":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class JobHandle:
+    """A submitted-but-unfinished job: poll or block for its reply."""
+
+    def __init__(self, session: HttpSession, job_id: str, status: Any) -> None:
+        self.session = session
+        self.job_id = job_id
+        self.last_status = status
+
+    def status(self):
+        self.last_status = self.session.status(self.job_id)
+        return self.last_status
+
+    def result(self, timeout: Optional[float] = None) -> RunReply:
+        return self.session.result(self.job_id, timeout=timeout)
+
+
+def open_session(url: Optional[str] = None, **kwargs: Any) -> Union[Session, HttpSession]:
+    """One constructor for both worlds: a URL opens an
+    :class:`HttpSession`, ``None`` an in-process :class:`Session` (with
+    the same keyword arguments each accepts)."""
+    if url:
+        return HttpSession(url, **kwargs)
+    return Session(**kwargs)

@@ -27,7 +27,7 @@ Layers:
 
 from .cache import CACHE_VERSION, CacheStats, ResultCache, default_cache_dir, stable_key, workload_fingerprint
 from .checkpoint import RunCheckpoint, RunManifest, default_runs_dir, list_runs, new_run_id
-from .engine import ExecutionEngine, current_engine, default_jobs, execution
+from .engine import ExecutionEngine, current_engine, default_jobs, execution, use_engine
 from .faults import FaultSpec, InjectedFault, active_faults, corrupt_cache_entry, inject_faults, maybe_inject
 from .policy import ExecutionPolicy, FailedCell, UnitExecutionError, UnitTimeoutError, run_unit_with_policy
 from .telemetry import TELEMETRY, CellRecord, Telemetry
@@ -49,6 +49,7 @@ __all__ = [
     "current_engine",
     "default_jobs",
     "execution",
+    "use_engine",
     "FaultSpec",
     "InjectedFault",
     "corrupt_cache_entry",

@@ -45,7 +45,7 @@ from .policy import ExecutionPolicy, FailedCell, UnitExecutionError, UnitTimeout
 from .telemetry import TELEMETRY, CellRecord, Telemetry
 from .units import CellOutcome, WorkUnit, execute_unit
 
-__all__ = ["ExecutionEngine", "execution", "current_engine", "default_jobs"]
+__all__ = ["ExecutionEngine", "execution", "current_engine", "default_jobs", "use_engine"]
 
 
 def default_jobs() -> int:
@@ -394,6 +394,22 @@ _ENGINE_STACK: List[ExecutionEngine] = [ExecutionEngine()]
 def current_engine() -> ExecutionEngine:
     """The innermost engine configured via :func:`execution` (or the default)."""
     return _ENGINE_STACK[-1]
+
+
+@contextmanager
+def use_engine(engine: ExecutionEngine) -> Iterator[ExecutionEngine]:
+    """Scope an *existing* engine as the ambient one.
+
+    :func:`execution` constructs a fresh engine per scope; long-lived
+    callers (a :class:`repro.client.Session`, the service backend) keep
+    one configured engine — with its cache, policy, and checkpoint —
+    alive across many requests and re-enter it per call.
+    """
+    _ENGINE_STACK.append(engine)
+    try:
+        yield engine
+    finally:
+        _ENGINE_STACK.pop()
 
 
 @contextmanager

@@ -1,0 +1,198 @@
+"""Load generator: N concurrent clients, measured p50/p99 — not a slogan.
+
+Drives a running ``repro serve`` with ``--clients`` concurrent threads
+(each a :class:`~repro.client.HttpSession` with its own client
+identity), records per-request wall latency, and reads the server's
+metrics before and after, so the report can state the *cross-client*
+cache-hit rate next to the latency distribution.  Scenarios:
+
+``duplicate-cells``
+    Every client submits the identical :class:`RunRequest` repeatedly —
+    the multi-tenant regime the paper's shared-cache story is about.
+    The first arrival computes; coalescing and the content-addressed
+    cache serve everyone else, so the measured hit rate should be high.
+``unique-cells``
+    Every (client, round) pair gets a distinct workload seed — the
+    all-miss worst case that prices raw engine throughput.
+``experiment``
+    Every client asks for the same named experiment (default ``e1``
+    quick) — the CI scenario, comparable to a serial CLI run.
+
+Usage::
+
+    python -m repro.service.loadgen --url http://127.0.0.1:8177 \\
+        --clients 8 --requests 4 --scenario duplicate-cells \\
+        --out BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..client.protocol import ExperimentRequest, Request, RunRequest, ServiceError, WorkloadSpec
+from ..client.session import HttpSession
+
+__all__ = ["percentile", "run_load", "main"]
+
+#: The shared cell of the duplicate-cells scenario: small enough to be a
+#: sane unit of load, large enough that computing vs cache-serving it is
+#: clearly distinguishable in the latency distribution.
+DUPLICATE_CELL = dict(
+    algorithms=("det-par", "global-lru"),
+    cache_size=64,
+    miss_cost=8,
+    xi=2,
+    seeds=(0, 1),
+    workload=WorkloadSpec(p=8, n_requests=400, k=32),
+)
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 on empty input)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-len(sorted_values) * q // 100))  # ceil without floats
+    return sorted_values[int(rank) - 1]
+
+
+def _scenario_request(scenario: str, client: str, round_index: int, experiment: str, scale: str) -> Request:
+    if scenario == "duplicate-cells":
+        return RunRequest(client=client, **DUPLICATE_CELL)
+    if scenario == "unique-cells":
+        spec = DUPLICATE_CELL["workload"]
+        import hashlib
+
+        stable = int(hashlib.sha256(f"{client}/{round_index}".encode()).hexdigest()[:8], 16)
+        unique = WorkloadSpec(p=spec.p, n_requests=spec.n_requests, k=spec.k, workload_seed=stable)
+        return RunRequest(client=client, **{**DUPLICATE_CELL, "workload": unique})
+    if scenario == "experiment":
+        return ExperimentRequest(name=experiment, scale=scale, client=client)
+    raise ValueError(f"unknown scenario {scenario!r}; known: duplicate-cells, unique-cells, experiment")
+
+
+def run_load(
+    url: str,
+    clients: int = 8,
+    requests_per_client: int = 4,
+    scenario: str = "duplicate-cells",
+    experiment: str = "e1",
+    scale: str = "quick",
+    out: Optional[Path] = None,
+    timeout: float = 600.0,
+) -> Dict[str, Any]:
+    """Run one load scenario; returns (and optionally writes) the report."""
+    latencies: List[float] = []
+    errors: List[str] = []
+    lock = threading.Lock()
+    before = HttpSession(url, timeout=timeout).metrics()
+
+    def one_client(index: int) -> None:
+        session = HttpSession(url, client=f"loadgen-{index}", timeout=timeout)
+        for round_index in range(requests_per_client):
+            request = _scenario_request(scenario, f"loadgen-{index}", round_index, experiment, scale)
+            t0 = time.perf_counter()
+            try:
+                reply = session.run(request) if isinstance(request, RunRequest) else session.experiment(request)
+                if not reply.rows:
+                    raise ServiceError("server-error", "empty row set")
+            except ServiceError as exc:
+                with lock:
+                    errors.append(f"{exc.code}: {exc.message}")
+                continue
+            with lock:
+                latencies.append(time.perf_counter() - t0)
+
+    threads = [threading.Thread(target=one_client, args=(i,)) for i in range(clients)]
+    wall0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall0
+    after = HttpSession(url, timeout=timeout).metrics()
+
+    computed = after.counter("exec.computed") - before.counter("exec.computed")
+    hits = after.counter("exec.cache.hits") - before.counter("exec.cache.hits")
+    coalesced = after.counter("service.coalesced") - before.counter("service.coalesced")
+    cells = computed + hits
+    ordered = sorted(latencies)
+    report: Dict[str, Any] = {
+        "scenario": scenario,
+        "url": url,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "completed": len(latencies),
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "wall_s": round(wall, 3),
+        "throughput_rps": round(len(latencies) / wall, 3) if wall > 0 else 0.0,
+        "latency_ms": {
+            "p50": round(percentile(ordered, 50) * 1000, 1),
+            "p90": round(percentile(ordered, 90) * 1000, 1),
+            "p99": round(percentile(ordered, 99) * 1000, 1),
+            "mean": round(sum(ordered) / len(ordered) * 1000, 1) if ordered else 0.0,
+            "max": round(ordered[-1] * 1000, 1) if ordered else 0.0,
+        },
+        "cache": {
+            "cells": int(cells),
+            "computed": int(computed),
+            "hits": int(hits),
+            "hit_rate": round(hits / cells, 3) if cells else 0.0,
+            "coalesced_jobs": int(coalesced),
+        },
+    }
+    if out is not None:
+        out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.loadgen",
+        description="Drive a repro service with concurrent clients and report p50/p99 latency.",
+    )
+    parser.add_argument("--url", required=True, help="service base URL (from 'repro serve')")
+    parser.add_argument("--clients", type=int, default=8, help="concurrent clients (default 8)")
+    parser.add_argument("--requests", type=int, default=4, help="requests per client (default 4)")
+    parser.add_argument(
+        "--scenario", default="duplicate-cells",
+        choices=("duplicate-cells", "unique-cells", "experiment"),
+        help="load shape (default duplicate-cells)",
+    )
+    parser.add_argument("--experiment", default="e1", help="experiment scenario: which experiment")
+    parser.add_argument("--scale", default="quick", choices=("quick", "full"))
+    parser.add_argument("--out", type=Path, default=None, help="write the JSON report here")
+    parser.add_argument("--timeout", type=float, default=600.0, help="per-request timeout seconds")
+    args = parser.parse_args(argv)
+    if args.clients < 1 or args.requests < 1:
+        parser.error("--clients and --requests must be >= 1")
+    try:
+        report = run_load(
+            args.url,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            scenario=args.scenario,
+            experiment=args.experiment,
+            scale=args.scale,
+            out=args.out,
+            timeout=args.timeout,
+        )
+    except ServiceError as exc:
+        print(f"loadgen: {exc.code}: {exc.message}", file=sys.stderr)
+        return 2
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.out is not None:
+        print(f"report written to {args.out}", file=sys.stderr)
+    return 0 if not report["errors"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

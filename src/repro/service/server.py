@@ -1,0 +1,293 @@
+"""Paging-as-a-service: a stdlib-asyncio HTTP frontend over the backend.
+
+The server is handcrafted on :func:`asyncio.start_server` — no aiohttp,
+no ``http.server`` — because the protocol surface is deliberately tiny:
+JSON in, JSON out, HTTP/1.1 with keep-alive, bounded header/body sizes.
+Blocking backend calls (waiting on a job, importing a trace) hop onto a
+thread pool so the event loop keeps accepting while long jobs run.
+
+Routes (all JSON)::
+
+    GET  /v1/health                     liveness + versions
+    GET  /v1/metrics                    deterministic metrics snapshot
+    GET  /v1/jobs                       every job's status
+    GET  /v1/jobs/<id>[?wait=SECONDS]   poll (or long-poll) one job
+    POST /v1/jobs[?wait=1]              submit a typed request
+    POST /v1/runs|/v1/experiments|/v1/sweeps    same, type implied
+    POST /v1/traces                     upload a trace into the corpus
+
+``repro serve`` wraps :func:`run_server`, which installs SIGINT/SIGTERM
+handlers: a signal stops accepting, shuts the backend down, and — when
+work was cut short — leaves the checkpoint journal + cache for a
+restarted server to resume from, exiting 130 exactly like an interrupted
+CLI run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..client.protocol import PROTOCOL_VERSION, ServiceError, TraceUpload, request_from_dict
+from .backend import ServiceBackend
+
+__all__ = ["ServiceServer", "run_server"]
+
+#: Transport bounds: one header block and one JSON body.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _json_default(obj: Any) -> Any:
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+class ServiceServer:
+    """One listening socket bound to one :class:`ServiceBackend`."""
+
+    def __init__(
+        self,
+        backend: ServiceBackend,
+        host: str = "127.0.0.1",
+        port: int = 8177,
+        max_waiters: int = 32,
+    ) -> None:
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        # long-polls park here so the event loop never blocks on a job
+        self._pool = ThreadPoolExecutor(max_workers=max_waiters, thread_name_prefix="repro-http-wait")
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "ServiceServer":
+        self.backend.start()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                status, payload = await self._dispatch(method, path, body)
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError, asyncio.LimitOverrunError):
+            pass  # client went away mid-request; nothing to answer
+        except ValueError as exc:
+            # malformed request line/headers: answer once, then hang up
+            try:
+                await self._respond(writer, 400, {"error": ServiceError("bad-request", str(exc)).to_dict()}, False)
+            except (ConnectionResetError, OSError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        try:
+            request_line = await reader.readline()
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise ValueError(f"malformed request line: {request_line!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        total = 0
+        while True:
+            line = await reader.readline()
+            total += len(line)
+            if total > MAX_HEADER_BYTES:
+                raise ValueError("header block too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if "transfer-encoding" in headers:
+            raise ValueError("chunked request bodies are not supported")
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body too large ({length} bytes)")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any], keep_alive: bool
+    ) -> None:
+        body = json.dumps(payload, default=_json_default).encode()
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, method: str, target: str, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        try:
+            data = json.loads(body.decode() or "{}") if method == "POST" else {}
+        except ValueError:
+            return 400, {"error": ServiceError("bad-request", "request body is not valid JSON").to_dict()}
+        try:
+            return await self._route(method, path, query, data)
+        except ServiceError as exc:
+            return exc.status, {"error": exc.to_dict()}
+        except Exception as exc:  # noqa: BLE001 — one request must not kill the server
+            err = ServiceError("server-error", f"{type(exc).__name__}: {exc}")
+            return err.status, {"error": err.to_dict()}
+
+    async def _route(
+        self, method: str, path: str, query: Dict[str, str], data: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        if path == "/v1/health" and method == "GET":
+            from .. import __version__
+
+            return 200, {
+                "status": "ok",
+                "version": __version__,
+                "protocol_version": PROTOCOL_VERSION,
+                "jobs": len(self.backend.jobs()),
+            }
+        if path == "/v1/metrics" and method == "GET":
+            return 200, {"snapshot": self.backend.metrics_snapshot(), "protocol_version": PROTOCOL_VERSION}
+        if path == "/v1/jobs" and method == "GET":
+            return 200, {"jobs": [status.to_dict() for status in self.backend.jobs()]}
+        if path in ("/v1/jobs", "/v1/runs", "/v1/experiments", "/v1/sweeps") and method == "POST":
+            implied = {"/v1/runs": "run", "/v1/experiments": "experiment", "/v1/sweeps": "sweep"}.get(path)
+            if implied is not None:
+                data.setdefault("type", implied)
+                data.setdefault("protocol_version", PROTOCOL_VERSION)
+            request = request_from_dict(data)
+            if isinstance(request, TraceUpload):
+                raise ServiceError("bad-request", "trace uploads go to POST /v1/traces")
+            status = self.backend.submit(request)
+            if query.get("wait"):
+                reply = await self._wait(status.job_id, None)
+                return 200, reply
+            return 202, status.to_dict()
+        if path == "/v1/traces" and method == "POST":
+            data.setdefault("type", "trace-upload")
+            data.setdefault("protocol_version", PROTOCOL_VERSION)
+            upload = request_from_dict(data)
+            if not isinstance(upload, TraceUpload):
+                raise ServiceError("bad-request", "POST /v1/traces takes a trace-upload request")
+            loop = asyncio.get_running_loop()
+            reply = await loop.run_in_executor(self._pool, self.backend.upload_trace, upload)
+            return 200, reply.to_dict()
+        if path.startswith("/v1/jobs/") and method == "GET":
+            job_id = path[len("/v1/jobs/"):]
+            if "wait" in query:
+                timeout = float(query["wait"]) if query["wait"] not in ("", "1", "true") else None
+                return 200, await self._wait(job_id, timeout)
+            return 200, self.backend.status(job_id).to_dict()
+        if path.startswith("/v1/"):
+            raise ServiceError("not-found", f"no route {method} {path}")
+        raise ServiceError("not-found", f"unknown path {path!r}; the API lives under /v1/")
+
+    async def _wait(self, job_id: str, timeout: Optional[float]) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        reply = await loop.run_in_executor(self._pool, self.backend.wait, job_id, timeout)
+        return reply.to_dict()
+
+
+def run_server(
+    backend: ServiceBackend,
+    host: str = "127.0.0.1",
+    port: int = 8177,
+    ready_line: bool = True,
+    drain_timeout: float = 5.0,
+) -> int:
+    """Serve until SIGINT/SIGTERM; returns the process exit code.
+
+    Prints ``repro service listening on <url>`` once bound (so scripts
+    and tests can scrape the actual port when ``port=0``), and on
+    signal-driven shutdown mirrors the CLI contract: exit 0 when idle,
+    exit 130 with a resume hint when jobs were cut short mid-run.
+    """
+
+    async def _main() -> None:
+        server = await ServiceServer(backend, host=host, port=port).start()
+        if ready_line:
+            print(f"repro service listening on {server.url}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, ValueError):  # pragma: no cover — non-main thread
+                pass
+        await stop.wait()
+        await server.stop()
+
+    asyncio.run(_main())
+    interrupted = backend.shutdown(timeout=drain_timeout)
+    checkpoint = backend.engine.checkpoint
+    if interrupted and checkpoint is not None:
+        checkpoint.mark_status("interrupted")
+        print(
+            f"interrupted — journal and cache retained; restart with the same "
+            f"--cache-dir to serve the finished cells (run {checkpoint.manifest.run_id})",
+            file=sys.stderr,
+        )
+    elif checkpoint is not None:
+        checkpoint.mark_status("complete")
+    return 130 if interrupted else 0

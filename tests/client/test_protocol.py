@@ -1,0 +1,164 @@
+"""Wire-format tests: typed requests/replies round-trip losslessly."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.client.protocol import (
+    ERROR_STATUS,
+    PROTOCOL_VERSION,
+    ExperimentRequest,
+    JobStatus,
+    MetricsReply,
+    RunReply,
+    RunRequest,
+    ServiceError,
+    SweepRequest,
+    TraceReply,
+    TraceUpload,
+    WorkloadSpec,
+    request_from_dict,
+)
+
+WL = WorkloadSpec(p=4, n_requests=100, k=16)
+
+
+def test_run_request_round_trip():
+    req = RunRequest(
+        algorithms=("det-par", "rand-par"),
+        cache_size=64,
+        miss_cost=8,
+        seeds=(0, 1),
+        workload=WL,
+        client="alice",
+    )
+    data = req.to_dict()
+    assert data["type"] == "run"
+    assert data["protocol_version"] == PROTOCOL_VERSION
+    json.dumps(data)  # wire dict must already be JSON-native
+    rebuilt = request_from_dict(data)
+    assert rebuilt == req
+
+
+def test_experiment_and_sweep_round_trip():
+    for req in (
+        ExperimentRequest(name="e1", scale="quick", seed=3, client="bob"),
+        SweepRequest(algorithms=("det-par",), p_values=(2, 4), miss_cost=8, seeds=(0,)),
+    ):
+        assert request_from_dict(req.to_dict()) == req
+
+
+def test_trace_upload_round_trip():
+    up = TraceUpload(name="t", text="0 a\n0 b\n", fmt="address")
+    rebuilt = request_from_dict(up.to_dict())
+    assert rebuilt == up
+
+
+def test_numpy_scalars_coerced_on_the_wire():
+    req = RunRequest(
+        algorithms=("det-par",),
+        cache_size=np.int64(32),
+        miss_cost=np.int32(8),
+        seeds=(np.int64(0),),
+        workload=WL,
+    )
+    data = req.to_dict()
+    json.dumps(data)
+    assert data["seeds"] == [0]
+
+
+def test_content_key_excludes_client_identity():
+    a = RunRequest(("det-par",), 32, 8, workload=WL, client="alice")
+    b = RunRequest(("det-par",), 32, 8, workload=WL, client="bob")
+    assert a.content_key() == b.content_key()
+    c = RunRequest(("det-par",), 32, 9, workload=WL, client="alice")
+    assert a.content_key() != c.content_key()
+
+
+def test_content_key_distinguishes_request_kinds():
+    run = RunRequest(("det-par",), 32, 8, workload=WL)
+    exp = ExperimentRequest(name="e1")
+    assert run.content_key() != exp.content_key()
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        RunRequest((), 32, 8, workload=WL),  # no algorithms
+        RunRequest(("det-par",), 32, 8, seeds=(), workload=WL),  # no seeds
+        RunRequest(("det-par",), 32, 8),  # neither trace nor workload
+        RunRequest(("det-par",), 32, 8, trace="t", workload=WL),  # both
+        ExperimentRequest(name="e99"),  # unknown experiment
+        ExperimentRequest(name="e1", scale="huge"),  # unknown scale
+        SweepRequest(algorithms=(), p_values=(2,), miss_cost=8),
+        TraceUpload(name="", text="x"),
+        TraceUpload(name="t", text=""),
+    ],
+)
+def test_validate_rejects_malformed_requests(bad):
+    with pytest.raises(ServiceError) as exc:
+        bad.validate()
+    assert exc.value.code == "bad-request"
+    assert exc.value.status == 400
+
+
+def test_request_from_dict_rejects_unknown_type_and_version():
+    with pytest.raises(ServiceError, match="unknown request type"):
+        request_from_dict({"type": "frobnicate"})
+    data = ExperimentRequest(name="e1").to_dict()
+    data["protocol_version"] = PROTOCOL_VERSION + 1
+    with pytest.raises(ServiceError, match="protocol version mismatch"):
+        request_from_dict(data)
+
+
+def test_request_from_dict_revalidates():
+    data = RunRequest(("det-par",), 32, 8, workload=WL).to_dict()
+    data["algorithms"] = []
+    with pytest.raises(ServiceError):
+        request_from_dict(data)
+
+
+def test_service_error_status_mapping():
+    assert ServiceError("quota-exceeded", "x").status == 429
+    assert ServiceError("queue-full", "x").status == 503
+    assert ServiceError("not-found", "x").status == 404
+    assert ServiceError("no-such-code", "x").status == 500
+    err = ServiceError.from_dict(ServiceError("timeout", "slow").to_dict())
+    assert (err.code, err.status, err.message) == ("timeout", 504, "slow")
+    assert set(ERROR_STATUS) >= {"bad-request", "quota-exceeded", "queue-full", "timeout"}
+
+
+def test_workload_spec_build_is_deterministic():
+    w1, w2 = WL.build(), WL.build()
+    assert w1.p == 4 and len(w1.sequences) == 4
+    for s1, s2 in zip(w1.sequences, w2.sequences):
+        np.testing.assert_array_equal(s1, s2)
+    other = WorkloadSpec(p=4, n_requests=100, k=16, workload_seed=999).build()
+    assert any(
+        not np.array_equal(a, b) for a, b in zip(w1.sequences, other.sequences)
+    )
+
+
+def test_run_reply_round_trip_and_raise_for_state():
+    reply = RunReply(job_id="job-1", state="done", rows=({"a": 1},), table="t", cells=3)
+    rebuilt = RunReply.from_dict(reply.to_dict())
+    assert rebuilt.rows == ({"a": 1},)
+    assert rebuilt.raise_for_state() is rebuilt
+    failed = RunReply(
+        job_id="job-2", state="failed", error=ServiceError("quota-exceeded", "nope").to_dict()
+    )
+    with pytest.raises(ServiceError) as exc:
+        RunReply.from_dict(failed.to_dict()).raise_for_state()
+    assert exc.value.code == "quota-exceeded"
+
+
+def test_job_status_trace_and_metrics_replies():
+    status = JobStatus(job_id="job-9", state="queued", kind="run", queued_ahead=2)
+    assert JobStatus.from_dict(status.to_dict()) == status
+    trace = TraceReply(name="t", digest="abc", p=2, requests=10)
+    assert TraceReply.from_dict(trace.to_dict()) == trace
+    metrics = MetricsReply(snapshot={"counters": {"exec.computed": 5}})
+    rebuilt = MetricsReply.from_dict(metrics.to_dict())
+    assert rebuilt.counter("exec.computed") == 5.0
+    assert rebuilt.counter("absent") == 0.0

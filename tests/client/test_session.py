@@ -1,0 +1,131 @@
+"""The unified Session facade: one API, the historical rows."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.harness import run_experiment
+from repro.analysis.sweep import sweep_p
+from repro.client import (
+    ExperimentRequest,
+    HttpSession,
+    RunRequest,
+    ServiceError,
+    Session,
+    SweepRequest,
+    TraceUpload,
+    WorkloadSpec,
+    open_session,
+)
+from repro.experiments import run_named_experiment
+from repro.parallel.schedulers import RunSpec
+
+WL = WorkloadSpec(p=4, n_requests=120, k=16)
+RUN = RunRequest(algorithms=("det-par",), cache_size=32, miss_cost=8, seeds=(0,), workload=WL)
+
+
+class TestSessionRun:
+    def test_rows_match_the_historical_harness(self):
+        with Session() as session:
+            reply = session.run(RUN)
+        assert reply.state == "done"
+        assert reply.cells > 0 and reply.cache_hits == 0
+        direct = run_experiment(
+            WL.build(),
+            [RunSpec(algorithm="det-par", cache_size=32, miss_cost=8, xi=2)],
+            seeds=[0],
+            include_impact_lb=True,
+        )
+        assert list(reply.rows) == [row.as_dict() for row in direct]
+        assert "det-par" in reply.table
+
+    def test_cache_serves_the_second_identical_request(self, tmp_path):
+        with Session(cache=True, cache_dir=tmp_path / "cache") as session:
+            first = session.run(RUN)
+            second = session.run(RUN)
+        assert first.cache_hits == 0
+        assert second.cache_hits == second.cells == first.cells
+        assert second.rows == first.rows
+
+    def test_invalid_request_is_a_typed_error(self):
+        with Session() as session:
+            with pytest.raises(ServiceError) as exc:
+                session.run(RunRequest(algorithms=("det-par",), cache_size=32, miss_cost=8))
+            assert exc.value.code == "bad-request"
+            with pytest.raises(ServiceError) as exc:
+                session.run(
+                    RunRequest(algorithms=("no-such-algo",), cache_size=32, miss_cost=8, workload=WL)
+                )
+            assert exc.value.code == "bad-request"
+
+
+class TestSessionExperimentAndSweep:
+    def test_experiment_matches_run_named_experiment(self):
+        with Session() as session:
+            reply = session.experiment("e1", scale="quick", seed=0)
+        rows, table = run_named_experiment("e1", scale="quick", seed=0)
+        assert list(reply.rows) == rows
+        assert reply.table == table
+
+    def test_sweep_matches_sweep_p(self):
+        request = SweepRequest(
+            algorithms=("det-par",), p_values=(2, 4), miss_cost=8, seeds=(0,), workload_seed=7
+        )
+        with Session() as session:
+            reply = session.sweep(request)
+        direct = sweep_p(
+            ["det-par"], [2, 4], miss_cost=8, seeds=[0], workload_seed=7, include_impact_lb=True
+        )
+        assert list(reply.rows) == direct.as_dicts()
+
+
+class TestSessionTraces:
+    def _upload(self, session, name="uploaded"):
+        rng = np.random.default_rng(0)
+        text = "\n".join(str(int(a)) for a in rng.integers(0, 4096 * 32, size=200)) + "\n"
+        return session.upload_trace(TraceUpload(name=name, text=text, fmt="address", page_size=4096))
+
+    def test_upload_then_run_by_name(self, tmp_path):
+        with Session(registry=str(tmp_path / "corpus")) as session:
+            info = self._upload(session)
+            assert info.name == "uploaded" and info.requests == 200 and info.p == 1
+            reply = session.run(
+                RunRequest(algorithms=("global-lru",), cache_size=16, miss_cost=4, seeds=(0,), trace="uploaded")
+            )
+        assert reply.rows and reply.rows[0]["algorithm"] == "global-lru"
+
+    def test_unknown_trace_is_not_found(self, tmp_path):
+        with Session(registry=str(tmp_path / "corpus")) as session:
+            with pytest.raises(ServiceError) as exc:
+                session.run(
+                    RunRequest(algorithms=("det-par",), cache_size=16, miss_cost=4, trace="ghost")
+                )
+        assert exc.value.code == "not-found"
+        assert exc.value.status == 404
+
+    def test_bad_trace_text_is_bad_request(self, tmp_path):
+        with Session(registry=str(tmp_path / "corpus")) as session:
+            with pytest.raises(ServiceError) as exc:
+                session.upload_trace(TraceUpload(name="neg", text="-5\n", fmt="address"))
+        assert exc.value.code == "bad-request"
+
+
+def test_open_session_picks_the_right_world():
+    local = open_session(None)
+    assert isinstance(local, Session)
+    remote = open_session("http://127.0.0.1:1/")
+    assert isinstance(remote, HttpSession)
+    assert remote.base_url == "http://127.0.0.1:1"
+
+
+def test_http_session_unreachable_is_a_typed_error():
+    session = HttpSession("http://127.0.0.1:9", timeout=0.5)
+    with pytest.raises(ServiceError) as exc:
+        session.health()
+    assert exc.value.code == "unavailable"
+
+
+def test_experiment_accepts_request_objects_too():
+    with Session() as session:
+        by_name = session.experiment("e1")
+        by_request = session.experiment(ExperimentRequest(name="e1"))
+    assert by_name.rows == by_request.rows

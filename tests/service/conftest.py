@@ -1,0 +1,53 @@
+"""Service test plumbing: a live in-thread server on an ephemeral port."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.obs.runtime import observability
+from repro.service.backend import ServiceBackend, ServiceQuota
+from repro.service.server import ServiceServer
+
+
+class LiveService:
+    """A running backend + HTTP server pair with deterministic teardown."""
+
+    def __init__(self, backend: ServiceBackend) -> None:
+        self.backend = backend
+        self.server = ServiceServer(backend, port=0)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+
+    def start(self) -> "LiveService":
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(self.server.start(), self.loop).result(10)
+        return self
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def stop(self) -> None:
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=5)
+        self.backend.shutdown(timeout=5)
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    """A served backend with cache + registry under tmp_path, metrics on."""
+    with observability(metrics=True):
+        backend = ServiceBackend(
+            jobs=1,
+            cache=True,
+            cache_dir=tmp_path / "cache",
+            registry=str(tmp_path / "corpus"),
+            quota=ServiceQuota(max_queue=64, max_pending_per_client=32),
+        )
+        service = LiveService(backend).start()
+        try:
+            yield service
+        finally:
+            service.stop()

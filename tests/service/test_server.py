@@ -1,0 +1,205 @@
+"""The HTTP frontend end-to-end: routing, typed errors, concurrency,
+byte-identical rows, and SIGTERM-to-resumable-checkpoint semantics."""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.client import (
+    ExperimentRequest,
+    HttpSession,
+    RunRequest,
+    ServiceError,
+    Session,
+    TraceUpload,
+    WorkloadSpec,
+)
+
+WL = WorkloadSpec(p=4, n_requests=120, k=16)
+RUN = RunRequest(algorithms=("det-par",), cache_size=32, miss_cost=8, seeds=(0,), workload=WL)
+
+
+def _raw(url, method="GET", path="/", body=None, headers=None):
+    """A raw HTTP exchange (urllib), returning (status, parsed JSON)."""
+    req = urllib.request.Request(
+        url + path, data=body, method=method, headers=headers or {"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode() or "{}")
+
+
+class TestRoutes:
+    def test_health_and_metrics(self, live_service):
+        session = HttpSession(live_service.url)
+        health = session.health()
+        assert health["status"] == "ok" and health["protocol_version"] == 1
+        assert isinstance(session.metrics().snapshot, dict)
+
+    def test_unknown_routes_are_typed_404s(self, live_service):
+        status, body = _raw(live_service.url, path="/v1/nope")
+        assert status == 404 and body["error"]["code"] == "not-found"
+        status, body = _raw(live_service.url, path="/elsewhere")
+        assert status == 404
+
+    def test_malformed_json_body_is_a_400(self, live_service):
+        status, body = _raw(live_service.url, "POST", "/v1/jobs", b"{not json")
+        assert status == 400 and body["error"]["code"] == "bad-request"
+
+    def test_invalid_request_is_a_400(self, live_service):
+        payload = json.dumps({"type": "run", "algorithms": [], "cache_size": 1, "miss_cost": 1}).encode()
+        status, body = _raw(live_service.url, "POST", "/v1/jobs", payload)
+        assert status == 400 and body["error"]["code"] == "bad-request"
+
+    def test_unknown_job_is_a_404(self, live_service):
+        with pytest.raises(ServiceError) as exc:
+            HttpSession(live_service.url).status("job-404")
+        assert exc.value.code == "not-found"
+
+    def test_implied_type_endpoints(self, live_service):
+        payload = json.dumps({"name": "e1", "scale": "quick", "client": "t"}).encode()
+        status, body = _raw(live_service.url, "POST", "/v1/experiments", payload)
+        assert status == 202 and body["state"] in ("queued", "running")
+        # and the job listing sees it
+        status, listing = _raw(live_service.url, path="/v1/jobs")
+        assert any(j["job_id"] == body["job_id"] for j in listing["jobs"])
+
+    def test_trace_upload_on_jobs_endpoint_is_rejected(self, live_service):
+        up = TraceUpload(name="t", text="1\n2\n").to_dict()
+        status, body = _raw(live_service.url, "POST", "/v1/jobs", json.dumps(up).encode())
+        assert status == 400 and "traces" in body["error"]["message"]
+
+
+class TestEndToEnd:
+    def test_http_rows_equal_in_process_rows(self, live_service):
+        remote = HttpSession(live_service.url, client="t").run(RUN)
+        with Session() as session:
+            local = session.run(RUN)
+        assert json.dumps(list(remote.rows), sort_keys=True) == json.dumps(
+            list(local.rows), sort_keys=True
+        )
+        assert remote.table == local.table
+
+    def test_submit_then_poll(self, live_service):
+        handle = HttpSession(live_service.url, client="t").submit(RUN)
+        reply = handle.result(timeout=120)
+        assert reply.state == "done" and reply.rows
+        assert handle.status().state == "done"
+
+    def test_trace_upload_then_run(self, live_service):
+        session = HttpSession(live_service.url, client="t")
+        rng = np.random.default_rng(1)
+        text = "\n".join(str(int(a)) for a in rng.integers(0, 4096 * 16, size=150)) + "\n"
+        info = session.upload_trace(TraceUpload(name="net", text=text, fmt="address"))
+        assert info.requests == 150
+        reply = session.run(
+            RunRequest(algorithms=("global-lru",), cache_size=16, miss_cost=4, seeds=(0,), trace="net")
+        )
+        assert reply.rows[0]["trace"] == info.digest
+
+    def test_concurrent_clients_identical_rows_and_shared_cache(self, live_service):
+        n_clients = 8
+        replies = [None] * n_clients
+        errors = []
+
+        def one(i):
+            try:
+                replies[i] = HttpSession(live_service.url, client=f"c{i}", timeout=300).run(RUN)
+            except Exception as exc:  # noqa: BLE001 — collected for the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=one, args=(i,)) for i in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        canonical = json.dumps(list(replies[0].rows), sort_keys=True)
+        assert all(json.dumps(list(r.rows), sort_keys=True) == canonical for r in replies)
+        # one computation total: every other client was served by
+        # coalescing (shares the computing job's reply) or by the shared
+        # content-addressed cache (all its cells are hits)
+        for reply in replies:
+            assert reply.cache_hits in (0, reply.cells)
+        metrics = HttpSession(live_service.url).metrics()
+        assert metrics.counter("exec.computed") == replies[0].cells
+
+
+@pytest.mark.slow
+class TestSignalSemantics:
+    """`repro serve` + SIGTERM mid-run leaves a resumable checkpoint."""
+
+    def _start_server(self, cwd, extra=()):
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(Path(__file__).resolve().parents[2] / "src"),
+            PYTHONUNBUFFERED="1",
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--cache-dir", "cache", "--runs-dir", "runs", "--run-id", "svc-test", *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env, cwd=cwd,
+        )
+        line = proc.stdout.readline()
+        match = re.search(r"listening on (http://\S+)", line)
+        assert match, f"no ready line, got {line!r}"
+        return proc, match.group(1)
+
+    def test_sigterm_mid_run_checkpoints_then_restart_serves_from_cache(self, tmp_path):
+        # ~7s of compute on one worker: long enough that SIGTERM lands
+        # mid-run, short enough for CI
+        big = RunRequest(
+            algorithms=("det-par", "rand-par"),
+            cache_size=64,
+            miss_cost=8,
+            seeds=(0, 1, 2, 3, 4, 5),
+            workload=WorkloadSpec(p=8, n_requests=30000, k=32),
+            client="sig",
+        )
+        proc, url = self._start_server(tmp_path, extra=("--drain-timeout", "0.2"))
+        try:
+            handle = HttpSession(url, client="sig").submit(big)
+            deadline = time.time() + 30
+            while time.time() < deadline and handle.status().state == "queued":
+                time.sleep(0.05)
+            time.sleep(1.2)  # let some cells finish and hit the journal
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert rc == 130, proc.stdout.read()
+        manifest = json.loads((tmp_path / "runs" / "svc-test" / "manifest.json").read_text())
+        assert manifest["status"] == "interrupted"
+        journal = tmp_path / "runs" / "svc-test" / "units.jsonl"
+        journaled = len(journal.read_text().splitlines()) if journal.exists() else 0
+
+        # restart on the same cache: the journaled cells come back as hits
+        proc2, url2 = self._start_server(tmp_path, extra=("--no-checkpoint",))
+        try:
+            reply = HttpSession(url2, client="sig", timeout=300).run(big)
+            assert reply.rows
+            assert reply.cache_hits >= journaled
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            proc2.wait(timeout=60)
+
+    def test_idle_sigterm_exits_zero_and_completes_manifest(self, tmp_path):
+        proc, url = self._start_server(tmp_path)
+        assert HttpSession(url).health()["status"] == "ok"
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0
+        manifest = json.loads((tmp_path / "runs" / "svc-test" / "manifest.json").read_text())
+        assert manifest["status"] == "complete"

@@ -25,6 +25,8 @@ PACKAGES = [
     "repro.analysis",
     "repro.exec",
     "repro.obs",
+    "repro.client",
+    "repro.service",
 ]
 
 OUT = Path(__file__).resolve().parent.parent / "docs" / "API.md"
@@ -242,6 +244,58 @@ byte-identical metrics snapshots and canonical traces:
   (see EXPERIMENTS.md for a worked example).  In code, wrap anything in
   `with observability(metrics=True, trace=True) as scope:` and read
   `scope.metrics_snapshot()` / `scope.tracer`.
+
+## Service & Session API
+
+`repro.client` + `repro.service` turn the batch runner into a
+long-running, multi-tenant system: one typed request/reply API, spoken
+in-process or over HTTP, against one shared engine.
+
+- **One facade over every entry point.** `Session` consolidates the
+  historical surfaces — `run_experiment`, `sweep_p`, `repro run
+  --trace`, named experiments, raw `ExecutionEngine.run(units)` — behind
+  four methods: `run(RunRequest)`, `experiment(name_or_request)`,
+  `sweep(SweepRequest)`, `submit_units([...])` (plus
+  `upload_trace` / `metrics`).  The facade *delegates* to the historical
+  code paths rather than forking them, so its rows are byte-identical to
+  the legacy API's, and every pre-existing signature keeps working
+  (deprecated positional forms still go through their
+  `DeprecationWarning` shims; `tests/client/test_legacy_api.py` pins
+  both).  Row `schema_version` is unchanged: no row field changed.
+- **Shared protocol dataclasses.** Requests (`RunRequest`,
+  `ExperimentRequest`, `SweepRequest`, `TraceUpload`) and replies
+  (`RunReply`, `JobStatus`, `TraceReply`, `MetricsReply`) are frozen
+  dataclasses used *verbatim* by the in-process `Session`, the HTTP
+  `HttpSession`, and the server — `to_dict()` / `request_from_dict`
+  carry a `type` tag plus `PROTOCOL_VERSION`, and mixed-version pairs
+  fail loudly.  `WorkloadSpec(p, n_requests, k, kind, workload_seed)`
+  describes generated workloads by recipe with `sweep_p`'s exact
+  seeding, so client and server construct byte-identical sequences and
+  share cache keys.  `open_session(url_or_none)` picks the right world.
+- **The service.** `repro serve` boots a handcrafted stdlib-asyncio
+  HTTP/1.1 frontend (`repro.service.server`, no third-party deps) over a
+  `ServiceBackend`: a bounded admission queue (typed `queue-full` → 503),
+  per-client live-job quotas (`quota-exceeded` → 429), request
+  coalescing (identical in-flight requests share one job; the content
+  key excludes client identity), and one worker draining jobs through
+  the shared `ExecutionEngine` — cells inside a job still fan out over
+  the engine's process pool, and the content-addressed cache serves
+  identical cells across clients.  Errors travel as typed
+  `ServiceError(code, message, status)` on both sides of the wire.
+  SIGTERM mid-run marks the checkpoint manifest `interrupted` and exits
+  130; a restarted server on the same `--cache-dir` serves the journaled
+  cells from cache (PR 2 semantics, now network-visible).
+- **Endpoints.** `GET /v1/health`, `GET /v1/metrics` (deterministic
+  `repro.obs` snapshot), `GET /v1/jobs[/<id>][?wait=s]` (poll or
+  long-poll), `POST /v1/jobs|runs|experiments|sweeps[?wait=1]`,
+  `POST /v1/traces` (the `repro.traces` import path over the wire).
+- **Clients.** `repro submit <exp> --url ...` / `repro submit --trace
+  ... --url ...` render tables and `--csv` rows byte-identical to the
+  local CLI.  `python -m repro.service.loadgen --clients N` drives a
+  server with concurrent clients (duplicate-cell, unique-cell, and
+  experiment scenarios) and reports p50/p99 latency, throughput, and the
+  cross-client cache-hit rate — committed per-PR as `BENCH_service.json`
+  next to `BENCH_kernel.json`.
 """
 
 
