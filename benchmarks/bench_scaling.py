@@ -1,33 +1,87 @@
-"""Scaling benchmarks: simulator cost as p grows.
+"""Scaling benchmarks: simulator cost as p grows, with a diffable report.
 
 Guards the simulators' practical complexity: DET-PAR's event loop and
 RAND-PAR's chunk loop should scale near-linearly in total requests for
 fixed per-processor work (each box serves Θ(height) requests and the
 number of concurrent boxes is bounded by the capacity ledger).
+
+Timings are best-of-``ROUNDS`` with rounds interleaved across (algo, p)
+configurations (the same drift-cancelling idiom as bench_kernel), and
+the per-request cost curve plus a linearity factor — the ratio of the
+largest p's per-request cost to the smallest's — is written to
+``benchmarks/out/BENCH_scaling.json`` **and** to the repo-root
+``BENCH_scaling.json``, which is committed per-PR (ROADMAP item 2c) so
+the scaling trajectory is diffable in review.
 """
 
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
 import numpy as np
-import pytest
 
 from repro.core import DetPar, RandPar
 from repro.workloads import make_parallel_workload
 
-
-@pytest.mark.parametrize("p", [4, 16, 64])
-def bench_det_par_scaling(benchmark, p):
-    wl = make_parallel_workload(p=p, n_requests=200, k=4 * p, rng=np.random.default_rng(p), kind="multiscale")
-
-    def run():
-        return DetPar(8 * p, 16).run(wl).makespan
-
-    assert benchmark(run) > 0
+ROUNDS = 3
+PS = (4, 16, 64)
+N_REQUESTS = 200
 
 
-@pytest.mark.parametrize("p", [4, 16, 64])
-def bench_rand_par_scaling(benchmark, p):
-    wl = make_parallel_workload(p=p, n_requests=200, k=4 * p, rng=np.random.default_rng(p), kind="multiscale")
+def _workload(p):
+    return make_parallel_workload(
+        p=p, n_requests=N_REQUESTS, k=4 * p, rng=np.random.default_rng(p), kind="multiscale"
+    )
 
-    def run():
-        return RandPar(8 * p, 16, np.random.default_rng(0)).run(wl).makespan
 
-    assert benchmark(run) > 0
+def _configs():
+    cells = []
+    for p in PS:
+        wl = _workload(p)
+        cells.append(("det-par", p, wl, lambda wl=wl, p=p: DetPar(8 * p, 16).run(wl).makespan))
+        cells.append(
+            (
+                "rand-par",
+                p,
+                wl,
+                lambda wl=wl, p=p: RandPar(8 * p, 16, np.random.default_rng(0)).run(wl).makespan,
+            )
+        )
+    return cells
+
+
+def bench_simulator_scaling(benchmark, out_dir):
+    cells = _configs()
+    for *_, fn in cells:
+        fn()  # warm imports and allocator out of the measurement
+    best = [float("inf")] * len(cells)
+    for _ in range(ROUNDS):
+        for i, (*_, fn) in enumerate(cells):
+            t0 = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - t0)
+    benchmark.pedantic(cells[0][3], rounds=1, iterations=1)
+
+    report = {"rounds": ROUNDS, "n_requests": N_REQUESTS, "algorithms": {}}
+    for (algo, p, wl, _), seconds in zip(cells, best):
+        per_request = seconds / wl.total_requests
+        report["algorithms"].setdefault(algo, {})[f"p{p}"] = {
+            "total_requests": wl.total_requests,
+            "best_s": seconds,
+            "us_per_request": per_request * 1e6,
+        }
+    for algo, rows in report["algorithms"].items():
+        curve = [rows[f"p{p}"]["us_per_request"] for p in PS]
+        # near-linear scaling keeps per-request cost roughly flat in p
+        rows["linearity_factor"] = curve[-1] / curve[0]
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(report, indent=2) + "\n"
+    (out_dir / "BENCH_scaling.json").write_text(payload)
+    # the committed, diffable copy (benchmarks/out/ is gitignored)
+    (Path(__file__).resolve().parents[1] / "BENCH_scaling.json").write_text(payload)
+
+    for algo, rows in report["algorithms"].items():
+        assert rows["linearity_factor"] > 0

@@ -7,15 +7,67 @@ scheduler built on a *greedily green* black box (impact-frugal per
 processor) falls behind the impact-wasteful Lemma-8 OPT schedule by a
 factor that grows with p like log p / log log p.
 
+When the repo's committed adversary corpus (``corpus/``, grown by
+``repro hunt``) is present, the example also replays its hardest
+searched det-par instances — which beat these hand-built families by a
+wide margin — and falls back silently to the construction alone when it
+is not.
+
 Run:  python examples/adversarial_lower_bound.py
 """
 
 import math
+from pathlib import Path
 
 import numpy as np
 
 from repro import BlackBoxPar, DetPar, build_adversarial_instance, lemma8_opt_makespan
 from repro.analysis import fit_growth, render_table
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus"
+
+
+def searched_instances() -> None:
+    """Replay the hardest committed det-par instances, if the corpus exists."""
+    if not (CORPUS_DIR / "catalog.json").exists():
+        print("\n(no committed corpus at corpus/ — run `repro hunt` to grow one)")
+        return
+    from repro.search.corpus import corpus_entries
+    from repro.search.scorers import evaluate_adversary_params, candidate_unit
+    from repro.traces.registry import TraceRegistry
+
+    entries = corpus_entries(TraceRegistry(CORPUS_DIR), "det-par")
+    if not entries:
+        print("\n(corpus/ holds no det-par instances yet)")
+        return
+    rows = []
+    for entry in sorted(entries, key=lambda e: -e["ratio"])[:3]:
+        recipe = entry["recipe"]
+        unit = candidate_unit(
+            recipe["family"],
+            recipe["config"],
+            "det-par",
+            workload_seed=recipe["workload_seed"],
+            seeds=tuple(recipe["seeds"]),
+            xi=recipe["xi"],
+        )
+        value = evaluate_adversary_params(unit.params)
+        rows.append(
+            {
+                "instance": entry["name"],
+                "family": recipe["family"],
+                "p": value["p"],
+                "recorded ratio": round(entry["ratio"], 3),
+                "measured ratio": round(value["ratio"], 3),
+            }
+        )
+    print()
+    print(render_table(rows, title="Hardest searched det-par instances (corpus/)"))
+    print(
+        "The closed-loop search (`repro hunt`) finds instances far past the\n"
+        "hand-built Theorem 4 families; measured == recorded is the same\n"
+        "byte-identical replay CI gates on."
+    )
 
 
 def main() -> None:
@@ -48,6 +100,7 @@ def main() -> None:
         "minimal impact must crawl through the prefixes with minimum boxes,\n"
         "spreading the suffixes over ~log p eras instead of ~log log p."
     )
+    searched_instances()
 
 
 if __name__ == "__main__":

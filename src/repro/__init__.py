@@ -20,7 +20,12 @@ The package implements the paper's algorithms and everything they stand on:
   :mod:`repro.exec`);
 * an observability layer (:mod:`repro.obs`): a deterministic metrics
   registry and Chrome-trace span tracing, surfaced as ``--metrics``,
-  ``--trace-events``, and ``repro profile <experiment>``.
+  ``--trace-events``, and ``repro profile <experiment>``;
+* a closed-loop adversary search (:mod:`repro.search`, ``repro hunt``):
+  propose → execute → score → refine over parameterized workload
+  families (:mod:`repro.workloads.families`), committing record-beating
+  hard instances to the trace registry as a CI-replayed regression
+  corpus (``hard/<algo>/<digest>``).
 
 The stable experiment-runner surface is :class:`Session` (in-process)
 and :class:`HttpSession` (against ``repro serve``): one typed
@@ -96,10 +101,14 @@ from .parallel import (
     register_algorithm,
     summarize,
 )
+from .search import AdversarySearch, HuntConfig, hand_built_baseline, replay_corpus
 from .workloads import (
     AdversarialInstance,
     ParallelWorkload,
+    WorkloadFamily,
     build_adversarial_instance,
+    build_candidate,
+    family_names,
     lemma8_opt_makespan,
     make_parallel_workload,
 )
@@ -164,8 +173,15 @@ __all__ = [
     "observability",
     "AdversarialInstance",
     "ParallelWorkload",
+    "WorkloadFamily",
     "build_adversarial_instance",
+    "build_candidate",
+    "family_names",
     "lemma8_opt_makespan",
     "make_parallel_workload",
+    "AdversarySearch",
+    "HuntConfig",
+    "hand_built_baseline",
+    "replay_corpus",
     "__version__",
 ]

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import signal
 import sys
 import time
@@ -645,6 +646,208 @@ def _run_trace_command(argv: List[str]) -> int:
 
 
 # --------------------------------------------------------------------- #
+# adversary search: repro hunt / hunt resume / hunt corpus
+# --------------------------------------------------------------------- #
+def _add_hunt_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Engine/observability flags shared by ``hunt`` start and resume."""
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    parser.add_argument("--cache-dir", type=Path, default=None, help="result-cache root")
+    parser.add_argument("--registry", type=Path, default=None, help="trace-corpus root")
+    parser.add_argument("--runs-dir", type=Path, default=None, help="checkpoint root (default .repro_runs)")
+    parser.add_argument(
+        "--metrics", type=Path, default=None, metavar="JSON",
+        help="collect search.* metrics and write the snapshot here",
+    )
+    parser.add_argument(
+        "--trace-events", type=Path, default=None, metavar="JSON",
+        help="collect span events and write a Chrome-trace file here",
+    )
+
+
+def build_hunt_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro hunt``: start a fresh adversary search."""
+    from .search.scorers import SEARCH_ALGORITHMS
+
+    parser = argparse.ArgumentParser(
+        prog="repro hunt",
+        description=(
+            "Closed-loop adversary search: propose -> execute -> score -> refine "
+            "over the registered workload families; record-beating instances land "
+            "in the trace registry as hard/<algo>/<digest> (see repro.search)."
+        ),
+    )
+    parser.add_argument("--rounds", type=int, default=5, help="search rounds (default 5)")
+    parser.add_argument("--scale", choices=("quick", "full"), default="quick")
+    parser.add_argument("--seed", type=int, default=0, help="hunt seed (the whole trajectory)")
+    parser.add_argument("--population", type=int, default=4, help="elites kept per algorithm")
+    parser.add_argument("--fresh", type=int, default=2, help="random exploration candidates per round")
+    parser.add_argument("--eval-seeds", type=int, default=3, help="seeds per randomized evaluation")
+    parser.add_argument("--xi", type=int, default=2, help="resource augmentation factor (default 2)")
+    parser.add_argument("--commit-top", type=int, default=3, help="max corpus commits per algo per round")
+    parser.add_argument(
+        "--algorithms", default=",".join(SEARCH_ALGORITHMS),
+        help=f"comma-separated objectives (default {','.join(SEARCH_ALGORITHMS)})",
+    )
+    parser.add_argument("--families", default=None, help="comma-separated family names (default all)")
+    parser.add_argument("--run-id", default=None, help="name the hunt checkpoint explicitly")
+    _add_hunt_engine_options(parser)
+    return parser
+
+
+def build_hunt_resume_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro hunt resume``: continue an interrupted hunt."""
+    parser = argparse.ArgumentParser(
+        prog="repro hunt resume",
+        description="Continue an interrupted hunt to its configured final round.",
+    )
+    parser.add_argument("run_id", help="hunt run id (see repro runs)")
+    _add_hunt_engine_options(parser)
+    return parser
+
+
+def build_hunt_corpus_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro hunt corpus``: list or replay the hard corpus."""
+    parser = argparse.ArgumentParser(
+        prog="repro hunt corpus",
+        description=(
+            "List the committed hard-instance corpus; with --replay, rebuild every "
+            "instance from its recipe and demand byte-exact digests and ratios."
+        ),
+    )
+    parser.add_argument("--algorithm", default=None, help="filter to one objective")
+    parser.add_argument("--replay", action="store_true", help="re-measure and gate on recorded ratios")
+    _add_hunt_engine_options(parser)
+    return parser
+
+
+def _drive_hunt(search, args) -> int:
+    """Run (or resume) a hunt under the signal guard; 130 on interrupt."""
+    if args.metrics is not None or args.trace_events is not None:
+        obs_scope = observability(
+            metrics=args.metrics is not None,
+            trace=args.trace_events is not None,
+            metrics_json=args.metrics,
+            trace_json=args.trace_events,
+        )
+    else:
+        obs_scope = contextlib.nullcontext()
+    rounds = search.config.rounds
+
+    def progress(record):
+        best = "  ".join(f"{a}={r:.3f}" for a, r in sorted(record["best"].items()))
+        print(
+            f"round {record['round'] + 1}/{rounds}: evaluated {record['evaluated']}, "
+            f"committed {len(record['new_commits'])}, best {best}"
+        )
+
+    t0 = time.time()
+    try:
+        with _SignalGuard(), obs_scope:
+            with execution(
+                jobs=args.jobs,
+                cache=not args.no_cache,
+                cache_dir=args.cache_dir,
+                checkpoint=search.checkpoint,
+            ):
+                state = search.run(progress=progress)
+    except KeyboardInterrupt:
+        search.checkpoint.mark_status("interrupted")
+        done = len(search.checkpoint.manifest.completed)
+        print(
+            f"\ninterrupted — {done}/{rounds} rounds complete; "
+            f"resume with: repro hunt resume {search.checkpoint.manifest.run_id}",
+            file=sys.stderr,
+        )
+        return 130
+    print(f"\nhunt {search.checkpoint.manifest.run_id} complete in {time.time() - t0:.1f}s")
+    for algo in search.config.algorithms:
+        base = state.baseline[algo]["ratio"]
+        rec = state.record[algo]
+        print(
+            f"  {algo}: hand-built baseline {base:.3f} -> record {rec['ratio']:.3f} "
+            f"({rec['family']}, {len([c for c in state.committed if c['algorithm'] == algo])} committed)"
+        )
+    print(f"  corpus: {len(state.committed)} commits under hard/ in {search.registry.root}")
+    return 0
+
+
+def _hunt_command(argv: List[str]) -> int:
+    """Dispatch ``repro hunt [resume|corpus] ...``."""
+    from .search.loop import AdversarySearch, HuntConfig
+    from .traces import TraceRegistry
+
+    if argv and argv[0] == "corpus":
+        from .search.corpus import corpus_entries, replay_corpus
+
+        args = build_hunt_corpus_parser().parse_args(argv[1:])
+        registry = TraceRegistry(args.registry)
+        if not args.replay:
+            entries = corpus_entries(registry, args.algorithm)
+            if not entries:
+                print(f"no hard instances under {registry.root}")
+                return 0
+            for e in entries:
+                print(
+                    f"{e['name']}  ratio={e['ratio']:.3f}  family={e['family']}  "
+                    f"p={e.get('p', '?')}  requests={e.get('requests', '?')}"
+                )
+            return 0
+        with execution(jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir):
+            report = replay_corpus(registry, args.algorithm)
+        if not report:
+            print(f"no hard instances under {registry.root}")
+            return 0
+        failed = [r for r in report if not r["ok"]]
+        for r in report:
+            status = "ok" if r["ok"] else ("DIGEST-DRIFT" if not r["digest_ok"] else "RATIO-DRIFT")
+            print(f"{r['name']}  recorded={r['recorded']:.6g}  measured={r['measured']:.6g}  {status}")
+        print(f"{len(report) - len(failed)}/{len(report)} instances replay byte-identically")
+        return 1 if failed else 0
+
+    if argv and argv[0] == "resume":
+        args = build_hunt_resume_parser().parse_args(argv[1:])
+        try:
+            search = AdversarySearch.resume(
+                args.run_id, runs_root=args.runs_dir, registry=TraceRegistry(args.registry)
+            )
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"repro hunt resume: {exc}", file=sys.stderr)
+            return 2
+        return _drive_hunt(search, args)
+
+    args = build_hunt_parser().parse_args(argv)
+    if args.jobs < 1 or args.rounds < 1 or args.eval_seeds < 1:
+        print("repro hunt: --jobs, --rounds, and --eval-seeds must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        config = HuntConfig(
+            seed=args.seed,
+            rounds=args.rounds,
+            scale=args.scale,
+            population=args.population,
+            fresh=args.fresh,
+            eval_seeds=args.eval_seeds,
+            xi=args.xi,
+            commit_top=args.commit_top,
+            algorithms=tuple(a.strip() for a in args.algorithms.split(",") if a.strip()),
+            families=tuple(f.strip() for f in args.families.split(",") if f.strip())
+            if args.families
+            else (),
+        )
+    except (ValueError, KeyError) as exc:
+        print(f"repro hunt: {exc}", file=sys.stderr)
+        return 2
+    search = AdversarySearch.start(
+        config,
+        runs_root=args.runs_dir,
+        run_id=args.run_id,
+        registry=TraceRegistry(args.registry),
+    )
+    return _drive_hunt(search, args)
+
+
+# --------------------------------------------------------------------- #
 # service commands: repro serve, repro submit
 # --------------------------------------------------------------------- #
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -791,13 +994,27 @@ def _submit_command(argv: List[str]) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     raw = list(argv) if argv is not None else sys.argv[1:]
-    # `trace`, `run`, `serve`, and `submit` take their own option sets, so
-    # they dispatch to dedicated parsers before the experiment parser sees
-    # the argv.  `repro run e1 ...` is accepted as a synonym for
+    try:
+        return _dispatch(raw)
+    except BrokenPipeError:
+        # a downstream pager/head closed the pipe mid-listing; exit quietly
+        # like cat(1), parking stdout on devnull so interpreter shutdown
+        # does not raise a second time flushing the dead descriptor
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _dispatch(raw: List[str]) -> int:
+    # `trace`, `hunt`, `run`, `serve`, and `submit` take their own option
+    # sets, so they dispatch to dedicated parsers before the experiment
+    # parser sees the argv.  `repro run e1 ...` is accepted as a synonym for
     # `repro e1 ...` (the bare `run` form is reserved for trace-corpus
     # runs).
     if raw and raw[0] == "trace":
         return _trace_command(raw[1:])
+    if raw and raw[0] == "hunt":
+        return _hunt_command(raw[1:])
     if raw and raw[0] == "serve":
         return _serve_command(raw[1:])
     if raw and raw[0] == "submit":

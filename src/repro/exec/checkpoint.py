@@ -197,5 +197,6 @@ def list_runs(root: Optional[os.PathLike] = None) -> List[str]:
     if not base.exists():
         return []
     runs = [p.parent for p in base.glob("*/manifest.json")]
-    runs.sort(key=lambda p: p.stat().st_mtime)
+    # name as tie-break: equal mtimes (coarse filesystems) stay stable
+    runs.sort(key=lambda p: (p.stat().st_mtime, p.name))
     return [p.name for p in runs]

@@ -175,6 +175,21 @@ def _det_green(params: Mapping[str, Any]) -> CellOutcome:
     return CellOutcome(value=impact, sim_steps=len(seq), duration_s=time.perf_counter() - t0)
 
 
+def _adversary_eval(params: Mapping[str, Any]) -> CellOutcome:
+    """Score one adversary-search candidate under one algorithm.
+
+    The workload is rebuilt deterministically from scalar parameters
+    inside the executor, so the unit's cache key stays tiny and a hunt
+    resumes from the result cache without re-simulating anything.
+    """
+    from ..search.scorers import evaluate_adversary_params
+
+    t0 = time.perf_counter()
+    result = evaluate_adversary_params(params)
+    steps = int(result["requests"]) * len(result["per_seed"])
+    return CellOutcome(value=result, sim_steps=steps, duration_s=time.perf_counter() - t0)
+
+
 def _green_opt(params: Mapping[str, Any]) -> CellOutcome:
     """Offline-optimal box-profile impact for ``seq`` (the E1/E8/E9 OPT)."""
     from ..core.box import HeightLattice
@@ -196,6 +211,7 @@ UNIT_EXECUTORS: Dict[str, Callable[[Mapping[str, Any]], CellOutcome]] = {
     "rand-green": _rand_green,
     "det-green": _det_green,
     "green-opt": _green_opt,
+    "adversary-eval": _adversary_eval,
 }
 
 

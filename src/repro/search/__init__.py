@@ -1,0 +1,53 @@
+"""Closed-loop adversary search: hunt for hard instances automatically.
+
+ROADMAP item 5.  The paper's lower bound is witnessed in this repo by
+hand-built §4 instances; this package *searches* for hard instances
+instead: a propose → execute → score → refine loop over the registered
+:mod:`repro.workloads.families` parameter spaces, scored by measured
+competitive ratio against the certified offline baselines, steered
+toward the worst cases found.  Record-beating instances are committed
+to the content-addressed trace registry under ``hard/<algo>/<digest>``
+and replayed by CI as a regression corpus.
+
+Layers
+------
+:mod:`.scorers`
+    Candidate evaluation as cacheable ``adversary-eval`` work units.
+:mod:`.proposers`
+    Mutation, crossover, and coordinate-descent probes over family
+    parameter spaces.
+:mod:`.corpus`
+    The ``hard/`` registry namespace: commit and byte-exact replay.
+:mod:`.loop`
+    The search loop itself, checkpointed through the run manifest
+    machinery so hunts survive SIGINT and resume deterministically.
+"""
+
+from .corpus import corpus_entries, corpus_name, replay_corpus
+from .loop import AdversarySearch, HuntConfig, SearchState
+from .proposers import coordinate_probes, crossover, mutate, random_config
+from .scorers import (
+    SEARCH_ALGORITHMS,
+    candidate_unit,
+    evaluate_adversary_params,
+    hand_built_baseline,
+    hand_built_grid,
+)
+
+__all__ = [
+    "AdversarySearch",
+    "HuntConfig",
+    "SearchState",
+    "SEARCH_ALGORITHMS",
+    "candidate_unit",
+    "evaluate_adversary_params",
+    "hand_built_baseline",
+    "hand_built_grid",
+    "random_config",
+    "mutate",
+    "crossover",
+    "coordinate_probes",
+    "corpus_name",
+    "corpus_entries",
+    "replay_corpus",
+]

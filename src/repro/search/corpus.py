@@ -1,0 +1,176 @@
+"""The hard-instance corpus: the ``hard/`` namespace of the trace registry.
+
+Every record-beating candidate the search finds is committed as
+``hard/<algorithm>/<digest12>`` — content addressed, so re-finding the
+same instance is a no-op — with the full evaluation recipe (family,
+config, seeds, xi, measured ratio) in the catalog metadata, keyed by
+algorithm since one workload may be hard for several.  That recipe
+is what makes the corpus a *regression gate*: :func:`replay_corpus`
+rebuilds each instance from scalars, checks the rebuilt bytes still hash
+to the committed digest, re-measures the ratio through the same cached
+work-unit path, and demands exact equality with the recorded value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..traces.registry import TraceRegistry
+from ..traces.store import content_digest_of
+from ..workloads.families import build_candidate
+from .scorers import candidate_unit
+
+__all__ = [
+    "CORPUS_PREFIX",
+    "corpus_name",
+    "commit_hard_instance",
+    "corpus_entries",
+    "replay_corpus",
+]
+
+CORPUS_PREFIX = "hard/"
+
+
+def corpus_name(algorithm: str, digest: str) -> str:
+    """Registry name for a hard instance: ``hard/<algorithm>/<digest12>``."""
+    return f"{CORPUS_PREFIX}{algorithm}/{digest[:12]}"
+
+
+def commit_hard_instance(
+    registry: TraceRegistry,
+    *,
+    algorithm: str,
+    family: str,
+    config: Mapping[str, Any],
+    workload_seed: int,
+    seeds: tuple,
+    xi: int,
+    ratio: float,
+    scale: str,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Serialize one record-beating candidate into the registry.
+
+    The workload is rebuilt from its scalar recipe (the only authority),
+    so the committed bytes are exactly what any replay will rebuild.
+    Returns the catalog entry summary (name, digest, ratio).
+    """
+    built = build_candidate(family, config, workload_seed)
+    digest = content_digest_of(built.workload.sequences)
+    name = corpus_name(algorithm, digest)
+    recipe = {
+        "algorithm": algorithm,
+        "family": family,
+        "config": dict(config),
+        "workload_seed": int(workload_seed),
+        "seeds": [int(s) for s in seeds],
+        "xi": int(xi),
+        "ratio": float(ratio),
+        "scale": scale,
+        **(dict(extra) if extra else {}),
+    }
+    # The same workload bytes can beat the record for several algorithms,
+    # so recipes are keyed by algorithm against the shared digest.  Read
+    # any recipes already in the catalog first: registration resets the
+    # catalog meta to the (first-written, immutable) store file's copy,
+    # so the full merged map must be re-annotated after every add.
+    prior: Dict[str, Any] = {}
+    for row in registry.ls(prefix=CORPUS_PREFIX):
+        if row["digest"] == digest:
+            prior = dict((row.get("meta") or {}).get("hard_instance") or {})
+            break
+    recipes = {**prior, algorithm: recipe}
+    store = registry.add_workload(
+        built.workload, name=name, meta={"hard_instance": recipes}
+    )
+    if store.content_digest != digest:
+        raise RuntimeError(
+            f"corpus commit digest drift: computed {digest[:12]} but stored "
+            f"{store.content_digest[:12]} for {name}"
+        )
+    registry.annotate(digest, {"hard_instance": recipes})
+    return {"name": name, "digest": digest, "algorithm": algorithm, "ratio": float(ratio)}
+
+
+def corpus_entries(
+    registry: TraceRegistry, algorithm: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """The committed hard instances (name-sorted), with their recipes."""
+    entries = []
+    for row in registry.ls(prefix=CORPUS_PREFIX):
+        parts = row["name"].split("/")
+        if len(parts) != 3:
+            continue
+        name_algo = parts[1]
+        if algorithm is not None and name_algo != algorithm:
+            continue
+        recipes = (row.get("meta") or {}).get("hard_instance") or {}
+        recipe = recipes.get(name_algo)
+        if not recipe:
+            continue
+        entries.append(
+            {
+                "name": row["name"],
+                "digest": row["digest"],
+                "p": row.get("p"),
+                "requests": row.get("requests"),
+                **{k: recipe[k] for k in ("algorithm", "family", "ratio")},
+                "recipe": dict(recipe),
+            }
+        )
+    return entries
+
+
+def replay_corpus(
+    registry: TraceRegistry,
+    algorithm: Optional[str] = None,
+    engine=None,
+) -> List[Dict[str, Any]]:
+    """Re-measure every committed hard instance; demand exact agreement.
+
+    Each report row carries three checks: ``digest_ok`` (the scalar
+    recipe still rebuilds the committed bytes), ``ratio_ok`` (the
+    re-measured ratio equals the recorded one, float-exact), and their
+    conjunction ``ok``.  Any ``False`` means an algorithm, generator, or
+    scoring change silently moved a recorded result — the regression
+    this corpus exists to catch.
+    """
+    from ..exec.engine import current_engine
+
+    eng = engine if engine is not None else current_engine()
+    entries = corpus_entries(registry, algorithm)
+    units = []
+    for entry in entries:
+        recipe = entry["recipe"]
+        units.append(
+            candidate_unit(
+                recipe["family"],
+                recipe["config"],
+                recipe["algorithm"],
+                workload_seed=recipe["workload_seed"],
+                seeds=tuple(recipe["seeds"]),
+                xi=recipe["xi"],
+            )
+        )
+    values = eng.run(units) if units else []
+    report = []
+    for entry, value in zip(entries, values):
+        recipe = entry["recipe"]
+        rebuilt = build_candidate(
+            recipe["family"], recipe["config"], recipe["workload_seed"]
+        )
+        digest_ok = content_digest_of(rebuilt.workload.sequences) == entry["digest"]
+        measured = float(value["ratio"]) if isinstance(value, Mapping) else float("nan")
+        ratio_ok = measured == float(recipe["ratio"])
+        report.append(
+            {
+                "name": entry["name"],
+                "algorithm": recipe["algorithm"],
+                "recorded": float(recipe["ratio"]),
+                "measured": measured,
+                "digest_ok": digest_ok,
+                "ratio_ok": ratio_ok,
+                "ok": digest_ok and ratio_ok,
+            }
+        )
+    return report

@@ -1,0 +1,495 @@
+"""The propose → execute → score → refine loop.
+
+A hunt is a fixed number of *rounds*.  Each round derives its RNG from
+``(hunt seed, round index)`` alone, proposes candidates from the current
+per-algorithm elite populations (mutation + crossover), refines the
+record holder with deterministic coordinate probes, adds fresh random
+exploration, evaluates everything through the cached execution engine,
+and commits every candidate that beats the current record to the
+``hard/`` corpus.  State is persisted at round boundaries through the
+run-manifest machinery (``manifest.json`` names the rounds;
+``search_state.json`` carries populations and records), so a SIGINT at
+any point resumes to the byte-identical final state: the interrupted
+round's proposals are a pure function of state already on disk, and the
+result cache replays its evaluations for free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exec.checkpoint import RunCheckpoint, new_run_id
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
+from ..traces.registry import TraceRegistry, default_registry
+from ..workloads.families import family_names, get_family
+from .corpus import commit_hard_instance
+from .proposers import canonical_config, coordinate_probes, crossover, mutate, random_config
+from .scorers import SEARCH_ALGORITHMS, candidate_unit, hand_built_grid
+
+__all__ = ["HuntConfig", "SearchState", "AdversarySearch", "STATE_FILENAME"]
+
+STATE_FILENAME = "search_state.json"
+
+
+@dataclass(frozen=True)
+class HuntConfig:
+    """Everything that determines a hunt's trajectory (and only that).
+
+    Two hunts with equal configs produce identical round records and
+    corpus digests; every field is a scalar or tuple of scalars so the
+    config JSON-roundtrips through the run manifest.
+    """
+
+    seed: int = 0
+    rounds: int = 5
+    scale: str = "quick"
+    population: int = 4
+    fresh: int = 2
+    max_probes: int = 6
+    eval_seeds: int = 3
+    xi: int = 2
+    commit_top: int = 3
+    algorithms: Tuple[str, ...] = SEARCH_ALGORITHMS
+    families: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if self.scale not in ("quick", "full"):
+            raise ValueError(f"scale must be 'quick' or 'full', got {self.scale!r}")
+        unknown = set(self.algorithms) - set(SEARCH_ALGORITHMS)
+        if unknown:
+            raise ValueError(f"unknown algorithms {sorted(unknown)}; known: {SEARCH_ALGORITHMS}")
+        for name in self.families:
+            get_family(name)  # raises with the known names
+
+    def resolved_families(self) -> Tuple[str, ...]:
+        return self.families or family_names()
+
+    def seed_tuple(self) -> Tuple[int, ...]:
+        """Replication seeds for randomized evaluations."""
+        return tuple(range(self.eval_seeds))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "scale": self.scale,
+            "population": self.population,
+            "fresh": self.fresh,
+            "max_probes": self.max_probes,
+            "eval_seeds": self.eval_seeds,
+            "xi": self.xi,
+            "commit_top": self.commit_top,
+            "algorithms": list(self.algorithms),
+            "families": list(self.families),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HuntConfig":
+        return cls(
+            seed=int(data["seed"]),
+            rounds=int(data["rounds"]),
+            scale=str(data["scale"]),
+            population=int(data["population"]),
+            fresh=int(data["fresh"]),
+            max_probes=int(data["max_probes"]),
+            eval_seeds=int(data["eval_seeds"]),
+            xi=int(data["xi"]),
+            commit_top=int(data["commit_top"]),
+            algorithms=tuple(data["algorithms"]),
+            families=tuple(data["families"]),
+        )
+
+
+@dataclass
+class SearchState:
+    """Mutable hunt state, persisted at every round boundary."""
+
+    baseline: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    record: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    population: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
+    rounds: List[Dict[str, Any]] = field(default_factory=list)
+    committed: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "baseline": self.baseline,
+            "record": self.record,
+            "population": self.population,
+            "rounds": self.rounds,
+            "committed": self.committed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchState":
+        return cls(
+            baseline={k: dict(v) for k, v in data.get("baseline", {}).items()},
+            record={k: dict(v) for k, v in data.get("record", {}).items()},
+            population={k: [dict(e) for e in v] for k, v in data.get("population", {}).items()},
+            rounds=[dict(r) for r in data.get("rounds", [])],
+            committed=[dict(c) for c in data.get("committed", [])],
+        )
+
+
+@dataclass(frozen=True)
+class _Proposal:
+    """One candidate queued for evaluation under one set of algorithms."""
+
+    family: str
+    config: Mapping[str, Any]
+    workload_seed: int
+    algorithms: Tuple[str, ...]
+    origin: str  # seed / mutate / crossover / probe / fresh
+
+    def identity(self, algorithm: str) -> Tuple[str, str, int, str]:
+        return (self.family, canonical_config(self.config), self.workload_seed, algorithm)
+
+
+class AdversarySearch:
+    """One hunt: owns the checkpoint, state file, registry, and loop."""
+
+    def __init__(
+        self,
+        config: HuntConfig,
+        checkpoint: RunCheckpoint,
+        registry: Optional[TraceRegistry] = None,
+        engine=None,
+    ) -> None:
+        self.config = config
+        self.checkpoint = checkpoint
+        self.registry = registry if registry is not None else default_registry()
+        self._engine = engine
+        self.state = SearchState()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def start(
+        cls,
+        config: HuntConfig,
+        runs_root: Optional[os.PathLike] = None,
+        run_id: Optional[str] = None,
+        registry: Optional[TraceRegistry] = None,
+        engine=None,
+    ) -> "AdversarySearch":
+        """Create a fresh hunt with one manifest entry per round."""
+        names = [f"round-{r}" for r in range(config.rounds)]
+        ckpt = RunCheckpoint.start(
+            names,
+            {"hunt": config.to_dict()},
+            root=runs_root,
+            run_id=run_id or new_run_id("hunt"),
+        )
+        search = cls(config, ckpt, registry=registry, engine=engine)
+        search.save_state()
+        return search
+
+    @classmethod
+    def resume(
+        cls,
+        run_id: str,
+        runs_root: Optional[os.PathLike] = None,
+        registry: Optional[TraceRegistry] = None,
+        engine=None,
+    ) -> "AdversarySearch":
+        """Reopen an interrupted hunt from its manifest and state file."""
+        ckpt = RunCheckpoint.load(run_id, root=runs_root)
+        if "hunt" not in ckpt.manifest.config:
+            raise ValueError(f"run {run_id!r} is not a hunt (no hunt config in manifest)")
+        config = HuntConfig.from_dict(ckpt.manifest.config["hunt"])
+        search = cls(config, ckpt, registry=registry, engine=engine)
+        state_path = search.state_path
+        if state_path.exists():
+            search.state = SearchState.from_dict(json.loads(state_path.read_text()))
+        return search
+
+    @property
+    def state_path(self) -> Path:
+        return self.checkpoint.run_dir / STATE_FILENAME
+
+    def save_state(self) -> None:
+        """Atomically persist the search state next to the manifest."""
+        self.checkpoint.run_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.checkpoint.run_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(self.state.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.state_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    # evaluation plumbing
+    # ------------------------------------------------------------------ #
+    def _eng(self):
+        if self._engine is not None:
+            return self._engine
+        from ..exec.engine import current_engine
+
+        return current_engine()
+
+    def _evaluate(self, proposals: Sequence[_Proposal]) -> List[Tuple[_Proposal, str, Dict[str, Any]]]:
+        """Run every (proposal, algorithm) pair; skip failed cells."""
+        pairs: List[Tuple[_Proposal, str]] = []
+        units = []
+        for prop in proposals:
+            for algo in prop.algorithms:
+                pairs.append((prop, algo))
+                units.append(
+                    candidate_unit(
+                        prop.family,
+                        prop.config,
+                        algo,
+                        workload_seed=prop.workload_seed,
+                        seeds=self.config.seed_tuple(),
+                        xi=self.config.xi,
+                    )
+                )
+        results = []
+        for (prop, algo), value in zip(pairs, self._eng().run(units)):
+            if isinstance(value, Mapping):
+                results.append((prop, algo, dict(value)))
+                obs_metrics.counter("search.candidates", algorithm=algo).inc()
+            else:
+                obs_metrics.counter("search.failed", algorithm=algo).inc()
+        return results
+
+    def _ensure_baseline(self) -> None:
+        """Measure the hand-built record-to-beat once per hunt (cached)."""
+        if self.state.baseline:
+            return
+        with obs_tracing.span("search.baseline"):
+            grid = hand_built_grid(self.config.scale)
+            proposals = [
+                _Proposal("adversarial", cfg, 0, tuple(self.config.algorithms), "seed")
+                for cfg in grid
+            ]
+            best: Dict[str, Dict[str, Any]] = {}
+            for prop, algo, value in self._evaluate(proposals):
+                ratio = float(value["ratio"])
+                if algo not in best or ratio > best[algo]["ratio"]:
+                    best[algo] = {"ratio": ratio, "config": dict(prop.config)}
+        missing = set(self.config.algorithms) - set(best)
+        if missing:
+            raise RuntimeError(f"baseline evaluation failed for {sorted(missing)}")
+        self.state.baseline = best
+        # the record starts at the hand-built bar: only strictly-harder
+        # instances are ever committed
+        self.state.record = {
+            algo: {
+                "ratio": info["ratio"],
+                "family": "adversarial",
+                "config": dict(info["config"]),
+                "workload_seed": 0,
+            }
+            for algo, info in best.items()
+        }
+        for algo, info in best.items():
+            obs_metrics.gauge("search.best_ratio", algorithm=algo).record_max(info["ratio"])
+
+    # ------------------------------------------------------------------ #
+    # proposal generation
+    # ------------------------------------------------------------------ #
+    def _round_rng(self, round_index: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence(entropy=self.config.seed, spawn_key=(round_index,))
+        )
+
+    def _seed_proposals(self) -> List[_Proposal]:
+        """Round 0: family defaults plus the hand-built adversarial grid."""
+        algos = tuple(self.config.algorithms)
+        proposals = [
+            _Proposal("adversarial", cfg, 0, algos, "seed")
+            for cfg in hand_built_grid(self.config.scale)
+        ]
+        for name in self.config.resolved_families():
+            fam = get_family(name)
+            proposals.append(
+                _Proposal(name, fam.default_config(self.config.scale), 0, algos, "seed")
+            )
+        return proposals
+
+    def _refine_proposals(self, round_index: int, rng: np.random.Generator) -> List[_Proposal]:
+        """Rounds > 0: exploit elites, refine records, explore fresh."""
+        cfg = self.config
+        proposals: List[_Proposal] = []
+        for algo in cfg.algorithms:
+            elites = self.state.population.get(algo, [])[: cfg.population]
+            for elite in elites:
+                mutant = mutate(elite["family"], elite["config"], rng, cfg.scale)
+                proposals.append(
+                    _Proposal(elite["family"], mutant, int(elite["workload_seed"]), (algo,), "mutate")
+                )
+            by_family: Dict[str, List[Dict[str, Any]]] = {}
+            for elite in elites:
+                by_family.setdefault(elite["family"], []).append(elite)
+            for family, members in sorted(by_family.items()):
+                if len(members) >= 2:
+                    child = crossover(family, members[0]["config"], members[1]["config"], rng, cfg.scale)
+                    proposals.append(
+                        _Proposal(family, child, int(members[0]["workload_seed"]), (algo,), "crossover")
+                    )
+            rec = self.state.record.get(algo)
+            if rec:
+                probes = coordinate_probes(rec["family"], rec["config"], cfg.scale)
+                if probes:
+                    start = (round_index * cfg.max_probes) % len(probes)
+                    picked = [probes[(start + i) % len(probes)] for i in range(min(cfg.max_probes, len(probes)))]
+                    for _, probe in picked:
+                        proposals.append(
+                            _Proposal(
+                                rec["family"], probe, int(rec["workload_seed"]), (algo,), "probe"
+                            )
+                        )
+        families = self.config.resolved_families()
+        algos = tuple(cfg.algorithms)
+        for _ in range(cfg.fresh):
+            family = families[int(rng.integers(0, len(families)))]
+            seed = 0 if family == "adversarial" else int(rng.integers(0, 1 << 20))
+            proposals.append(
+                _Proposal(family, random_config(family, rng, cfg.scale), seed, algos, "fresh")
+            )
+        return proposals
+
+    def _proposals(self, round_index: int) -> List[_Proposal]:
+        rng = self._round_rng(round_index)
+        if round_index == 0 or not self.state.population:
+            proposals = self._seed_proposals() + self._refine_proposals(round_index, rng)
+        else:
+            proposals = self._refine_proposals(round_index, rng)
+        # dedupe against this round (by full identity) keeping first
+        seen = set()
+        unique: List[_Proposal] = []
+        for prop in proposals:
+            key = (prop.family, canonical_config(prop.config), prop.workload_seed, prop.algorithms)
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(prop)
+        return unique
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+    def _merge_population(
+        self, algo: str, scored: List[Tuple[_Proposal, Dict[str, Any]]]
+    ) -> None:
+        entries = {  # existing population, keyed for dedup
+            (e["family"], canonical_config(e["config"]), int(e["workload_seed"])): dict(e)
+            for e in self.state.population.get(algo, [])
+        }
+        for prop, value in scored:
+            key = (prop.family, canonical_config(prop.config), prop.workload_seed)
+            entry = {
+                "family": prop.family,
+                "config": dict(prop.config),
+                "workload_seed": prop.workload_seed,
+                "ratio": float(value["ratio"]),
+            }
+            if key not in entries or entry["ratio"] > entries[key]["ratio"]:
+                entries[key] = entry
+        ranked = sorted(
+            entries.values(),
+            key=lambda e: (-e["ratio"], e["family"], canonical_config(e["config"]), e["workload_seed"]),
+        )
+        self.state.population[algo] = ranked[: max(self.config.population, 1)]
+
+    def _run_round(self, round_index: int) -> Dict[str, Any]:
+        with obs_tracing.span("search.round", round=round_index):
+            proposals = self._proposals(round_index)
+            results = self._evaluate(proposals)
+            per_algo: Dict[str, List[Tuple[_Proposal, Dict[str, Any]]]] = {}
+            for prop, algo, value in results:
+                per_algo.setdefault(algo, []).append((prop, value))
+            new_commits: List[str] = []
+            best_ratios: Dict[str, float] = {}
+            for algo in self.config.algorithms:
+                scored = per_algo.get(algo, [])
+                self._merge_population(algo, scored)
+                record = self.state.record.get(algo, {"ratio": float("-inf")})
+                beaters = sorted(
+                    (pair for pair in scored if float(pair[1]["ratio"]) > float(record["ratio"])),
+                    key=lambda pair: (-float(pair[1]["ratio"]), canonical_config(pair[0].config)),
+                )
+                committed_digests = set()
+                for prop, value in beaters:
+                    if len(committed_digests) >= self.config.commit_top:
+                        break
+                    entry = commit_hard_instance(
+                        self.registry,
+                        algorithm=algo,
+                        family=prop.family,
+                        config=prop.config,
+                        workload_seed=prop.workload_seed,
+                        seeds=self.config.seed_tuple(),
+                        xi=self.config.xi,
+                        ratio=float(value["ratio"]),
+                        scale=self.config.scale,
+                        extra={
+                            "hunt_seed": self.config.seed,
+                            "round": round_index,
+                            "origin": prop.origin,
+                            "baseline": self.state.baseline[algo]["ratio"],
+                        },
+                    )
+                    if entry["digest"] in committed_digests:
+                        continue
+                    committed_digests.add(entry["digest"])
+                    new_commits.append(entry["name"])
+                    self.state.committed.append(entry)
+                    obs_metrics.counter("search.commits", algorithm=algo).inc()
+                if beaters:
+                    top_prop, top_value = beaters[0]
+                    self.state.record[algo] = {
+                        "ratio": float(top_value["ratio"]),
+                        "family": top_prop.family,
+                        "config": dict(top_prop.config),
+                        "workload_seed": top_prop.workload_seed,
+                    }
+                best_ratios[algo] = float(self.state.record.get(algo, {}).get("ratio", 0.0))
+                obs_metrics.gauge("search.best_ratio", algorithm=algo).record_max(best_ratios[algo])
+            obs_metrics.counter("search.rounds").inc()
+            return {
+                "round": round_index,
+                "evaluated": len(results),
+                "proposed": len(proposals),
+                "new_commits": new_commits,
+                "best": best_ratios,
+            }
+
+    def run(self, progress=None) -> SearchState:
+        """Execute (or continue) the hunt through its final round.
+
+        ``progress`` is an optional callable receiving each completed
+        round's record dict (the CLI's live log line).  Raises whatever
+        the engine raises — notably ``KeyboardInterrupt``, which leaves
+        the manifest resumable at the last completed round.
+        """
+        self.checkpoint.mark_status("running")
+        self._ensure_baseline()
+        self.save_state()
+        for name in self.checkpoint.manifest.remaining():
+            round_index = int(name.split("-", 1)[1])
+            record = self._run_round(round_index)
+            self.state.rounds.append(record)
+            self.save_state()
+            self.checkpoint.mark_experiment(name)
+            if progress is not None:
+                progress(record)
+        self.checkpoint.mark_status("complete")
+        return self.state

@@ -1,0 +1,98 @@
+"""Candidate proposal: mutation, crossover, and coordinate probes.
+
+All proposal operators work on plain ``(family, config)`` pairs — the
+scalar form the scorers hash — and draw randomness only from explicit
+generators, so a round's proposal set is a pure function of the hunt
+seed and round index (the determinism the resume guarantee rests on).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from ..workloads.families import get_family
+
+__all__ = [
+    "canonical_config",
+    "random_config",
+    "mutate",
+    "crossover",
+    "coordinate_probes",
+]
+
+
+def canonical_config(config: Mapping[str, Any]) -> str:
+    """Deduplication identity: sorted-key JSON of the clipped config."""
+    return json.dumps(dict(config), sort_keys=True)
+
+
+def random_config(family: str, rng: np.random.Generator, scale: str = "quick") -> Dict[str, Any]:
+    """An independent uniform draw from the family's bounded space."""
+    fam = get_family(family)
+    return {p.name: p.sample(rng, scale) for p in fam.params}
+
+
+def mutate(
+    family: str,
+    config: Mapping[str, Any],
+    rng: np.random.Generator,
+    scale: str = "quick",
+) -> Dict[str, Any]:
+    """Perturb ~1 parameter locally (each with probability ``1/n_params``).
+
+    At least one parameter always moves — proposing an exact copy of an
+    elite wastes an evaluation slot (it would be deduplicated anyway).
+    """
+    fam = get_family(family)
+    cfg = fam.clip_config(config, scale)
+    n = len(fam.params)
+    moved = False
+    for p in fam.params:
+        if rng.random() < 1.0 / n:
+            new = p.mutate(cfg[p.name], rng, scale)
+            moved = moved or new != cfg[p.name]
+            cfg[p.name] = new
+    if not moved:
+        p = fam.params[int(rng.integers(0, n))]
+        neighbors = p.neighbors(cfg[p.name], scale)
+        if neighbors:
+            cfg[p.name] = neighbors[int(rng.integers(0, len(neighbors)))]
+    return cfg
+
+
+def crossover(
+    family: str,
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    rng: np.random.Generator,
+    scale: str = "quick",
+) -> Dict[str, Any]:
+    """Uniform crossover of two same-family configs (per-param coin flip)."""
+    fam = get_family(family)
+    ca, cb = fam.clip_config(a, scale), fam.clip_config(b, scale)
+    return {p.name: (ca if rng.random() < 0.5 else cb)[p.name] for p in fam.params}
+
+
+def coordinate_probes(
+    family: str,
+    config: Mapping[str, Any],
+    scale: str = "quick",
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """Deterministic one-axis neighbors of ``config`` (the refiner step).
+
+    Returns ``(param_name, probe_config)`` pairs — every up/down neighbor
+    along every axis, in parameter order — so the loop can climb the best
+    candidate one coordinate at a time without any randomness.
+    """
+    fam = get_family(family)
+    cfg = fam.clip_config(config, scale)
+    probes: List[Tuple[str, Dict[str, Any]]] = []
+    for p in fam.params:
+        for neighbor in p.neighbors(cfg[p.name], scale):
+            probe = dict(cfg)
+            probe[p.name] = neighbor
+            probes.append((p.name, probe))
+    return probes

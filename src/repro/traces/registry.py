@@ -210,16 +210,48 @@ class TraceRegistry:
         """Open a registered trace as a (store-backed) workload."""
         return self.get(ref).workload(mode=mode)
 
-    def ls(self) -> List[Dict[str, Any]]:
-        """Catalog entries, sorted by name: name/digest/p/requests/bytes."""
+    def ls(self, prefix: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Catalog entries, sorted by (name, digest): name/digest/p/requests/bytes.
+
+        The explicit two-level sort keeps listings byte-stable across
+        platforms and insertion orders even if a future catalog allows
+        one name to appear against several digests; ``prefix`` filters
+        to a namespace (e.g. ``hard/`` for the adversary corpus).
+        """
         catalog = self._load_catalog()
+        items = [
+            (name, digest)
+            for name, digest in catalog["names"].items()
+            if prefix is None or name.startswith(prefix)
+        ]
         rows = []
-        for name, digest in sorted(catalog["names"].items()):
+        for name, digest in sorted(items):
             info = dict(catalog["traces"].get(digest, {}))
             info["name"] = name
             info["digest"] = digest
             rows.append(info)
         return rows
+
+    def annotate(self, ref: str, meta: Mapping[str, Any]) -> Dict[str, Any]:
+        """Shallow-merge ``meta`` into a trace's *catalog* metadata.
+
+        The meta embedded in the store file is immutable (it is part of
+        the content-addressed object); the catalog copy is the mutable,
+        listing-facing view.  This is how several labels on one object
+        can each carry their own bookkeeping — e.g. the adversary corpus
+        records one recipe per algorithm against a shared workload.
+        Returns the merged metadata.
+        """
+        digest = self.resolve(ref)
+        catalog = self._load_catalog()
+        info = catalog["traces"].get(digest)
+        if info is None:
+            raise TraceNotFoundError(f"trace {ref!r} has no catalog entry")
+        merged = dict(info.get("meta") or {})
+        merged.update(meta)
+        info["meta"] = merged
+        self._save_catalog(catalog)
+        return merged
 
     def info(self, ref: str) -> Dict[str, Any]:
         """Full header-level detail for one registered trace."""
@@ -268,12 +300,17 @@ class TraceRegistry:
             digest = catalog["names"][name]
         else:
             digest = self.resolve(ref)
-            names = [n for n, d in catalog["names"].items() if d == digest]
+            names = sorted(n for n, d in catalog["names"].items() if d == digest)
             name = names[0] if names else ""
         catalog["names"].pop(name, None)
-        still_referenced = digest in catalog["names"].values()
-        if not still_referenced:
+        survivors = sorted(n for n, d in catalog["names"].items() if d == digest)
+        if not survivors:
             catalog["traces"].pop(digest, None)
+        elif digest in catalog["traces"]:
+            # keep the per-digest display name pointing at a live label
+            # (deterministically: first survivor in sort order)
+            catalog["traces"][digest]["name"] = survivors[0]
+        still_referenced = bool(survivors)
         self._save_catalog(catalog)
         if not still_referenced:
             path = self.object_path(digest)

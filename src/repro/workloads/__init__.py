@@ -1,6 +1,15 @@
 """Workload generation: synthetic patterns, parallel instances, adversarial §4 construction."""
 
 from .adversarial import AdversarialInstance, build_adversarial_instance, lemma8_opt_makespan
+from .families import (
+    FAMILY_REGISTRY,
+    BuiltCandidate,
+    ParamSpec,
+    WorkloadFamily,
+    build_candidate,
+    family_names,
+    get_family,
+)
 from .formats import read_address_trace, read_sequence_text, read_trace_text, write_sequence_text, write_trace_text
 from .generators import (
     WORKLOAD_KINDS,
@@ -23,6 +32,13 @@ __all__ = [
     "AdversarialInstance",
     "build_adversarial_instance",
     "lemma8_opt_makespan",
+    "FAMILY_REGISTRY",
+    "BuiltCandidate",
+    "ParamSpec",
+    "WorkloadFamily",
+    "build_candidate",
+    "family_names",
+    "get_family",
     "WORKLOAD_KINDS",
     "cyclic",
     "make_parallel_workload",

@@ -1,0 +1,369 @@
+"""Parameterized workload families: the adversary search's search space.
+
+A :class:`WorkloadFamily` is a named, bounded parameter space plus a
+deterministic builder — ``(config, workload_seed) -> BuiltCandidate`` —
+so a candidate is fully identified by plain scalars and can be hashed
+into work-unit cache keys, journaled, and rebuilt byte-identically on
+any machine.  The registered families cover the structured instance
+classes the lower-bound literature tunes adversarially:
+
+``adversarial``
+    The §4 / Theorem 4 construction itself (:mod:`.adversarial`), with
+    its scaling knobs (``ell``, ``alpha``, ``suffix_mult``) exposed.
+    The hand-built E7 instances are points of this family, so the
+    search starts from them and climbs.
+``polluted-cycles``
+    Repeaters + polluters — the paper's two primitive patterns — with
+    tunable cycle length, pollution period, and miss cost.
+``random-order``
+    Working-set phases served in (seeded) random order, after the
+    random-order scheduling model of Albers–Janke.
+``biased-random``
+    Zipf-biased random requests with a tunable skew and page-pool size,
+    after Young's adversarially biased random inputs.
+``multiscale``
+    Cycles sweeping every box-height scale (the lattice stressor).
+
+Parameter bounds carry a ``quick`` override so CI-sized hunts stay
+tractable; every stochastic builder derives its randomness from the
+explicit ``workload_seed`` — no hidden state, per DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .generators import (
+    multiscale_cycles,
+    phased_working_sets,
+    polluted_cycle,
+    zipf,
+)
+from .trace import ParallelWorkload
+
+__all__ = [
+    "ParamSpec",
+    "BuiltCandidate",
+    "WorkloadFamily",
+    "FAMILY_REGISTRY",
+    "family_names",
+    "get_family",
+    "build_candidate",
+]
+
+
+def _round_float(v: float) -> float:
+    """Canonical float form: 6 significant digits, JSON-roundtrip stable."""
+    return float(f"{float(v):.6g}")
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One bounded search dimension (int or float, optionally log-scaled).
+
+    ``quick_low``/``quick_high`` shrink the range on the ``quick`` scale
+    so CI hunts never build instances too large to evaluate in seconds.
+    """
+
+    name: str
+    kind: str  # "int" | "float"
+    low: float
+    high: float
+    log: bool = False
+    quick_low: Optional[float] = None
+    quick_high: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("int", "float"):
+            raise ValueError(f"param kind must be 'int' or 'float', got {self.kind!r}")
+        if self.low > self.high:
+            raise ValueError(f"{self.name}: low {self.low} > high {self.high}")
+        if self.log and self.low <= 0:
+            raise ValueError(f"{self.name}: log-scaled params need low > 0")
+
+    def bounds(self, scale: str) -> Tuple[float, float]:
+        """Effective (low, high) for ``scale`` (quick overrides, clipped)."""
+        lo, hi = self.low, self.high
+        if scale == "quick":
+            lo = self.quick_low if self.quick_low is not None else lo
+            hi = self.quick_high if self.quick_high is not None else hi
+        return lo, hi
+
+    def clip(self, value: Any, scale: str) -> Any:
+        """Clamp into bounds and canonicalize the numeric type."""
+        lo, hi = self.bounds(scale)
+        v = min(max(float(value), lo), hi)
+        return int(round(v)) if self.kind == "int" else _round_float(v)
+
+    def sample(self, rng: np.random.Generator, scale: str) -> Any:
+        """Draw uniformly (in log space when ``log``) inside the bounds."""
+        lo, hi = self.bounds(scale)
+        if self.kind == "int":
+            return int(rng.integers(int(lo), int(hi) + 1))
+        if self.log:
+            return _round_float(math.exp(rng.uniform(math.log(lo), math.log(hi))))
+        return _round_float(rng.uniform(lo, hi))
+
+    def mutate(self, value: Any, rng: np.random.Generator, scale: str) -> Any:
+        """A local random step from ``value``, clipped back into bounds."""
+        lo, hi = self.bounds(scale)
+        if self.kind == "int":
+            step = int(rng.integers(1, 3)) * (1 if rng.random() < 0.5 else -1)
+            return self.clip(int(value) + step, scale)
+        if self.log:
+            return self.clip(float(value) * math.exp(rng.normal(0.0, 0.35)), scale)
+        return self.clip(float(value) + rng.normal(0.0, 0.15 * (hi - lo)), scale)
+
+    def neighbors(self, value: Any, scale: str) -> Tuple[Any, ...]:
+        """Deterministic up/down probes for the coordinate-descent refiner."""
+        if self.kind == "int":
+            cands = (self.clip(int(value) - 1, scale), self.clip(int(value) + 1, scale))
+        elif self.log:
+            cands = (self.clip(float(value) / 1.3, scale), self.clip(float(value) * 1.3, scale))
+        else:
+            lo, hi = self.bounds(scale)
+            step = 0.12 * (hi - lo)
+            cands = (self.clip(float(value) - step, scale), self.clip(float(value) + step, scale))
+        return tuple(c for c in cands if c != value)
+
+
+@dataclass(frozen=True)
+class BuiltCandidate:
+    """A realized candidate: the workload plus its evaluation geometry.
+
+    ``k`` is the construction's cache size (the lower-bound side — the
+    algorithms get ``xi * k``), ``miss_cost`` its fault cost ``s``, and
+    ``green_p`` a lattice-compatible processor count (largest power of
+    two ``<= p``) for the green-paging objective.
+    """
+
+    workload: ParallelWorkload
+    k: int
+    miss_cost: int
+    green_p: int
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """A named parameter space plus its deterministic builder."""
+
+    name: str
+    params: Tuple[ParamSpec, ...]
+    builder: Callable[[Mapping[str, Any], int], BuiltCandidate]
+    description: str = ""
+
+    def spec(self, name: str) -> ParamSpec:
+        """The `ParamSpec` named ``name`` (KeyError if unknown)."""
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(f"family {self.name!r} has no parameter {name!r}")
+
+    def default_config(self, scale: str = "quick") -> Dict[str, Any]:
+        """Mid-range starting point (geometric midpoint for log params)."""
+        cfg: Dict[str, Any] = {}
+        for p in self.params:
+            lo, hi = p.bounds(scale)
+            mid = math.sqrt(lo * hi) if p.log else (lo + hi) / 2.0
+            cfg[p.name] = p.clip(mid, scale)
+        return cfg
+
+    def clip_config(self, config: Mapping[str, Any], scale: str) -> Dict[str, Any]:
+        """Canonical, in-bounds form of ``config`` (unknown keys rejected)."""
+        known = {p.name for p in self.params}
+        unknown = set(config) - known
+        if unknown:
+            raise KeyError(f"family {self.name!r}: unknown params {sorted(unknown)}")
+        out = {}
+        for p in self.params:
+            if p.name not in config:
+                raise KeyError(f"family {self.name!r}: missing param {p.name!r}")
+            out[p.name] = p.clip(config[p.name], scale)
+        return out
+
+    def build(self, config: Mapping[str, Any], workload_seed: int = 0) -> BuiltCandidate:
+        """Realize the candidate (deterministic in ``config`` + seed)."""
+        return self.builder(config, int(workload_seed))
+
+
+def _pow2_at_most(n: int) -> int:
+    return 1 << max(0, int(n).bit_length() - 1)
+
+
+def _family_rng(workload_seed: int, salt: int) -> np.random.Generator:
+    """Builder randomness: explicit seed material, family-salted."""
+    return np.random.default_rng(np.random.SeedSequence(entropy=workload_seed, spawn_key=(salt,)))
+
+
+def _build_adversarial(config: Mapping[str, Any], workload_seed: int) -> BuiltCandidate:
+    from .adversarial import build_adversarial_instance
+
+    inst = build_adversarial_instance(
+        ell=int(config["ell"]),
+        alpha=float(config["alpha"]),
+        suffix_phase_multiplier=int(config["suffix_mult"]),
+    )
+    return BuiltCandidate(
+        workload=inst.workload,
+        k=inst.k,
+        miss_cost=inst.recommended_miss_cost(),
+        green_p=_pow2_at_most(inst.p),
+    )
+
+
+def _geometry(config: Mapping[str, Any]) -> Tuple[int, int, int, int]:
+    """Shared p/k/s/n decoding for the generator-backed families."""
+    p = 1 << int(config["p_exp"])
+    k = p << int(config["k_exp"])
+    s = max(2, int(round(float(config["s_factor"]) * k)))
+    n = int(config["length"])
+    return p, k, s, n
+
+
+def _build_polluted(config: Mapping[str, Any], workload_seed: int) -> BuiltCandidate:
+    p, k, s, n = _geometry(config)
+    cycle_len = max(2, int(round(float(config["cycle_frac"]) * k)))
+    period = max(2, int(config["period"]))
+    rng = _family_rng(workload_seed, 1)
+    locals_ = []
+    for i in range(p):
+        # jitter the cycle length per processor so allocations must differ
+        jitter = int(rng.integers(0, max(1, cycle_len // 4) + 1))
+        locals_.append(polluted_cycle(n, cycle_len + jitter, period))
+    workload = ParallelWorkload.from_local(
+        locals_,
+        name=f"polluted-cycles[p={p},k={k}]",
+        meta={"family": "polluted-cycles"},
+    )
+    return BuiltCandidate(workload=workload, k=k, miss_cost=s, green_p=p)
+
+
+def _build_random_order(config: Mapping[str, Any], workload_seed: int) -> BuiltCandidate:
+    p, k, s, n = _geometry(config)
+    ws = max(2, int(round(float(config["ws_frac"]) * k)))
+    n_phases = max(1, int(config["phases"]))
+    overlap = float(config["overlap"])
+    rng = _family_rng(workload_seed, 2)
+    phase_len = max(1, n // n_phases)
+    locals_ = [
+        phased_working_sets(n_phases, phase_len, ws, rng, overlap=overlap)[:n] for _ in range(p)
+    ]
+    workload = ParallelWorkload.from_local(
+        locals_,
+        name=f"random-order[p={p},k={k}]",
+        meta={"family": "random-order"},
+    )
+    return BuiltCandidate(workload=workload, k=k, miss_cost=s, green_p=p)
+
+
+def _build_biased_random(config: Mapping[str, Any], workload_seed: int) -> BuiltCandidate:
+    p, k, s, n = _geometry(config)
+    n_pages = max(2, int(round(float(config["pages_frac"]) * k)))
+    rng = _family_rng(workload_seed, 3)
+    locals_ = [zipf(n, n_pages, float(config["zipf_alpha"]), rng) for _ in range(p)]
+    workload = ParallelWorkload.from_local(
+        locals_,
+        name=f"biased-random[p={p},k={k}]",
+        meta={"family": "biased-random"},
+    )
+    return BuiltCandidate(workload=workload, k=k, miss_cost=s, green_p=p)
+
+
+def _build_multiscale(config: Mapping[str, Any], workload_seed: int) -> BuiltCandidate:
+    p, k, s, n = _geometry(config)
+    rng = _family_rng(workload_seed, 4)
+    locals_ = [
+        multiscale_cycles(n, k, p, rng, passes_per_phase=int(config["passes"])) for _ in range(p)
+    ]
+    workload = ParallelWorkload.from_local(
+        locals_,
+        name=f"multiscale[p={p},k={k}]",
+        meta={"family": "multiscale"},
+    )
+    return BuiltCandidate(workload=workload, k=k, miss_cost=s, green_p=p)
+
+
+_GEOMETRY_PARAMS = (
+    ParamSpec("p_exp", "int", 2, 4, quick_high=3),
+    ParamSpec("k_exp", "int", 1, 3, quick_high=2),
+    ParamSpec("s_factor", "float", 0.5, 4.0, log=True),
+    ParamSpec("length", "int", 400, 8000, quick_high=1600),
+)
+
+
+#: name -> family.  Insertion order is the canonical iteration order.
+FAMILY_REGISTRY: Dict[str, WorkloadFamily] = {
+    f.name: f
+    for f in (
+        WorkloadFamily(
+            name="adversarial",
+            params=(
+                ParamSpec("ell", "int", 2, 4, quick_high=3),
+                ParamSpec("alpha", "float", 0.05, 1.0, log=True, quick_high=0.5),
+                ParamSpec("suffix_mult", "int", 1, 4, quick_high=2),
+            ),
+            builder=_build_adversarial,
+            description="The Theorem 4 lower-bound construction with its scaling knobs.",
+        ),
+        WorkloadFamily(
+            name="polluted-cycles",
+            params=_GEOMETRY_PARAMS
+            + (
+                ParamSpec("cycle_frac", "float", 0.25, 2.0),
+                ParamSpec("period", "int", 2, 64, log=False, quick_high=32),
+            ),
+            builder=_build_polluted,
+            description="Repeaters with tunable pollution (the paper's primitive patterns).",
+        ),
+        WorkloadFamily(
+            name="random-order",
+            params=_GEOMETRY_PARAMS
+            + (
+                ParamSpec("ws_frac", "float", 0.25, 1.5),
+                ParamSpec("phases", "int", 2, 8),
+                ParamSpec("overlap", "float", 0.0, 0.9),
+            ),
+            builder=_build_random_order,
+            description="Working-set phases in seeded random order (Albers-Janke model).",
+        ),
+        WorkloadFamily(
+            name="biased-random",
+            params=_GEOMETRY_PARAMS
+            + (
+                ParamSpec("zipf_alpha", "float", 0.4, 2.0),
+                ParamSpec("pages_frac", "float", 0.5, 8.0, log=True),
+            ),
+            builder=_build_biased_random,
+            description="Zipf-biased random inputs with tunable skew (Young's model).",
+        ),
+        WorkloadFamily(
+            name="multiscale",
+            params=_GEOMETRY_PARAMS + (ParamSpec("passes", "int", 2, 10),),
+            builder=_build_multiscale,
+            description="Cycles sweeping every box-height scale (lattice stressor).",
+        ),
+    )
+}
+
+
+def family_names() -> Tuple[str, ...]:
+    """Registered family names in canonical order."""
+    return tuple(FAMILY_REGISTRY)
+
+
+def get_family(name: str) -> WorkloadFamily:
+    """Look up a family; raises with the known names on a miss."""
+    try:
+        return FAMILY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(FAMILY_REGISTRY)
+        raise KeyError(f"unknown workload family {name!r}; known: {known}") from None
+
+
+def build_candidate(family: str, config: Mapping[str, Any], workload_seed: int = 0) -> BuiltCandidate:
+    """Realize ``(family, config, workload_seed)`` — the search's atom."""
+    return get_family(family).build(config, workload_seed)

@@ -1,0 +1,90 @@
+"""CLI surface of the adversary search: hunt, hunt resume, hunt corpus."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exec.faults import inject_faults
+
+HUNT = [
+    "hunt",
+    "--rounds", "2",
+    "--scale", "quick",
+    "--seed", "11",
+    "--eval-seeds", "1",
+    "--families", "adversarial,polluted-cycles",
+    "--algorithms", "det-par",
+]
+
+
+def paths(tmp_path):
+    return [
+        "--registry", str(tmp_path / "traces"),
+        "--runs-dir", str(tmp_path / "runs"),
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+
+
+def test_hunt_runs_and_reports(tmp_path, capsys):
+    rc = main(HUNT + paths(tmp_path) + ["--run-id", "hunt-t1", "--metrics", str(tmp_path / "m.json")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "round 1/2" in out and "round 2/2" in out
+    assert "hand-built baseline" in out and "hunt hunt-t1 complete" in out
+    snap = json.loads((tmp_path / "m.json").read_text())
+    assert snap["counters"]["search.rounds"] == 2
+
+
+def test_hunt_corpus_list_and_replay(tmp_path, capsys):
+    assert main(HUNT + paths(tmp_path)) == 0
+    capsys.readouterr()
+    assert main(["hunt", "corpus"] + paths(tmp_path)) == 0
+    listing = capsys.readouterr().out
+    assert "hard/det-par/" in listing and "ratio=" in listing
+    assert main(["hunt", "corpus", "--replay", "--no-cache"] + paths(tmp_path)) == 0
+    replay = capsys.readouterr().out
+    assert "replay byte-identically" in replay and "DRIFT" not in replay
+
+
+def test_hunt_corpus_empty_registry(tmp_path, capsys):
+    assert main(["hunt", "corpus"] + paths(tmp_path)) == 0
+    assert "no hard instances" in capsys.readouterr().out
+
+
+def test_hunt_interrupt_exit_code_and_resume(tmp_path, capsys):
+    with inject_faults("interrupt:adversary-eval:5"):
+        rc = main(HUNT + paths(tmp_path) + ["--run-id", "hunt-int"])
+    assert rc == 130
+    err = capsys.readouterr().err
+    assert "resume with: repro hunt resume hunt-int" in err
+    rc = main(["hunt", "resume", "hunt-int"] + paths(tmp_path))
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "complete" in out
+
+
+def test_hunt_resume_unknown_run(tmp_path, capsys):
+    assert main(["hunt", "resume", "nope"] + paths(tmp_path)) == 2
+    assert "repro hunt resume:" in capsys.readouterr().err
+
+
+def test_hunt_rejects_bad_flags(tmp_path, capsys):
+    assert main(["hunt", "--rounds", "0"] + paths(tmp_path)) == 2
+    assert main(["hunt", "--algorithms", "global-lru"] + paths(tmp_path)) == 2
+    assert main(["hunt", "--families", "bogus"] + paths(tmp_path)) == 2
+
+
+def test_hunt_same_seed_same_corpus_across_processes(tmp_path, capsys):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    assert main(HUNT + paths(a)) == 0
+    assert main(HUNT + paths(b)) == 0
+    capsys.readouterr()
+    assert main(["hunt", "corpus", "--registry", str(a / "traces")]) == 0
+    la = capsys.readouterr().out
+    assert main(["hunt", "corpus", "--registry", str(b / "traces")]) == 0
+    lb = capsys.readouterr().out
+    assert la == lb

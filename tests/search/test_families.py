@@ -1,0 +1,88 @@
+"""Workload families: bounded spaces, deterministic builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.store import content_digest_of
+from repro.workloads.families import (
+    FAMILY_REGISTRY,
+    build_candidate,
+    family_names,
+    get_family,
+)
+
+ALL_FAMILIES = family_names()
+
+
+class TestRegistry:
+    def test_known_families(self):
+        assert "adversarial" in ALL_FAMILIES
+        assert len(ALL_FAMILIES) >= 5
+
+    def test_get_family_unknown_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="adversarial"):
+            get_family("nope")
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+class TestBuilders:
+    def test_default_config_builds(self, family):
+        fam = get_family(family)
+        built = fam.build(fam.default_config("quick"), workload_seed=0)
+        assert built.workload.p >= 1
+        assert built.workload.total_requests > 0
+        assert built.k >= built.green_p >= 1
+        assert built.miss_cost >= 2
+        # green lattice constraint: both powers of two
+        assert built.k & (built.k - 1) == 0
+        assert built.green_p & (built.green_p - 1) == 0
+
+    def test_build_is_deterministic(self, family):
+        fam = get_family(family)
+        cfg = fam.default_config("quick")
+        a = build_candidate(family, cfg, workload_seed=3)
+        b = build_candidate(family, cfg, workload_seed=3)
+        assert content_digest_of(a.workload.sequences) == content_digest_of(b.workload.sequences)
+        assert (a.k, a.miss_cost, a.green_p) == (b.k, b.miss_cost, b.green_p)
+
+    def test_sampled_configs_build_and_respect_bounds(self, family):
+        fam = get_family(family)
+        rng = np.random.default_rng(11)
+        for _ in range(3):
+            cfg = {p.name: p.sample(rng, "quick") for p in fam.params}
+            for p in fam.params:
+                lo, hi = p.bounds("quick")
+                assert lo <= cfg[p.name] <= hi
+            built = fam.build(cfg, workload_seed=1)
+            assert built.workload.total_requests > 0
+
+    def test_clip_config_rejects_unknown_and_missing(self, family):
+        fam = get_family(family)
+        cfg = fam.default_config("quick")
+        with pytest.raises(KeyError, match="unknown"):
+            fam.clip_config({**cfg, "bogus": 1}, "quick")
+        cfg.pop(fam.params[0].name)
+        with pytest.raises(KeyError, match="missing"):
+            fam.clip_config(cfg, "quick")
+
+
+class TestSeedSensitivity:
+    def test_stochastic_families_vary_with_workload_seed(self):
+        fam = FAMILY_REGISTRY["biased-random"]
+        cfg = fam.default_config("quick")
+        a = fam.build(cfg, workload_seed=0)
+        b = fam.build(cfg, workload_seed=1)
+        assert content_digest_of(a.workload.sequences) != content_digest_of(b.workload.sequences)
+
+    def test_adversarial_ignores_workload_seed(self):
+        fam = FAMILY_REGISTRY["adversarial"]
+        cfg = fam.default_config("quick")
+        a = fam.build(cfg, workload_seed=0)
+        b = fam.build(cfg, workload_seed=99)
+        assert content_digest_of(a.workload.sequences) == content_digest_of(b.workload.sequences)
+
+    def test_quick_bounds_tighter_than_full(self):
+        ell = FAMILY_REGISTRY["adversarial"].spec("ell")
+        assert ell.bounds("quick")[1] <= ell.bounds("full")[1]

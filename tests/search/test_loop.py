@@ -1,0 +1,129 @@
+"""The hunt loop: determinism, interrupt/resume, corpus commit + replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec.engine import execution
+from repro.exec.faults import inject_faults
+from repro.obs import metrics as obs_metrics
+from repro.search import HuntConfig, AdversarySearch, corpus_entries, replay_corpus
+from repro.search.loop import SearchState
+from repro.traces.registry import TraceRegistry
+
+CFG = dict(seed=7, rounds=2, scale="quick", eval_seeds=2)
+
+
+def run_hunt(tmp_path, tag, config=None, **kwargs):
+    root = tmp_path / tag
+    registry = TraceRegistry(root / "traces")
+    cfg = config or HuntConfig(**CFG)
+    with execution(jobs=1, cache=True, cache_dir=root / "cache"):
+        search = AdversarySearch.start(cfg, runs_root=root / "runs", registry=registry, **kwargs)
+        state = search.run()
+    return search, state, registry
+
+
+def state_json(state: SearchState) -> str:
+    return json.dumps(state.to_dict(), sort_keys=True)
+
+
+def corpus_digests(registry: TraceRegistry):
+    return [(r["name"], r["digest"]) for r in registry.ls(prefix="hard/")]
+
+
+class TestDeterminism:
+    def test_same_seed_identical_records_and_corpus(self, tmp_path):
+        _, s1, r1 = run_hunt(tmp_path, "a")
+        _, s2, r2 = run_hunt(tmp_path, "b")
+        assert state_json(s1) == state_json(s2)
+        assert corpus_digests(r1) == corpus_digests(r2)
+
+    def test_different_seed_diverges(self, tmp_path):
+        _, s1, _ = run_hunt(tmp_path, "a")
+        _, s2, _ = run_hunt(tmp_path, "c", config=HuntConfig(**{**CFG, "seed": 8}))
+        assert state_json(s1) != state_json(s2)
+
+
+class TestInterruptResume:
+    def test_sigint_then_resume_matches_uninterrupted(self, tmp_path):
+        _, ref_state, ref_reg = run_hunt(tmp_path, "ref")
+        root = tmp_path / "int"
+        registry = TraceRegistry(root / "traces")
+        cfg = HuntConfig(**CFG)
+        with pytest.raises(KeyboardInterrupt):
+            with execution(jobs=1, cache=True, cache_dir=root / "cache"):
+                search = AdversarySearch.start(cfg, runs_root=root / "runs", registry=registry)
+                run_id = search.checkpoint.manifest.run_id
+                with inject_faults("interrupt:adversary-eval:9"):
+                    search.run()
+        search.checkpoint.mark_status("interrupted")
+        assert search.checkpoint.manifest.status == "interrupted"
+        with execution(jobs=1, cache=True, cache_dir=root / "cache"):
+            resumed = AdversarySearch.resume(run_id, runs_root=root / "runs", registry=registry)
+            state = resumed.run()
+        assert state_json(state) == state_json(ref_state)
+        assert corpus_digests(registry) == corpus_digests(ref_reg)
+        assert resumed.checkpoint.manifest.status == "complete"
+
+    def test_resume_of_non_hunt_run_rejected(self, tmp_path):
+        from repro.exec.checkpoint import RunCheckpoint
+
+        RunCheckpoint.start(["e1"], {"experiment": "e1"}, root=tmp_path / "runs", run_id="plain")
+        with pytest.raises(ValueError, match="not a hunt"):
+            AdversarySearch.resume("plain", runs_root=tmp_path / "runs")
+
+
+class TestCorpus:
+    def test_commits_beat_hand_built_baseline(self, tmp_path):
+        _, state, registry = run_hunt(tmp_path, "a")
+        # acceptance: >= 3 det-par hard instances above the hand-built bar
+        det = [c for c in state.committed if c["algorithm"] == "det-par"]
+        assert len(det) >= 3
+        bar = state.baseline["det-par"]["ratio"]
+        assert all(c["ratio"] > bar for c in det)
+        entries = corpus_entries(registry, "det-par")
+        assert entries and all(e["name"].startswith("hard/det-par/") for e in entries)
+
+    def test_corpus_replays_byte_identically(self, tmp_path):
+        _, _, registry = run_hunt(tmp_path, "a")
+        # fresh cold cache: the replay must re-measure, not just re-read
+        with execution(jobs=1, cache=False):
+            report = replay_corpus(registry)
+        assert report
+        assert all(r["ok"] for r in report)
+        assert all(r["measured"] == r["recorded"] for r in report)
+
+    def test_replay_detects_ratio_drift(self, tmp_path):
+        _, _, registry = run_hunt(tmp_path, "a")
+        # corrupt one recorded ratio in the catalog: replay must flag it
+        catalog = json.loads(registry.catalog_path.read_text())
+        name, digest = next(iter(sorted(catalog["names"].items())))
+        algo = name.split("/")[1]
+        catalog["traces"][digest]["meta"]["hard_instance"][algo]["ratio"] = 1.0
+        registry.catalog_path.write_text(json.dumps(catalog))
+        with execution(jobs=1, cache=False):
+            report = replay_corpus(registry)
+        flagged = [r for r in report if not r["ratio_ok"]]
+        assert flagged  # the tampered entry fails the gate
+
+    def test_state_file_round_trips(self, tmp_path):
+        search, state, _ = run_hunt(tmp_path, "a")
+        raw = json.loads(search.state_path.read_text())
+        assert state_json(SearchState.from_dict(raw)) == state_json(state)
+
+
+class TestObservability:
+    def test_search_metrics_emitted(self, tmp_path):
+        registry_sink = obs_metrics.MetricsRegistry(enabled=True)
+        with obs_metrics.collecting(registry_sink):
+            run_hunt(tmp_path, "a")
+        snap = registry_sink.snapshot()
+        counters = snap.get("counters", {})
+        assert counters.get("search.rounds") == CFG["rounds"]
+        assert any(k.startswith("search.candidates") for k in counters)
+        assert any(k.startswith("search.commits") for k in counters)
+        gauges = snap.get("gauges", {})
+        assert any(k.startswith("search.best_ratio") for k in gauges)

@@ -1,0 +1,81 @@
+"""Scoring: adversary-eval units, ratio semantics, the hand-built bar."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.engine import execution
+from repro.exec.units import execute_unit
+from repro.search.scorers import (
+    SEARCH_ALGORITHMS,
+    candidate_unit,
+    evaluate_adversary_params,
+    hand_built_baseline,
+    hand_built_grid,
+)
+from repro.workloads.families import get_family
+
+
+def test_candidate_unit_is_cache_keyable_and_stable():
+    cfg = get_family("adversarial").default_config("quick")
+    a = candidate_unit("adversarial", cfg, "det-par", seeds=(0, 1), xi=2)
+    b = candidate_unit("adversarial", dict(cfg), "det-par", seeds=(0, 1), xi=2)
+    assert a.key() == b.key()
+    assert a.kind == "adversary-eval"
+    assert a.label == "hunt/det-par/adversarial"
+
+
+def test_candidate_unit_rejects_unknown_algorithm_and_family():
+    cfg = get_family("adversarial").default_config("quick")
+    with pytest.raises(ValueError, match="unknown search algorithm"):
+        candidate_unit("adversarial", cfg, "global-lru")
+    with pytest.raises(KeyError, match="unknown workload family"):
+        candidate_unit("nope", cfg, "det-par")
+
+
+@pytest.mark.parametrize("algorithm", SEARCH_ALGORITHMS)
+def test_evaluate_returns_scalars_and_sane_ratio(algorithm):
+    cfg = {"ell": 2, "alpha": 0.25, "suffix_mult": 1}
+    unit = candidate_unit("adversarial", cfg, algorithm, seeds=(0, 1), xi=2)
+    outcome = execute_unit(unit)
+    value = outcome.value
+    assert value["algorithm"] == algorithm
+    assert value["ratio"] == pytest.approx(value["objective"] / value["offline"])
+    # online algorithms cannot beat their own certified offline baseline
+    assert value["ratio"] >= 0.99
+    assert outcome.sim_steps == value["requests"] * len(value["per_seed"])
+
+
+def test_det_par_collapses_replication_seeds():
+    cfg = {"ell": 2, "alpha": 0.25, "suffix_mult": 1}
+    many = evaluate_adversary_params(
+        candidate_unit("adversarial", cfg, "det-par", seeds=(0, 1, 2)).params
+    )
+    one = evaluate_adversary_params(
+        candidate_unit("adversarial", cfg, "det-par", seeds=(0,)).params
+    )
+    assert many["per_seed"] == one["per_seed"]
+    assert many["ratio"] == one["ratio"]
+
+
+def test_evaluation_is_deterministic():
+    cfg = get_family("polluted-cycles").default_config("quick")
+    unit = candidate_unit("polluted-cycles", cfg, "rand-par", workload_seed=4, seeds=(0, 1))
+    a = evaluate_adversary_params(unit.params)
+    b = evaluate_adversary_params(unit.params)
+    assert a == b
+
+
+def test_hand_built_grid_points_are_searchable_configs():
+    fam = get_family("adversarial")
+    for scale in ("quick", "full"):
+        for cfg in hand_built_grid(scale):
+            clipped = fam.clip_config(cfg, scale)
+            assert clipped == cfg  # the baseline is reachable by the search
+
+
+def test_hand_built_baseline_measured_through_engine(tmp_path):
+    with execution(jobs=1, cache=True, cache_dir=tmp_path / "cache"):
+        base = hand_built_baseline("det-par", "quick", seeds=(0,), xi=2)
+    assert base["ratio"] > 1.0
+    assert base["config"] in list(hand_built_grid("quick"))

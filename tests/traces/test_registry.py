@@ -127,3 +127,76 @@ class TestLifecycle:
         monkeypatch.setenv("REPRO_TRACES_DIR", str(tmp_path / "env-root"))
         reg = TraceRegistry()
         assert reg.root == tmp_path / "env-root"
+
+
+class TestSharedDigestRemoval:
+    """Refcounted rm on a digest shared by several names (ISSUE 8)."""
+
+    def test_removing_one_name_keeps_shared_blob_readable(self, registry):
+        wl = workload()
+        registry.add_workload(wl, name="corpus/a")
+        registry.add_workload(wl, name="corpus/b")
+        registry.add_workload(wl, name="corpus/c")
+        registry.remove("corpus/b")
+        # both survivors still resolve AND their object still opens
+        for name in ("corpus/a", "corpus/c"):
+            store = registry.get(name)
+            assert store.total_requests == wl.total_requests
+        assert len(list(registry.objects_dir.rglob("*.trc"))) == 1
+        with pytest.raises(TraceNotFoundError):
+            registry.resolve("corpus/b")
+
+    def test_surviving_display_name_stays_live(self, registry):
+        wl = workload()
+        registry.add_workload(wl, name="n1")
+        registry.add_workload(wl, name="n2")  # catalog display name now n2
+        registry.remove("n2")
+        rows = registry.ls()
+        assert [r["name"] for r in rows] == ["n1"]
+        # the per-digest info must not keep pointing at the removed label
+        digest = registry.resolve("n1")
+        assert registry.ls()[0]["digest"] == digest
+        catalog_info = registry.get("n1")
+        assert catalog_info.content_digest == digest
+
+    def test_remove_by_digest_picks_first_name_deterministically(self, registry):
+        wl = workload()
+        registry.add_workload(wl, name="zz")
+        registry.add_workload(wl, name="aa")
+        digest = registry.resolve("aa")
+        registry.remove(digest)  # must drop 'aa' (sort order), keep 'zz'
+        assert "zz" in registry
+        assert "aa" not in registry
+        registry.remove(digest)
+        assert list(registry.objects_dir.rglob("*.trc")) == []
+
+    def test_last_removal_drops_object_and_fanout_dir(self, registry):
+        wl = workload()
+        registry.add_workload(wl, name="only")
+        digest = registry.resolve("only")
+        registry.remove("only")
+        assert not registry.object_path(digest).exists()
+
+
+class TestListingOrder:
+    """`ls` must be byte-stable across platforms and insertion orders."""
+
+    def test_ls_sorted_by_name_regardless_of_insertion_order(self, registry):
+        names = ["m/2", "a/9", "z/1", "a/1", "m/1"]
+        for i, name in enumerate(names):
+            registry.add_workload(workload(shift=i, name=name), name=name)
+        assert [r["name"] for r in registry.ls()] == sorted(names)
+
+    def test_ls_prefix_filters_namespace(self, registry):
+        registry.add_workload(workload(shift=0), name="hard/det-par/abc")
+        registry.add_workload(workload(shift=1), name="hard/rand-par/def")
+        registry.add_workload(workload(shift=2), name="plain")
+        rows = registry.ls(prefix="hard/")
+        assert [r["name"] for r in rows] == ["hard/det-par/abc", "hard/rand-par/def"]
+        assert [r["name"] for r in registry.ls(prefix="nope/")] == []
+
+    def test_ls_rows_carry_digest_and_shape(self, registry):
+        registry.add_workload(workload(), name="w")
+        (row,) = registry.ls()
+        assert row["digest"] == registry.resolve("w")
+        assert row["p"] == 2 and row["requests"] == 1000

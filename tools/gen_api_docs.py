@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.exec",
     "repro.obs",
+    "repro.search",
     "repro.client",
     "repro.service",
 ]
@@ -244,6 +245,55 @@ byte-identical metrics snapshots and canonical traces:
   (see EXPERIMENTS.md for a worked example).  In code, wrap anything in
   `with observability(metrics=True, trace=True) as scope:` and read
   `scope.metrics_snapshot()` / `scope.tracer`.
+
+## Adversary search
+
+`repro.search` closes the loop between the paper's hand-built lower
+bounds and the measured algorithms: a propose → execute → score → refine
+search that hunts for workloads with the worst *measured* competitive
+ratio and feeds every record-beater into a CI-replayed regression
+corpus.
+
+- **Workload families.** `repro.workloads.families` registers five
+  parameterized generators — the §4 `adversarial` construction plus
+  `polluted-cycles`, `random-order`, `biased-random`, and `multiscale` —
+  each a `WorkloadFamily` of typed, bounded `ParamSpec`s (`quick` bounds
+  are a strict subset of `full`).  `build_candidate(family, config,
+  workload_seed)` deterministically rebuilds the workload *and* its
+  evaluation geometry (`k`, miss cost, green lattice height) from
+  scalars, so a candidate is fully described by its recipe.
+- **Scoring through the engine.** Each candidate becomes one
+  `adversary-eval` work unit (`repro.search.scorers.candidate_unit`)
+  executed by the shared `ExecutionEngine` — cached, pooled, and
+  fault-injectable like every other unit.  The score is the measured
+  competitive ratio: DET-PAR/RAND-PAR makespan against the
+  `makespan_lower_bound` DP, RAND-GREEN mean impact against the offline
+  `optimal_box_profile`.  The bar to beat is `hand_built_baseline`: the
+  best hand-built §4 instance, measured the same way.
+- **The hunt loop.** `AdversarySearch` (`repro.search.loop`) runs
+  seeded rounds: mutate the per-algorithm elite population, cross over
+  top pairs, probe one coordinate of the record holder, and inject
+  fresh random configs.  Per-round RNG is derived from
+  `(seed, round_index)`, floats are canonicalized before serialization,
+  and state is saved atomically at round boundaries — so the same seed
+  yields byte-identical records, and an interrupted hunt resumes to the
+  exact state of an uninterrupted one (`repro hunt resume <run-id>`,
+  riding the PR-2 checkpoint manifest).
+- **Hard-instance corpus.** Every candidate that strictly beats the
+  record is committed to the trace registry as
+  `hard/<algorithm>/<digest12>` — content addressed, recipes keyed by
+  algorithm in the catalog meta since one workload can be hard for
+  several.  `replay_corpus` rebuilds each instance from scalars, checks
+  the bytes still hash to the committed digest, re-measures the ratio,
+  and demands float-exact agreement; `repro hunt corpus --replay` exits
+  nonzero on any drift, which is the CI regression gate.  The repo's
+  committed corpus lives in `corpus/` and is replayed on every push.
+- **Surfacing.** `repro hunt` drives a search from the CLI (`--rounds`,
+  `--scale quick|full`, `--seed`, `--algorithms`, `--families`, plus the
+  standard engine flags); `search.*` metrics (rounds, candidates,
+  commits, best-ratio gauges) and `search.round` spans ride the
+  `repro.obs` layer; `examples/adversarial_lower_bound.py` replays the
+  committed corpus next to the hand-built Theorem 4 table.
 
 ## Service & Session API
 
