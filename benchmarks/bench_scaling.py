@@ -26,7 +26,9 @@ from repro.core import DetPar, RandPar
 from repro.workloads import make_parallel_workload
 
 ROUNDS = 3
-PS = (4, 16, 64)
+# 24 is deliberately not a power of two: the generalized height lattice
+# must cost the same per request as the power-of-two configurations
+PS = (4, 16, 24, 64)
 N_REQUESTS = 200
 
 

@@ -110,11 +110,14 @@ def resolve_workload(workload: Union[ParallelWorkload, str]) -> ParallelWorkload
     store-backed workload, so experiments can say ``workload="my-trace"``
     and the trace's content digest flows into cache keys and result rows.
     """
-    if isinstance(workload, ParallelWorkload):
+    if not isinstance(workload, str):
+        # anything workload-shaped passes through untouched: in-memory
+        # ParallelWorkload, store-backed StoredWorkload, or a streamed
+        # StreamingWorkload view
         return workload
     from ..traces.registry import default_registry
 
-    return default_registry().workload(str(workload))
+    return default_registry().workload(workload)
 
 
 def _cell_unit(workload: ParallelWorkload, spec: RunSpec, seed: int) -> WorkUnit:

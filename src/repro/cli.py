@@ -573,6 +573,10 @@ def build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument("--xi", type=int, default=2, help="resource augmentation factor (default 2)")
     parser.add_argument("--seeds", type=int, default=3, help="replication seeds (default 3)")
     parser.add_argument("--no-lb", action="store_true", help="skip the impact lower bound (faster)")
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="feed the trace store chunk-by-chunk (bounded memory; event backend)",
+    )
     parser.add_argument("--registry", type=Path, default=None, help="registry root")
     parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
     parser.add_argument("--no-cache", action="store_true", help="disable the result cache")
@@ -603,7 +607,13 @@ def _run_trace_command(argv: List[str]) -> int:
         print("repro run: --jobs and --seeds must be >= 1", file=sys.stderr)
         return 2
     try:
-        workload = TraceRegistry(args.registry).workload(args.trace)
+        registry = TraceRegistry(args.registry)
+        if args.stream:
+            from .parallel.streaming import open_streaming
+
+            workload = open_streaming(registry.get(args.trace))
+        else:
+            workload = registry.workload(args.trace)
     except TraceError as exc:
         print(f"repro run: {exc}", file=sys.stderr)
         return 2

@@ -12,7 +12,15 @@
 """
 
 from .black_box import BlackBoxPar, det_green_source_factory, rand_green_source_factory
-from .box import Box, BoxProfile, HeightLattice, is_power_of_two
+from .box import (
+    Box,
+    BoxProfile,
+    HeightLattice,
+    LatticeError,
+    ceil_pow2,
+    is_power_of_two,
+    validate_lattice,
+)
 from .det_green import DetGreen, credit_schedule
 from .det_par import DetPar
 from .distributions import (
@@ -32,7 +40,10 @@ __all__ = [
     "Box",
     "BoxProfile",
     "HeightLattice",
+    "LatticeError",
+    "ceil_pow2",
     "is_power_of_two",
+    "validate_lattice",
     "DetGreen",
     "credit_schedule",
     "DetPar",

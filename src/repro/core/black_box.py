@@ -28,17 +28,15 @@ Mechanics:
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from ..paging.engine import run_box
-from ..paging.kernel import maybe_kernel, run_box_fast
-from ..parallel.events import BoxRecord, ParallelRunResult
+from ..parallel.events import BoxRecord, EventScheduler, ParallelRunResult
+from ..parallel.streaming import make_box_server
 from ..workloads.trace import ParallelWorkload
-from .box import HeightLattice, is_power_of_two
+from .box import HeightLattice, validate_lattice
 from .det_green import DetGreen
 from .rand_green import RandGreen
 from .rand_par import next_power_of_two
@@ -90,8 +88,9 @@ class BlackBoxPar:
     Parameters
     ----------
     cache_size:
-        Physical cache ``K`` (power of two).  Half funds green boxes, half
-        funds the fallback minimum boxes that keep everyone in execution.
+        Physical cache ``K`` (any integer >= 2, so that half of it can
+        fund green boxes and half the fallback minimum boxes that keep
+        everyone in execution).
     miss_cost:
         Fault service time ``s > 1``.
     source_factory:
@@ -111,8 +110,7 @@ class BlackBoxPar:
         source_factory: GreenSourceFactory = det_green_source_factory,
         reboot: bool = True,
     ) -> None:
-        if not is_power_of_two(cache_size):
-            raise ValueError(f"cache_size must be a power of two, got {cache_size}")
+        validate_lattice(int(cache_size), 1)
         if miss_cost <= 1:
             raise ValueError(f"miss_cost must be > 1, got {miss_cost}")
         self.cache_size = int(cache_size)
@@ -130,13 +128,8 @@ class BlackBoxPar:
         green_budget = K // 2
         if next_power_of_two(p) > green_budget:
             raise ValueError(f"cache_size={K} too small for p={p} (need K/2 >= next_pow2(p))")
-        seqs = workload.sequences
-        digest = getattr(workload, "content_digest", None)
-        kerns = [
-            maybe_kernel(sq, key=(digest, i) if digest else None)
-            for i, sq in enumerate(seqs)
-        ]
-        n = [len(x) for x in seqs]
+        server = make_box_server(workload, s)
+        n = server.lengths
         pos = [0] * p
         done = [n[i] == 0 for i in range(p)]
         completion = np.zeros(p, dtype=np.int64)
@@ -154,19 +147,12 @@ class BlackBoxPar:
         free_green = green_budget
         fairness_slack = s * K * K  # one full-cache box of impact
 
-        heap: List[Tuple[int, int, int]] = []  # (end_time, counter, proc)
-        counter = 0
+        sched = EventScheduler()
         t = 0
-        finished_events = 0
 
         def admit(i: int, h: int, now: int, tag: str) -> None:
-            nonlocal counter
             st = states[i]
-            run = (
-                run_box_fast(kerns[i], pos[i], h, s * h, s)
-                if kerns[i] is not None
-                else run_box(seqs[i], pos[i], h, s * h, s)
-            )
+            run = server.serve(i, pos[i], h, s * h)
             trace.append(
                 BoxRecord(
                     proc=i,
@@ -187,12 +173,14 @@ class BlackBoxPar:
             st.impact += h * s * h
             if run.end >= n[i]:
                 completion[i] = now + run.time_used
-            heapq.heappush(heap, (now + s * h, counter, i))
-            counter += 1
+            sched.schedule(now + s * h, "box_end", i)
 
-        def admission_round(now: int) -> None:
+        def admission_round(now: int, candidates: Iterable[int]) -> None:
+            # every idle processor is admitted (green or fallback) each
+            # round, so between rounds only just-freed processors can be
+            # idle — candidates scopes the scan to them
             nonlocal free_green
-            idle = [i for i in range(p) if not done[i] and not states[i].in_box]
+            idle = [i for i in candidates if not done[i] and not states[i].in_box]
             idle.sort(key=lambda i: (states[i].impact, i))
             barrier: Optional[int] = None
             deferred: List[int] = []
@@ -209,15 +197,15 @@ class BlackBoxPar:
                     barrier = states[i].impact + fairness_slack
                     deferred.append(i)
             # fallback minimum boxes from the reserved half of the cache
-            v = max(1, sum(1 for d in done if not d))
+            v = max(1, survivors)
             fallback_h = max(1, (K // 2) // next_power_of_two(v))
             for i in deferred:
                 admit(i, fallback_h, now, "fallback")
 
-        admission_round(0)
+        admission_round(0, range(p))
 
-        while heap:
-            t, _, i = heapq.heappop(heap)
+        while sched:
+            t, _, _, i = sched.pop()
             st = states[i]
             st.in_box = False
             # return capacity (green boxes only; fallback half is statically reserved)
@@ -227,19 +215,19 @@ class BlackBoxPar:
             st.cur_tag = ""
             if pos[i] >= n[i] and not done[i]:
                 done[i] = True
-                survivors_now = sum(1 for d in done if not d)
-                if self.reboot and survivors_now and survivors_now <= reboot_threshold:
-                    lattice = make_lattice(survivors_now)
-                    reboot_threshold = survivors_now // 2
+                survivors -= 1
+                if self.reboot and survivors and survivors <= reboot_threshold:
+                    lattice = make_lattice(survivors)
+                    reboot_threshold = survivors // 2
                     for jx in range(p):
                         if not done[jx]:
                             states[jx].source = self.source_factory(lattice, s, jx)
                             states[jx].pending = None
-            if all(done):
+            if survivors == 0:
                 break
-            admission_round(t)
+            admission_round(t, (i,))
 
-        if not all(done):  # pragma: no cover - defensive
+        if survivors:  # pragma: no cover - defensive
             raise RuntimeError("black-box packing stalled before completion (bug)")
 
         return ParallelRunResult(

@@ -1,15 +1,24 @@
-"""Boxes, box profiles, and the power-of-two height lattice (paper §2).
+"""Boxes, box profiles, and the doubling height lattice (paper §2).
 
 The WLOG reduction from Agrawal et al. [SODA '21], restated in §2 of the
 paper, lets every algorithm — and OPT — allocate memory to a processor in
 **compartmentalized boxes**: a box of height ``h`` grants ``h`` cache pages
 for exactly ``s·h`` time steps, starting from a cold cache, with LRU inside.
-Box heights are normalized to the lattice
+For power-of-two ``k`` and ``p`` box heights are normalized to the lattice
 
     ``h ∈ { (k/p)·2^i : i = 0 .. log₂ p }``
 
 so there are exactly ``log₂ p + 1`` height *levels*.  A box of height ``h``
 has **memory impact** ``s·h²`` (area = height × duration).
+
+The lattice generalizes to **arbitrary integers** ``k >= p >= 1``: the
+heights are still the doubling ladder starting at ``max(1, k // p)``, with
+the top rung clamped to exactly ``k``.  The paper's power-of-two
+restriction is a normalization, not a requirement — off-lattice heights
+are handled by the explicit ceil-to-lattice policy
+:meth:`HeightLattice.round_up`, and invalid geometry (``p > k``, values
+below 1) raises the typed :class:`LatticeError` from the single validator
+:func:`validate_lattice`.
 
 This module provides the lattice arithmetic and the :class:`BoxProfile`
 container used by every algorithm and by the offline green-paging DP, plus
@@ -20,17 +29,74 @@ subsequence of RAND-GREEN's sequence R").
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["is_power_of_two", "HeightLattice", "Box", "BoxProfile"]
+__all__ = [
+    "is_power_of_two",
+    "ceil_pow2",
+    "LatticeError",
+    "validate_lattice",
+    "HeightLattice",
+    "Box",
+    "BoxProfile",
+]
 
 
 def is_power_of_two(x: int) -> bool:
     """True iff ``x`` is a positive power of two."""
     return x > 0 and (x & (x - 1)) == 0
+
+
+def ceil_pow2(x: int) -> int:
+    """Smallest power of two >= ``x`` (``x >= 1``)."""
+    if x < 1:
+        raise ValueError(f"need x >= 1, got {x}")
+    return 1 << (int(x) - 1).bit_length()
+
+
+class LatticeError(ValueError):
+    """Invalid height-lattice geometry.
+
+    Carries structured fields so callers (CLI, service, tests) can surface
+    an actionable suggestion without parsing the message:
+
+    ``param``
+        Name of the offending parameter (``"k"``, ``"p"``, or ``"height"``).
+    ``value``
+        The rejected value.
+    ``rounded``
+        The nearest value that would have been accepted.
+    """
+
+    def __init__(self, param: str, value: int, rounded: int, reason: str) -> None:
+        self.param = param
+        self.value = int(value)
+        self.rounded = int(rounded)
+        super().__init__(
+            f"{reason} (got {param}={self.value}; nearest valid {param} is {self.rounded})"
+        )
+
+
+def validate_lattice(k: int, p: int) -> None:
+    """The single validator behind every lattice-shaped constructor.
+
+    Any integers ``k >= p >= 1`` form a valid lattice; the power-of-two
+    restriction of the paper is a normalization applied per-height by
+    :meth:`HeightLattice.round_up`, never a constructor requirement.
+    Violations raise :class:`LatticeError` with the nearest valid value
+    attached.
+    """
+    if k < 1:
+        raise LatticeError("k", k, 1, "cache size k must be >= 1")
+    if p < 1:
+        raise LatticeError("p", p, 1, "processor count p must be >= 1")
+    if p > k:
+        raise LatticeError("p", p, k, "need p <= k")
 
 
 @dataclass(frozen=True)
@@ -40,32 +106,33 @@ class HeightLattice:
     Parameters
     ----------
     k:
-        Cache size (power of two).
+        Cache size (any integer >= 1).
     p:
         Number of processors / the ratio between the max and min box height
-        (power of two, ``p <= k``).  In green paging ``p`` is the parameter
-        fixing the dynamic range ``[k/p, k]`` of permitted cache sizes.
+        (any integer with ``1 <= p <= k``).  In green paging ``p`` is the
+        parameter fixing the dynamic range ``[k/p, k]`` of permitted cache
+        sizes.
 
     Notes
     -----
-    ``levels = log₂ p + 1``; level ``i`` has height ``(k/p)·2^i``; level 0
-    is the minimum box ``k/p`` and the top level is the full cache ``k``.
+    Heights are the doubling ladder ``min_height · 2^i`` with the top rung
+    clamped to exactly ``k``.  For power-of-two ``k`` and ``p`` this is the
+    paper's lattice: ``levels = log₂ p + 1`` and level ``i`` has height
+    ``(k/p)·2^i``; level 0 is the minimum box and the top level the full
+    cache.  For other geometries the ladder keeps the same shape (each
+    rung at most doubles) so every impact/competitiveness argument that
+    charges a factor 2 per level still applies.
     """
 
     k: int
     p: int
 
     def __post_init__(self) -> None:
-        if not is_power_of_two(self.k):
-            raise ValueError(f"k must be a power of two, got {self.k}")
-        if not is_power_of_two(self.p):
-            raise ValueError(f"p must be a power of two, got {self.p}")
-        if self.p > self.k:
-            raise ValueError(f"need p <= k, got p={self.p} > k={self.k}")
+        validate_lattice(self.k, self.p)
 
     @property
     def min_height(self) -> int:
-        return self.k // self.p
+        return max(1, self.k // self.p)
 
     @property
     def max_height(self) -> int:
@@ -73,25 +140,32 @@ class HeightLattice:
 
     @property
     def levels(self) -> int:
-        """Number of height levels, ``log₂ p + 1``."""
-        return self.p.bit_length()  # log2(p) + 1 for powers of two
+        """Number of height levels (``log₂ p + 1`` for power-of-two geometry)."""
+        return len(self.heights)
 
-    @property
+    @cached_property
     def heights(self) -> Tuple[int, ...]:
-        """All lattice heights, ascending."""
+        """All lattice heights, ascending: the doubling ladder from
+        ``min_height``, top rung clamped to exactly ``k``."""
         base = self.min_height
-        return tuple(base << i for i in range(self.levels))
+        hs: List[int] = []
+        h = base
+        while h < self.k:
+            hs.append(h)
+            h <<= 1
+        hs.append(self.k)
+        return tuple(hs)
 
     def level_of(self, height: int) -> int:
         """Level index of an exact lattice height; raises if off-lattice."""
         h = int(height)
-        base = self.min_height
-        if h < base or h > self.k or h % base != 0:
-            raise ValueError(f"height {h} not on lattice [{base}, {self.k}]")
-        q = h // base
-        if not is_power_of_two(q):
-            raise ValueError(f"height {h} not a power-of-two multiple of {base}")
-        return q.bit_length() - 1
+        hs = self.heights
+        i = bisect_left(hs, h)
+        if i == len(hs) or hs[i] != h:
+            raise LatticeError(
+                "height", h, self.round_up(h), f"height {h} not on lattice [{hs[0]}, {self.k}]"
+            )
+        return i
 
     def contains(self, height: int) -> bool:
         """True iff ``height`` is exactly on the lattice."""
@@ -102,18 +176,20 @@ class HeightLattice:
             return False
 
     def round_up(self, height: int) -> int:
-        """Smallest lattice height >= ``height`` (clamped into range).
+        """Ceil-to-lattice rounding: smallest lattice height >= ``height``
+        (clamped into ``[min_height, k]``).
 
-        This implements the paper's "each of the heights is rounded up to
-        the next power of two" normalization.
+        This is the explicit policy that replaced the old power-of-two
+        constructor ``ValueError``: callers holding an off-lattice height
+        round it up here — the paper's "each of the heights is rounded up
+        to the next power of two" normalization, generalized to clamp at
+        the full cache for non-power-of-two ``k``.
         """
         h = max(int(height), self.min_height)
         if h >= self.k:
             return self.k
-        # round h/base up to the next power of two
-        q = -(-h // self.min_height)  # ceil division
-        level = (q - 1).bit_length()
-        return self.min_height << level
+        hs = self.heights
+        return hs[bisect_left(hs, h)]
 
     def restrict(self, new_p: int) -> "HeightLattice":
         """Lattice for the same cache but ``new_p`` processors (rebooting

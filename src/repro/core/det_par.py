@@ -36,17 +36,15 @@ can state the measured resource augmentation exactly.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..paging.engine import run_box
-from ..paging.kernel import maybe_kernel, run_box_fast
-from ..parallel.events import BoxRecord, ParallelRunResult
+from ..parallel.events import BoxRecord, EventScheduler, ParallelRunResult
+from ..parallel.streaming import make_box_server
 from ..workloads.trace import ParallelWorkload
-from .box import is_power_of_two
+from .box import validate_lattice
 from .rand_par import next_power_of_two
 
 __all__ = ["DetPar"]
@@ -83,8 +81,10 @@ class DetPar:
     Parameters
     ----------
     cache_size:
-        Physical cache the algorithm may reserve (power of two).  Internal
-        planning uses the largest ``k_int`` whose reservation fits.
+        Physical cache the algorithm may reserve (any integer >= 1).
+        Internal planning uses the largest ``k_int`` whose reservation
+        fits; strip heights double from the base, so all lattice
+        arguments survive non-power-of-two caches.
     miss_cost:
         Fault service time ``s > 1``.
     """
@@ -92,8 +92,7 @@ class DetPar:
     name = "det-par"
 
     def __init__(self, cache_size: int, miss_cost: int) -> None:
-        if not is_power_of_two(cache_size):
-            raise ValueError(f"cache_size must be a power of two, got {cache_size}")
+        validate_lattice(int(cache_size), 1)
         if miss_cost <= 1:
             raise ValueError(f"miss_cost must be > 1, got {miss_cost}")
         self.cache_size = int(cache_size)
@@ -115,8 +114,9 @@ class DetPar:
     def _plan_phase(self, n_active: int) -> Tuple[int, int, Dict[int, int], int]:
         """Choose ``(k_int, b, strip slot counts, reserved height)``.
 
-        Shrinks ``k_int`` (a power of two) until bases + strips fit in
-        ``cache_size``.  Raises if even the minimum plan does not fit.
+        Shrinks ``k_int`` (halving from ``cache_size``) until bases +
+        strips fit in ``cache_size``.  Raises if even the minimum plan
+        does not fit.
         """
         p_pow = next_power_of_two(max(1, n_active))
         k_int = self.cache_size
@@ -141,22 +141,17 @@ class DetPar:
         p = workload.p
         if p < 1:
             raise ValueError("workload must have at least one processor")
-        seqs = workload.sequences
-        digest = getattr(workload, "content_digest", None)
-        kerns = [
-            maybe_kernel(sq, key=(digest, i) if digest else None)
-            for i, sq in enumerate(seqs)
-        ]
-        n = [len(x) for x in seqs]
+        server = make_box_server(workload, s)
+        n = server.lengths
         pos = [0] * p
         done = [n[i] == 0 for i in range(p)]
+        remaining = sum(1 for d in done if not d)
         completion = np.zeros(p, dtype=np.int64)
         trace: List[BoxRecord] = []
         phases: List[_PhaseInfo] = []
         rebuild_times: List[int] = []
 
-        heap: List[Tuple[int, int, str, tuple]] = []
-        counter = 0
+        sched = EventScheduler()
         epoch = 0
         token_counter = 0
         segments: List[Optional[_Segment]] = [None] * p
@@ -166,13 +161,11 @@ class DetPar:
         base_height = 1
 
         def push(t: int, kind: str, data: tuple) -> None:
-            nonlocal counter
-            heapq.heappush(heap, (t, counter, kind, data))
-            counter += 1
+            sched.schedule(t, kind, data)
 
         def finalize(i: int, t: int) -> None:
             """Execute processor i's current segment up to time t."""
-            nonlocal token_counter
+            nonlocal token_counter, remaining
             seg = segments[i]
             if seg is None:
                 return
@@ -180,11 +173,7 @@ class DetPar:
             budget = t - seg.start
             if budget <= 0:
                 return
-            run = (
-                run_box_fast(kerns[i], pos[i], seg.height, budget, s)
-                if kerns[i] is not None
-                else run_box(seqs[i], pos[i], seg.height, budget, s)
-            )
+            run = server.serve(i, pos[i], seg.height, budget)
             trace.append(
                 BoxRecord(
                     proc=i,
@@ -202,6 +191,7 @@ class DetPar:
             pos[i] = run.end
             if pos[i] >= n[i] and not done[i]:
                 done[i] = True
+                remaining -= 1
                 completion[i] = seg.start + run.time_used
 
         def start_segment(i: int, h: int, t: int, tag: str) -> None:
@@ -254,8 +244,8 @@ class DetPar:
         needs_rebuild = False
         rebuild_time = 0
 
-        while heap and not all(done):
-            t, _, kind, data = heapq.heappop(heap)
+        while sched and remaining > 0:
+            t, _, kind, data = sched.pop()
             if kind == "seg_end":
                 i, token = data
                 seg = segments[i]
@@ -286,8 +276,7 @@ class DetPar:
 
             # phase transition: half the processors active at phase start
             # have finished
-            active_now = sum(1 for d in done if not d)
-            if active_now and active_now <= phase_start_active // 2:
+            if remaining and remaining <= phase_start_active // 2:
                 # finalize every running segment and rebuild at current time
                 rebuild_times.append(t)
                 for i in range(p):
@@ -296,7 +285,7 @@ class DetPar:
                 setup_phase(t)
 
         # drain: if the loop exited with all done, completions are recorded
-        if not all(done):  # pragma: no cover - defensive
+        if remaining:  # pragma: no cover - defensive
             raise RuntimeError("DET-PAR event queue drained before completion (bug)")
 
         return ParallelRunResult(

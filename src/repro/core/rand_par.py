@@ -32,21 +32,18 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..paging.engine import run_box
-from ..paging.kernel import maybe_kernel, run_box_fast
 from ..parallel.events import BoxRecord, ParallelRunResult
+from ..parallel.streaming import make_box_server
 from ..workloads.trace import ParallelWorkload
-from .box import HeightLattice, is_power_of_two
+from .box import HeightLattice, ceil_pow2, validate_lattice
 from .distributions import DistributionKind, make_distribution
 
 __all__ = ["RandPar", "next_power_of_two"]
 
 
 def next_power_of_two(x: int) -> int:
-    """Smallest power of two >= x (x >= 1)."""
-    if x < 1:
-        raise ValueError(f"need x >= 1, got {x}")
-    return 1 << (x - 1).bit_length()
+    """Smallest power of two >= x (x >= 1); alias of :func:`repro.core.box.ceil_pow2`."""
+    return ceil_pow2(x)
 
 
 @dataclass
@@ -69,9 +66,10 @@ class RandPar:
     Parameters
     ----------
     cache_size:
-        Total cache ``K`` the algorithm may reserve at any instant
-        (power of two).  Compare against lower bounds computed at
-        ``K/ξ`` to account for resource augmentation.
+        Total cache ``K`` the algorithm may reserve at any instant (any
+        integer >= 1; the internal chunk lattice rounds the active count
+        up to a power of two and clamps at ``K``).  Compare against lower
+        bounds computed at ``K/ξ`` to account for resource augmentation.
     miss_cost:
         Fault service time ``s > 1``.
     rng:
@@ -90,8 +88,7 @@ class RandPar:
         rng: np.random.Generator,
         kind: DistributionKind = "inverse_square",
     ) -> None:
-        if not is_power_of_two(cache_size):
-            raise ValueError(f"cache_size must be a power of two, got {cache_size}")
+        validate_lattice(int(cache_size), 1)
         if miss_cost <= 1:
             raise ValueError(f"miss_cost must be > 1, got {miss_cost}")
         self.cache_size = int(cache_size)
@@ -107,15 +104,9 @@ class RandPar:
         p = workload.p
         if p < 1:
             raise ValueError("workload must have at least one processor")
-        if next_power_of_two(p) > K:
-            raise ValueError(f"cache_size={K} too small for p={p} (need K >= next_pow2(p))")
-        seqs = workload.sequences
-        digest = getattr(workload, "content_digest", None)
-        kerns = [
-            maybe_kernel(sq, key=(digest, i) if digest else None)
-            for i, sq in enumerate(seqs)
-        ]
-        n = [len(x) for x in seqs]
+        validate_lattice(K, p)
+        server = make_box_server(workload, s)
+        n = server.lengths
         pos = [0] * p
         done = [n[i] == 0 for i in range(p)]
         completion = np.zeros(p, dtype=np.int64)
@@ -148,11 +139,7 @@ class RandPar:
                 for i in active:
                     if done[i]:
                         continue
-                    run = (
-                        run_box_fast(kerns[i], pos[i], h_min, dur, s)
-                        if kerns[i] is not None
-                        else run_box(seqs[i], pos[i], h_min, dur, s)
-                    )
+                    run = server.serve(i, pos[i], h_min, dur)
                     trace.append(
                         BoxRecord(
                             proc=i,
@@ -188,11 +175,7 @@ class RandPar:
                     if done[i]:
                         continue
                     ran_any = True
-                    run = (
-                        run_box_fast(kerns[i], pos[i], j, dur, s)
-                        if kerns[i] is not None
-                        else run_box(seqs[i], pos[i], j, dur, s)
-                    )
+                    run = server.serve(i, pos[i], j, dur)
                     trace.append(
                         BoxRecord(
                             proc=i,

@@ -90,7 +90,7 @@ _VEC_BUILD_MAX = 16384
 _BUILD_CHUNK = 128
 
 
-def _reuse_vectorized(prev: np.ndarray, nxt: np.ndarray, n: int) -> np.ndarray:
+def _reuse_vectorized(prev: np.ndarray, nxt: np.ndarray, n: int, start: int = 0) -> np.ndarray:
     """Chunked numpy reuse-distance computation (no per-request Python).
 
     Position ``x`` stops being its page's most recent occurrence — is
@@ -105,10 +105,15 @@ def _reuse_vectorized(prev: np.ndarray, nxt: np.ndarray, n: int) -> np.ndarray:
     over ``nxt < a``) and pre-chunk positions dying inside the chunk
     (their killers ``y = nxt[x]`` lie in the chunk, so ``x = prev[y]``
     ranges over one chunk-sized array).
+
+    ``start`` restricts the computation to positions ``>= start``
+    (positions below it come back ``_COLD``): the streaming kernel knows
+    reuse distances of already-swept rows can never change, so it only
+    pays for the appended suffix.
     """
     reuse = np.full(n, _COLD, dtype=np.int64)
     step = _BUILD_CHUNK
-    for a in range(0, n, step):
+    for a in range(start, n, step):
         b = min(n, a + step)
         prev_c = prev[a:b]
         warm = prev_c >= 0
@@ -513,28 +518,31 @@ class _LadderPlan:
 class StreamKernel(_KernelOps):
     """Incremental reuse-distance kernel over a stream of chunks.
 
-    The Fenwick sweep is left-to-right, so it extends naturally:
-    :meth:`append` sweeps one more chunk in amortized O(log window) per
-    request, and :meth:`compact` drops the already-served prefix (the
-    stream engine never starts a box before its execution position), so
-    resident state stays proportional to the active window — the same
-    bound the chunked reference path guarantees.
+    ``prev_occ``/``reuse_dist`` only ever look backwards, so appending a
+    chunk can never change an already-swept row: :meth:`append`
+    concatenates the chunk onto the retained window and runs the same
+    vectorized build :class:`SequenceKernel` uses, restricted to the new
+    suffix — O(window) numpy work per chunk instead of O(log window)
+    Python work per request.  :meth:`compact` drops the already-served
+    prefix (the stream engine never starts a box before its execution
+    position), so resident state stays proportional to the active
+    window — the same bound the chunked reference path guarantees.
 
     Local coordinates: position 0 is the oldest retained request;
     ``base`` is its global stream index.  Boxes must start at or after
     ``base``.
     """
 
-    __slots__ = ("_prev", "_reuse", "_n", "_cap", "_flags", "_tree", "_last", "base")
+    __slots__ = ("_window", "_prev", "_reuse", "_n", "base")
 
     def __init__(self, capacity: int = 1024) -> None:
-        cap = max(int(capacity), 16)
-        self._cap = cap
-        self._prev = np.empty(cap, dtype=np.int64)
-        self._reuse = np.empty(cap, dtype=np.int64)
-        self._flags: List[int] = [0] * cap
-        self._tree: List[int] = [0] * (cap + 1)
-        self._last: Dict[int, int] = {}
+        # ``capacity`` is a historical hint: arrays are rebuilt per
+        # append, so no preallocation is needed; accepted for API
+        # stability.
+        del capacity
+        self._window = np.empty(0, dtype=np.int64)
+        self._prev = np.empty(0, dtype=np.int64)
+        self._reuse = np.empty(0, dtype=np.int64)
         self._n = 0
         self.base = 0
 
@@ -546,76 +554,33 @@ class StreamKernel(_KernelOps):
         """Global index one past the last swept request."""
         return self.base + self._n
 
-    def _rebuild_tree(self) -> None:
-        """O(cap) Fenwick build from the most-recent flags."""
-        cap = self._cap
-        tree = [0] * (cap + 1)
-        flags = self._flags
-        for i in range(1, cap + 1):
-            tree[i] += flags[i - 1]
-            j = i + (i & -i)
-            if j <= cap:
-                tree[j] += tree[i]
-        self._tree = tree
-
-    def _grow(self, need: int) -> None:
-        new_cap = max(2 * self._cap, need)
-        for name in ("_prev", "_reuse"):
-            fresh = np.empty(new_cap, dtype=np.int64)
-            fresh[: self._n] = getattr(self, name)[: self._n]
-            setattr(self, name, fresh)
-        self._flags.extend([0] * (new_cap - self._cap))
-        self._cap = new_cap
-        self._rebuild_tree()
-
     def append(self, chunk: np.ndarray) -> None:
         """Sweep one more chunk of the stream into the kernel."""
         arr = np.ascontiguousarray(chunk, dtype=np.int64)
         if arr.ndim != 1:
             raise ValueError("chunks must be 1-D request arrays")
-        m = len(arr)
-        if m == 0:
+        if len(arr) == 0:
             return
-        if self._n + m > self._cap:
-            self._grow(self._n + m)
-        cap = self._cap
-        tree = self._tree
-        last = self._last
-        flags = self._flags
-        prev = self._prev
-        reuse = self._reuse
-        cold = _COLD
-        i = self._n
-        for page in arr.tolist():
-            j = last.get(page, -1)
-            if j < 0:
-                prev[i] = -1
-                reuse[i] = cold
-            else:
-                prev[i] = j
-                acc = 0
-                x = i
-                while x > 0:
-                    acc += tree[x]
-                    x -= x & -x
-                x = j + 1
-                while x > 0:
-                    acc -= tree[x]
-                    x -= x & -x
-                reuse[i] = acc
-                flags[j] = 0
-                x = j + 1
-                while x <= cap:
-                    tree[x] -= 1
-                    x += x & -x
-            flags[i] = 1
-            x = i + 1
-            while x <= cap:
-                tree[x] += 1
-                x += x & -x
-            last[page] = i
-            i += 1
-        self._n = i
+        old = self._n
+        window = np.concatenate([self._window, arr]) if old else arr.copy()
+        n = len(window)
+        # prev/nxt over the whole window (cheap vectorized sorts); rows
+        # whose true previous occurrence was compacted away come back -1,
+        # which the box predicate treats exactly like the old clamped
+        # negative offsets.
+        prev = np.full(n, -1, dtype=np.int64)
+        order = np.argsort(window, kind="stable")
+        same = window[order[1:]] == window[order[:-1]]
+        prev[order[1:]] = np.where(same, order[:-1], -1)
+        nxt = np.full(n, n, dtype=np.int64)
+        nxt[order[:-1]] = np.where(same, order[1:], n)
+        reuse = _reuse_vectorized(prev, nxt, n, start=old)
+        # already-swept rows keep their stored values (they cannot change)
+        reuse[:old] = self._reuse
+        self._window = window
+        self._prev = prev
+        self._reuse = reuse
+        self._n = n
 
     def box_end(self, start: int, height: int, budget: int, miss_cost: int) -> int:
         """Global-coordinate :meth:`_KernelOps.box_end` over the live window."""
@@ -643,15 +608,12 @@ class StreamKernel(_KernelOps):
             return
         if d > self._n:
             raise ValueError(f"cannot compact past swept prefix ({upto} > {self.end})")
-        keep = self._n - d
-        self._prev[:keep] = self._prev[d : self._n] - d
-        self._reuse[:keep] = self._reuse[d : self._n]
-        del self._flags[:d]
-        self._flags.extend([0] * d)
-        self._last = {page: pos - d for page, pos in self._last.items() if pos >= d}
-        self._n = keep
+        # copies, not views: a view would pin the pre-compact arrays
+        self._window = self._window[d:].copy()
+        self._prev = self._prev[d:] - d
+        self._reuse = self._reuse[d:].copy()
+        self._n -= d
         self.base += d
-        self._rebuild_tree()
 
 
 def run_box_fast(

@@ -3,7 +3,10 @@
 The algorithms under test (RAND-PAR, DET-PAR, the black-box construction)
 live in :mod:`repro.core`; this package provides everything around them:
 
-* :mod:`~repro.parallel.events` — run results, box traces, capacity ledger;
+* :mod:`~repro.parallel.events` — event scheduler, run results, box traces,
+  capacity ledger, and the ``$REPRO_SIM`` backend switch;
+* :mod:`~repro.parallel.streaming` — trace-store-fed execution in bounded
+  memory (:class:`StreamingWorkload`, :class:`BoxServer`);
 * :mod:`~repro.parallel.schedulers` — the algorithm protocol + registry;
 * :mod:`~repro.parallel.baselines` — EQUAL-PARTITION, BEST-STATIC-PARTITION;
 * :mod:`~repro.parallel.timestep` — GLOBAL-LRU (unpartitioned shared cache);
@@ -19,11 +22,27 @@ import numpy as _np
 from .baselines import BestStaticPartition, EqualPartition, static_partition_makespan
 from .exact import exact_two_proc_makespan
 from .fairness import FairnessReport, fairness_report, jain_index
-from .events import BoxRecord, ParallelRunResult, capacity_profile, peak_concurrent_height
+from .events import (
+    SIM_ENV,
+    BoxRecord,
+    EventScheduler,
+    ParallelRunResult,
+    capacity_profile,
+    peak_concurrent_height,
+    sim_backend,
+)
 from .metrics import RunSummary, cache_utilization, summarize
 from .opt import MakespanLowerBound, makespan_lower_bound, mean_completion_lower_bound
 from .serialize import load_result, save_result
 from .schedulers import ALGORITHM_REGISTRY, ParallelPager, RunSpec, make_algorithm, register_algorithm
+from .streaming import (
+    BoxFeed,
+    BoxServer,
+    StreamingWorkload,
+    make_box_server,
+    open_streaming,
+    request_feed,
+)
 from .timestep import GlobalLRU
 from .verify import TraceVerification, verify_trace
 
@@ -35,10 +54,19 @@ __all__ = [
     "FairnessReport",
     "fairness_report",
     "jain_index",
+    "SIM_ENV",
+    "sim_backend",
+    "EventScheduler",
     "BoxRecord",
     "ParallelRunResult",
     "capacity_profile",
     "peak_concurrent_height",
+    "BoxFeed",
+    "BoxServer",
+    "StreamingWorkload",
+    "make_box_server",
+    "open_streaming",
+    "request_feed",
     "RunSummary",
     "cache_utilization",
     "summarize",

@@ -1,4 +1,4 @@
-"""Shared record types for parallel-paging simulations.
+"""Event scheduling and shared record types for parallel-paging simulations.
 
 Every parallel algorithm in this repository — RAND-PAR, DET-PAR, the
 black-box packing baseline, and the structured OPT schedules — produces the
@@ -7,16 +7,124 @@ completion times plus a full :class:`BoxRecord` trace.  The trace is what
 makes the theory auditable: the well-roundedness checker (§3.3), the
 balance checker (Lemma 7), and the capacity ledger all operate on it
 without re-running the simulation.
+
+This module also owns :class:`EventScheduler`, the deterministic min-heap
+event queue that drives every simulator in :mod:`repro.parallel`: the
+GLOBAL-LRU ``busy_until`` heap, DET-PAR's segment/strip events, and the
+black-box packing loop all pop from the same structure, so tie-breaking
+is defined in exactly one place.  The retained per-timestep loops stay
+available as the reference oracle behind the ``$REPRO_SIM`` switch
+(:func:`sim_backend`), mirroring the ``run_box`` / ``run_box_fast``
+pattern of :mod:`repro.paging.kernel`.
 """
 
 from __future__ import annotations
 
+import heapq
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["BoxRecord", "ParallelRunResult", "peak_concurrent_height", "capacity_profile"]
+__all__ = [
+    "SIM_ENV",
+    "sim_backend",
+    "EventScheduler",
+    "BoxRecord",
+    "ParallelRunResult",
+    "peak_concurrent_height",
+    "capacity_profile",
+]
+
+#: Environment variable selecting the parallel-simulator backend.
+SIM_ENV = "REPRO_SIM"
+
+
+def sim_backend() -> str:
+    """The active parallel-simulator backend: ``"event"`` (default) or
+    ``"reference"``.
+
+    Controlled by ``$REPRO_SIM``.  Both backends produce byte-identical
+    results (completion times, traces, ``sim.*`` counters) — the reference
+    per-timestep / per-request loops exist as a cross-check oracle for the
+    differential harness and as an escape hatch, exactly like
+    ``$REPRO_KERNEL`` for the box kernel.
+    """
+    value = os.environ.get(SIM_ENV, "event").strip().lower() or "event"
+    if value in ("event", "fast"):
+        return "event"
+    if value in ("reference", "ref", "timestep"):
+        return "reference"
+    raise ValueError(
+        f"unknown {SIM_ENV} backend {value!r}; expected 'event' or 'reference'"
+    )
+
+
+class EventScheduler:
+    """Deterministic min-heap event queue for parallel simulators.
+
+    Events are ``(time, priority, kind, data)`` tuples ordered by
+    ``(time, priority, sequence number)``:
+
+    * ``priority`` defaults to the push sequence number, giving FIFO order
+      among same-time events — DET-PAR's historical ``(t, counter)`` order;
+    * an explicit ``priority`` pins the tie-break to a domain key, e.g.
+      GLOBAL-LRU passes the processor index so same-time completions are
+      served in ascending processor order, byte-identical to the
+      historical full-rescan loop.
+
+    :meth:`cancel` is O(1); cancelled events are skipped at pop time, the
+    same lazy-invalidation pattern DET-PAR used with stale tokens.  The
+    queue itself never looks at ``kind``/``data``, so ordering can never
+    depend on payload contents — the invariant the differential test
+    harness pins down.
+    """
+
+    __slots__ = ("_heap", "_seq", "_cancelled")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, int, str, object]] = []
+        self._seq = 0
+        self._cancelled: set = set()
+
+    def schedule(self, time: int, kind: str, data: object = None, priority: Optional[int] = None) -> int:
+        """Enqueue an event; returns a token usable with :meth:`cancel`."""
+        token = self._seq
+        self._seq += 1
+        prio = token if priority is None else int(priority)
+        heapq.heappush(self._heap, (int(time), prio, token, kind, data))
+        return token
+
+    def cancel(self, token: int) -> None:
+        """Invalidate a scheduled event (skipped lazily at pop time)."""
+        self._cancelled.add(token)
+
+    def pop(self) -> Tuple[int, int, str, object]:
+        """Remove and return the earliest live event ``(time, token, kind, data)``."""
+        cancelled = self._cancelled
+        while self._heap:
+            time, _, token, kind, data = heapq.heappop(self._heap)
+            if token in cancelled:
+                cancelled.discard(token)
+                continue
+            return time, token, kind, data
+        raise IndexError("pop from an empty EventScheduler")
+
+    def peek_time(self) -> int:
+        """Time of the earliest live event (raises IndexError when empty)."""
+        cancelled = self._cancelled
+        while self._heap and self._heap[0][2] in cancelled:
+            cancelled.discard(heapq.heappop(self._heap)[2])
+        if not self._heap:
+            raise IndexError("peek on an empty EventScheduler")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
 
 
 @dataclass(frozen=True)

@@ -37,6 +37,7 @@ from ..core.box import HeightLattice
 from ..paging.engine import run_box
 from ..paging.kernel import maybe_kernel, run_box_fast
 from ..workloads.trace import ParallelWorkload
+from .events import sim_backend
 
 __all__ = ["exact_two_proc_makespan"]
 
@@ -66,9 +67,10 @@ def exact_two_proc_makespan(
     # lens[i] · k box probes below dominate small instances, so they go
     # through the cached reuse-distance kernel when enabled.
     digest = getattr(workload, "content_digest", None)
+    use_kernel = sim_backend() == "event"
     progress: Tuple[Dict[int, Dict[int, Tuple[int, int]]], ...] = ({}, {})
     for i in (0, 1):
-        kern = maybe_kernel(seqs[i], key=(digest, i) if digest else None)
+        kern = maybe_kernel(seqs[i], key=(digest, i) if digest else None) if use_kernel else None
         for h in heights:
             table: Dict[int, Tuple[int, int]] = {}
             for pos in range(lens[i]):

@@ -13,6 +13,16 @@ The stable way to instantiate an algorithm is a frozen :class:`RunSpec`
 (``make_algorithm(RunSpec(...))``); the historical positional signature
 ``make_algorithm(name, cache_size, miss_cost, seed)`` still works but
 emits a :class:`DeprecationWarning` and will be removed in 2.0.
+
+Every registered algorithm honours the ``$REPRO_SIM`` backend switch
+(:func:`repro.parallel.events.sim_backend`): the default ``event`` backend
+runs on the shared :class:`~repro.parallel.events.EventScheduler` and the
+kernelized box server; ``reference`` replays the retained timestep/
+per-request oracles.  Both produce byte-identical results — the
+differential harness (``tests/parallel/test_differential.py``) enforces
+it — so a registry factory never needs to know which backend is active,
+and accepts in-memory, memmapped, and
+:class:`~repro.parallel.streaming.StreamingWorkload` forms alike.
 """
 
 from __future__ import annotations

@@ -9,27 +9,38 @@ from the single shared LRU order, so one thrashing processor can evict
 everyone else's working set — the interference the paper's box model is
 designed to control.
 
-The loop advances over service-completion *events* via a min-heap on
-``busy_until`` rather than literal unit steps, but a miss by one processor
-can change another's future hits, so the simulation is inherently
-sequential in time; we keep the inner loop allocation-free (one shared
-LRUCache, locals hoisted).  Every processor has exactly one heap entry
-while active, and ties pop in ascending processor index — the same order
-the historical full-rescan loop served them — so results are byte-identical
-to that loop (asserted by a regression test).
+Two backends, selected by ``$REPRO_SIM`` (:func:`~repro.parallel.events.
+sim_backend`):
+
+* ``event`` (default) — advance over service-completion events via the
+  shared :class:`~repro.parallel.events.EventScheduler`.  Every processor
+  has exactly one scheduled event while active, with the processor index
+  as the tie-break priority, so same-time completions are served in
+  ascending processor order.
+* ``reference`` — the retained per-timestep full-rescan loop (O(p) per
+  event instant), the historical oracle.  It serves same-time processors
+  in ascending index too, so both backends touch the shared LRU in the
+  same order and every count — completions, hits, faults, evictions — is
+  byte-identical.  The differential harness asserts exactly this.
+
+Requests are consumed strictly in order through
+:func:`~repro.parallel.streaming.request_feed`, so a
+:class:`~repro.parallel.streaming.StreamingWorkload` is served directly
+from the trace store one chunk at a time — a million-request,
+thousand-processor run never holds more than one chunk per processor.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import List, Tuple
+from typing import Iterator, List
 
 import numpy as np
 
 from ..obs import metrics as obs_metrics
 from ..paging.lru import LRUCache
 from ..workloads.trace import ParallelWorkload
-from .events import BoxRecord, ParallelRunResult
+from .events import EventScheduler, ParallelRunResult, sim_backend
+from .streaming import request_feed
 
 __all__ = ["GlobalLRU"]
 
@@ -59,38 +70,17 @@ class GlobalLRU:
         self.miss_cost = int(miss_cost)
 
     def run(self, workload: ParallelWorkload) -> ParallelRunResult:
-        """Time-step the shared LRU until every processor finishes."""
-        s = self.miss_cost
+        """Simulate the shared LRU until every processor finishes."""
         p = workload.p
-        seqs = workload.sequences
-        n = [len(x) for x in seqs]
-        pos = [0] * p
+        n = [int(x) for x in workload.lengths]
+        feeds = [request_feed(workload, i) for i in range(p)]
         done = [n[i] == 0 for i in range(p)]
         completion = np.zeros(p, dtype=np.int64)
         cache = LRUCache(self.cache_size)
-        # One (busy_until, proc) entry per active processor; the next event
-        # instant is always the heap root, so skipping to it is O(log p)
-        # instead of a full rescan.  Ties pop in ascending processor index
-        # (tuple order), matching the historical round-robin scan, so the
-        # shared-LRU touch order — and hence every count — is unchanged.
-        heap: List[Tuple[int, int]] = [(0, i) for i in range(p) if not done[i]]
-        heapq.heapify(heap)
-        touch = cache.touch
-        push = heapq.heappush
-        pop = heapq.heappop
-        while heap:
-            t = heap[0][0]
-            # serve every processor whose channel frees at time t
-            while heap and heap[0][0] == t:
-                _, i = pop(heap)
-                page = int(seqs[i][pos[i]])
-                cost = 1 if touch(page) else s
-                pos[i] += 1
-                if pos[i] >= n[i]:
-                    done[i] = True
-                    completion[i] = t + cost
-                else:
-                    push(heap, (t + cost, i))
+        if sim_backend() == "event":
+            self._run_event(feeds, n, done, completion, cache)
+        else:
+            self._run_reference(feeds, n, done, completion, cache)
         reg = obs_metrics.active()
         if reg.enabled:
             reg.counter("sim.timestep.hits").inc(cache.hits)
@@ -104,6 +94,74 @@ class GlobalLRU:
             completion_times=completion,
             trace=[],  # no box structure to record
             cache_size=self.cache_size,
-            miss_cost=s,
+            miss_cost=self.miss_cost,
             meta={"hits": cache.hits, "faults": cache.faults},
         )
+
+    def _run_event(
+        self,
+        feeds: List[Iterator[int]],
+        n: List[int],
+        done: List[bool],
+        completion: np.ndarray,
+        cache: LRUCache,
+    ) -> None:
+        """Event backend: one scheduled completion per active processor.
+
+        The processor index is the tie-break priority, so same-time
+        completions pop in ascending processor order — the same order the
+        reference rescan serves them, hence identical shared-LRU state.
+        """
+        s = self.miss_cost
+        p = len(n)
+        pos = [0] * p
+        sched = EventScheduler()
+        for i in range(p):
+            if not done[i]:
+                sched.schedule(0, "serve", i, priority=i)
+        touch = cache.touch
+        schedule = sched.schedule
+        pop = sched.pop
+        while sched:
+            t, _, _, i = pop()
+            page = next(feeds[i])
+            cost = 1 if touch(page) else s
+            pos[i] += 1
+            if pos[i] >= n[i]:
+                done[i] = True
+                completion[i] = t + cost
+            else:
+                schedule(t + cost, "serve", i, priority=i)
+
+    def _run_reference(
+        self,
+        feeds: List[Iterator[int]],
+        n: List[int],
+        done: List[bool],
+        completion: np.ndarray,
+        cache: LRUCache,
+    ) -> None:
+        """Reference backend: the historical O(p)-per-instant rescan loop,
+        retained verbatim as the oracle for the event backend."""
+        s = self.miss_cost
+        p = len(n)
+        pos = [0] * p
+        busy_until = [0] * p
+        remaining = sum(1 for d in done if not d)
+        touch = cache.touch
+        t = 0
+        while remaining > 0:
+            for i in range(p):
+                if done[i] or busy_until[i] > t:
+                    continue
+                page = next(feeds[i])
+                cost = 1 if touch(page) else s
+                busy_until[i] = t + cost
+                pos[i] += 1
+                if pos[i] >= n[i]:
+                    done[i] = True
+                    completion[i] = t + cost
+                    remaining -= 1
+            if remaining == 0:
+                break
+            t = min(busy_until[i] for i in range(p) if not done[i])

@@ -22,7 +22,7 @@ from typing import Dict, List, Tuple
 from ..paging.engine import run_box
 from ..paging.kernel import maybe_kernel, run_box_fast
 from ..workloads.trace import ParallelWorkload
-from .events import ParallelRunResult
+from .events import ParallelRunResult, sim_backend
 
 __all__ = ["TraceVerification", "verify_trace"]
 
@@ -62,8 +62,9 @@ def verify_trace(result: ParallelRunResult, workload: ParallelWorkload) -> Trace
     """
     errors: List[str] = []
     s = result.miss_cost
-    seqs = workload.sequences
+    seqs = workload.sequences  # StreamingWorkload falls back to memmap columns
     digest = getattr(workload, "content_digest", None)
+    use_kernel = sim_backend() == "event"
     per_proc: Dict[int, List] = {i: [] for i in range(workload.p)}
     for r in result.trace:
         per_proc.setdefault(r.proc, []).append(r)
@@ -77,7 +78,7 @@ def verify_trace(result: ParallelRunResult, workload: ParallelWorkload) -> Trace
             if boxes:
                 errors.append(f"proc {proc}: trace references unknown processor")
             continue
-        kern = maybe_kernel(seq, key=(digest, proc) if digest else None)
+        kern = maybe_kernel(seq, key=(digest, proc) if digest else None) if use_kernel else None
         for r in boxes:
             checked += 1
             if r.served_start != pos:

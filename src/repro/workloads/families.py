@@ -23,6 +23,14 @@ classes the lower-bound literature tunes adversarially:
     after Young's adversarially biased random inputs.
 ``multiscale``
     Cycles sweeping every box-height scale (the lattice stressor).
+``parallel-schedules``
+    The Albers–Hellwig makespan-minimization adversary translated to
+    paging: every processor streams a prefix of small jobs (short
+    working-set bursts over fresh pages) and then one large tail job
+    whose weight grows geometrically across processors.  Any allocation
+    balanced for the prefix is wrong for the tail, so makespan-optimal
+    cache scheduling must hold capacity in reserve — the same tension
+    their parallel-schedules model exploits against greedy assignment.
 
 Parameter bounds carry a ``quick`` override so CI-sized hunts stay
 tractable; every stochastic builder derives its randomness from the
@@ -38,6 +46,7 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from .generators import (
+    cyclic,
     multiscale_cycles,
     phased_working_sets,
     polluted_cycle,
@@ -287,6 +296,44 @@ def _build_multiscale(config: Mapping[str, Any], workload_seed: int) -> BuiltCan
     return BuiltCandidate(workload=workload, k=k, miss_cost=s, green_p=p)
 
 
+def _build_parallel_schedules(config: Mapping[str, Any], workload_seed: int) -> BuiltCandidate:
+    p, k, s, n = _geometry(config)
+    rng = _family_rng(workload_seed, 5)
+    small = max(2, int(round(float(config["small_frac"]) * k / p)))
+    big = max(small + 1, int(round(float(config["big_frac"]) * k)))
+    tail_frac = float(config["tail_frac"])
+    imbalance = float(config["imbalance"])
+    jobs = max(1, int(config["jobs"]))
+    n_tail = max(1, int(round(tail_frac * n)))
+    n_head = max(1, n - n_tail)
+    job_len = max(small, n_head // jobs)
+    locals_ = []
+    for i in range(p):
+        segments = []
+        offset = 0
+        # small-job prefix: each job is a short cyclic burst over a fresh
+        # page range (jittered so processors desynchronize), mirroring the
+        # stream of small jobs the Albers-Hellwig adversary opens with
+        pos = 0
+        while pos < n_head:
+            ln = min(max(1, job_len + int(rng.integers(0, max(2, small)))), n_head - pos)
+            segments.append(cyclic(ln, small) + offset)
+            offset += small
+            pos += ln
+        # large tail job: working set of `big` pages, weight growing
+        # geometrically with the processor index — balanced prefixes end
+        # in imbalanced tails unless the scheduler anticipates them
+        weight = imbalance ** (i / max(1, p - 1))
+        segments.append(cyclic(max(1, int(round(n_tail * weight))), big) + offset)
+        locals_.append(np.concatenate(segments))
+    workload = ParallelWorkload.from_local(
+        locals_,
+        name=f"parallel-schedules[p={p},k={k}]",
+        meta={"family": "parallel-schedules"},
+    )
+    return BuiltCandidate(workload=workload, k=k, miss_cost=s, green_p=p)
+
+
 _GEOMETRY_PARAMS = (
     ParamSpec("p_exp", "int", 2, 4, quick_high=3),
     ParamSpec("k_exp", "int", 1, 3, quick_high=2),
@@ -345,6 +392,19 @@ FAMILY_REGISTRY: Dict[str, WorkloadFamily] = {
             params=_GEOMETRY_PARAMS + (ParamSpec("passes", "int", 2, 10),),
             builder=_build_multiscale,
             description="Cycles sweeping every box-height scale (lattice stressor).",
+        ),
+        WorkloadFamily(
+            name="parallel-schedules",
+            params=_GEOMETRY_PARAMS
+            + (
+                ParamSpec("small_frac", "float", 0.1, 1.0),
+                ParamSpec("big_frac", "float", 0.5, 2.0, quick_high=1.5),
+                ParamSpec("tail_frac", "float", 0.1, 0.6),
+                ParamSpec("imbalance", "float", 0.25, 4.0, log=True),
+                ParamSpec("jobs", "int", 2, 16, quick_high=8),
+            ),
+            builder=_build_parallel_schedules,
+            description="Small-job prefixes with imbalanced large tails (Albers-Hellwig makespan adversary).",
         ),
     )
 }

@@ -287,7 +287,9 @@ def make_parallel_workload(
         kd = kinds[i % len(kinds)]
         if kd == "cyclic":
             # cycle sized between k/p and k so box height genuinely matters
-            cl = max(2, int(rng.integers(max(2, k // p), max(3, k))))
+            # (lo is clamped below k so the range stays non-empty at p=1)
+            lo = max(2, min(k // p, k - 1))
+            cl = max(2, int(rng.integers(lo, max(lo + 1, k))))
             locals_.append(cyclic(n_requests, cl))
         elif kd == "scan":
             locals_.append(scan(n_requests))
@@ -300,7 +302,8 @@ def make_parallel_workload(
         elif kd == "uniform":
             locals_.append(uniform(n_requests, max(2, 2 * k), rng))
         elif kd == "sawtooth":
-            locals_.append(sawtooth(n_requests, max(2, int(rng.integers(max(2, k // p), max(3, k))))))
+            lo = max(2, min(k // p, k - 1))
+            locals_.append(sawtooth(n_requests, max(2, int(rng.integers(lo, max(lo + 1, k))))))
         elif kd == "phased":
             ws = max(1, k // 2)
             phase_len = max(1, n_requests // 8)

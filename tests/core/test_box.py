@@ -7,7 +7,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import Box, BoxProfile, HeightLattice, is_power_of_two
+from repro.core import (
+    Box,
+    BoxProfile,
+    HeightLattice,
+    LatticeError,
+    ceil_pow2,
+    is_power_of_two,
+    validate_lattice,
+)
 
 
 class TestPowerOfTwo:
@@ -18,15 +26,68 @@ class TestPowerOfTwo:
         for x in (0, -1, -2, 3, 5, 6, 7, 12, 100):
             assert not is_power_of_two(x)
 
+    def test_ceil_pow2(self):
+        assert [ceil_pow2(x) for x in (1, 2, 3, 4, 5, 17)] == [1, 2, 4, 4, 8, 32]
+        with pytest.raises(ValueError):
+            ceil_pow2(0)
+
+
+class TestLatticeError:
+    """Satellite: one typed error from one validator, messages pinned."""
+
+    def test_is_a_value_error(self):
+        assert issubclass(LatticeError, ValueError)
+
+    def test_p_greater_than_k_message_and_fields(self):
+        with pytest.raises(LatticeError) as ei:
+            validate_lattice(4, 8)
+        err = ei.value
+        assert err.param == "p" and err.value == 8 and err.rounded == 4
+        assert str(err) == "need p <= k (got p=8; nearest valid p is 4)"
+
+    def test_k_below_one_message_and_fields(self):
+        with pytest.raises(LatticeError) as ei:
+            validate_lattice(0, 1)
+        err = ei.value
+        assert err.param == "k" and err.value == 0 and err.rounded == 1
+        assert str(err) == "cache size k must be >= 1 (got k=0; nearest valid k is 1)"
+
+    def test_p_below_one_message_and_fields(self):
+        with pytest.raises(LatticeError) as ei:
+            validate_lattice(8, 0)
+        err = ei.value
+        assert err.param == "p" and err.value == 0 and err.rounded == 1
+        assert str(err) == "processor count p must be >= 1 (got p=0; nearest valid p is 1)"
+
+    def test_constructor_raises_through_the_single_validator(self):
+        # old constructor path: invalid geometry still refused, now typed
+        with pytest.raises(LatticeError):
+            HeightLattice(k=4, p=8)  # p > k
+        with pytest.raises(LatticeError):
+            HeightLattice(k=0, p=0)
+
 
 class TestHeightLattice:
+    def test_non_power_of_two_accepted(self):
+        # new constructor path: arbitrary k >= p >= 1 builds a lattice
+        lat = HeightLattice(k=100, p=4)
+        assert lat.heights == (25, 50, 100)
+        lat = HeightLattice(k=64, p=3)
+        assert lat.heights == (21, 42, 64)
+        assert lat.min_height == 21 and lat.max_height == 64
+
+    def test_non_power_of_two_top_rung_clamps_to_k(self):
+        lat = HeightLattice(k=12, p=5)
+        assert lat.heights == (2, 4, 8, 12)
+        assert lat.levels == 4
+        assert lat.round_up(9) == 12
+        assert lat.level_of(12) == 3
+
     def test_validation(self):
         with pytest.raises(ValueError):
-            HeightLattice(k=100, p=4)  # k not power of two
-        with pytest.raises(ValueError):
-            HeightLattice(k=64, p=3)  # p not power of two
-        with pytest.raises(ValueError):
             HeightLattice(k=4, p=8)  # p > k
+        with pytest.raises(ValueError):
+            HeightLattice(k=8, p=0)  # p < 1
 
     def test_heights(self):
         lat = HeightLattice(k=64, p=8)

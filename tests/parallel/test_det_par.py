@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import DetPar, audit_balance, audit_well_rounded
+from repro.core import DetPar, LatticeError, audit_balance, audit_well_rounded
 from repro.parallel import peak_concurrent_height
 from repro.workloads import ParallelWorkload, cyclic, make_parallel_workload, scan
 
@@ -19,9 +19,15 @@ def simple_workload(p=4, n=120):
 
 
 class TestValidation:
-    def test_cache_power_of_two(self):
-        with pytest.raises(ValueError):
-            DetPar(48, 4)
+    def test_non_power_of_two_cache_accepted(self):
+        res = DetPar(48, 4).run(simple_workload(p=4, n=60))
+        assert (res.completion_times > 0).all()
+        res.validate()
+
+    def test_invalid_cache_raises_lattice_error(self):
+        with pytest.raises(LatticeError) as ei:
+            DetPar(0, 4)
+        assert str(ei.value) == "cache size k must be >= 1 (got k=0; nearest valid k is 1)"
 
     def test_miss_cost(self):
         with pytest.raises(ValueError):

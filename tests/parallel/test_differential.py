@@ -1,0 +1,213 @@
+"""Differential harness: the event backend ≡ the reference oracle, byte for byte.
+
+This is the lockdown for the event-driven streaming simulator.  Every
+registered algorithm is run twice on the same workload — once on the
+default ``event`` backend (shared :class:`EventScheduler` + kernelized
+:class:`BoxServer`) and once with ``REPRO_SIM=reference`` (the retained
+timestep / per-request oracles) — and everything observable must match
+exactly:
+
+* per-processor completion times (hence makespan and mean completion),
+* the full box trace (heights, wall intervals, service intervals,
+  hit/fault splits),
+* the ``sim.*`` metrics snapshot after :func:`strip_wall`.
+
+A second axis proves streamed execution is invisible: a workload served
+chunk-by-chunk from a :class:`TraceStore` through ``StreamingWorkload``
+produces the same bytes as the in-memory form (modulo the ``sim.traces.*``
+stream-traffic counters, which only exist when streaming).
+
+The grid deliberately mixes powers of two with the newly legal arbitrary
+``k >= p >= 1`` shapes.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import strip_wall
+from repro.parallel import SIM_ENV, open_streaming, sim_backend
+from repro.parallel.schedulers import RunSpec, make_algorithm
+from repro.traces.store import write_store
+from repro.workloads import make_parallel_workload
+
+# (cache_size, p): powers of two and not, including p=1 and k=p.
+GRID = [(16, 2), (64, 8), (48, 4), (100, 5), (12, 3), (7, 1), (5, 5)]
+ALGORITHMS = ["det-par", "rand-par", "black-box-green", "global-lru", "equal-partition"]
+KINDS = ["mixed_kinds", "cyclic", "zipf", "multiscale", "phased"]
+
+
+@contextmanager
+def backend(name):
+    """Scope ``$REPRO_SIM`` to ``name``, restoring the prior value."""
+    old = os.environ.get(SIM_ENV)
+    os.environ[SIM_ENV] = name
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(SIM_ENV, None)
+        else:
+            os.environ[SIM_ENV] = old
+
+
+def run_with_metrics(alg_name, k, s, wl, seed=0):
+    """One observed run; returns (result, strip_wall'ed sim.* snapshot)."""
+    with obs_metrics.collecting() as reg:
+        alg = make_algorithm(RunSpec(algorithm=alg_name, cache_size=k, miss_cost=s, xi=1, seed=seed))
+        res = alg.run(wl)
+    return res, strip_wall(reg.snapshot())
+
+
+def drop_stream_counters(snap):
+    """Snapshot minus the ``sim.traces.*`` stream-traffic counters, which
+    exist only on streamed runs (the documented, intended difference)."""
+    out = {}
+    for section, metrics in snap.items():
+        if isinstance(metrics, dict):
+            out[section] = {
+                k: v for k, v in metrics.items() if not k.startswith("sim.traces.")
+            }
+        else:
+            out[section] = metrics
+    return out
+
+
+def trace_tuples(res):
+    return [
+        (r.proc, r.height, r.start, r.end, r.served_start, r.served_end, r.hits, r.faults, r.tag)
+        for r in res.trace
+    ]
+
+
+def assert_identical(a, b, ctx=""):
+    """Byte-level equality of everything observable about two runs."""
+    assert a.algorithm == b.algorithm, ctx
+    assert a.completion_times.tolist() == b.completion_times.tolist(), (
+        f"{ctx}: completions {a.completion_times} != {b.completion_times}"
+    )
+    assert trace_tuples(a) == trace_tuples(b), f"{ctx}: box traces differ"
+    assert a.makespan == b.makespan, ctx
+    if a.algorithm == "global-lru":
+        assert a.meta == b.meta, f"{ctx}: hit/fault counts differ"
+
+
+def feasible(alg, k, p):
+    """Skip grid cells an algorithm rejects by design (not a backend issue)."""
+    if alg == "black-box-green":
+        # needs K/2 >= next_pow2(p) at run time
+        pw = 1 << (max(1, p) - 1).bit_length()
+        return k // 2 >= pw
+    return True
+
+
+class TestBackendSwitch:
+    def test_default_is_event(self, monkeypatch):
+        monkeypatch.delenv(SIM_ENV, raising=False)
+        assert sim_backend() == "event"
+
+    @pytest.mark.parametrize("value,expect", [
+        ("event", "event"), ("fast", "event"),
+        ("reference", "reference"), ("ref", "reference"), ("timestep", "reference"),
+    ])
+    def test_aliases(self, monkeypatch, value, expect):
+        monkeypatch.setenv(SIM_ENV, value)
+        assert sim_backend() == expect
+
+    def test_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv(SIM_ENV, "warp-drive")
+        with pytest.raises(ValueError, match="REPRO_SIM"):
+            sim_backend()
+
+
+class TestEventEqualsReference:
+    """The headline property: event ≡ reference on the full matrix."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        case=st.sampled_from(GRID),
+        alg=st.sampled_from(ALGORITHMS),
+        kind=st.sampled_from(KINDS),
+        s=st.sampled_from([2, 4, 8]),
+    )
+    def test_differential(self, seed, case, alg, kind, s):
+        k, p = case
+        if not feasible(alg, k, p):
+            return
+        wl = make_parallel_workload(
+            p=p, n_requests=120, k=k, rng=np.random.default_rng(seed), kind=kind
+        )
+        try:
+            with backend("event"):
+                res_e, snap_e = run_with_metrics(alg, k, s, wl, seed=seed)
+        except ValueError:
+            # infeasible cell (e.g. det-par reservation does not fit):
+            # the reference backend must reject it identically
+            with backend("reference"):
+                with pytest.raises(ValueError):
+                    run_with_metrics(alg, k, s, wl, seed=seed)
+            return
+        with backend("reference"):
+            res_r, snap_r = run_with_metrics(alg, k, s, wl, seed=seed)
+        assert_identical(res_e, res_r, ctx=f"{alg} k={k} p={p} kind={kind} s={s} seed={seed}")
+        assert snap_e == snap_r, f"{alg}: sim.* metrics drifted between backends"
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    @pytest.mark.parametrize("k,p", [(64, 8), (100, 5)])
+    def test_pinned_cells(self, alg, k, p):
+        """Deterministic non-hypothesis cells for quick bisection."""
+        if not feasible(alg, k, p):
+            pytest.skip("algorithm rejects this cell by design")
+        wl = make_parallel_workload(p=p, n_requests=200, k=k, rng=np.random.default_rng(42))
+        with backend("event"):
+            res_e, snap_e = run_with_metrics(alg, k, 4, wl)
+        with backend("reference"):
+            res_r, snap_r = run_with_metrics(alg, k, 4, wl)
+        assert_identical(res_e, res_r, ctx=f"{alg} k={k} p={p}")
+        assert snap_e == snap_r
+
+
+class TestStreamedEqualsInMemory:
+    """Streaming is an execution detail: same bytes as the in-memory run."""
+
+    @pytest.fixture()
+    def stored(self, tmp_path):
+        wl = make_parallel_workload(p=4, n_requests=300, k=32, rng=np.random.default_rng(11))
+        store = write_store(tmp_path / "diff.store", wl, chunk_rows=64)
+        return wl, open_streaming(store)
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_streamed_event_matches_memory(self, stored, alg):
+        wl, sw = stored
+        with backend("event"):
+            mem, _ = run_with_metrics(alg, 32, 4, wl)
+            srm, _ = run_with_metrics(alg, 32, 4, sw)
+        assert_identical(mem, srm, ctx=f"{alg} streamed-vs-memory")
+
+    @pytest.mark.parametrize("alg", ALGORITHMS)
+    def test_streamed_reference_matches_too(self, stored, alg):
+        wl, sw = stored
+        with backend("reference"):
+            mem, _ = run_with_metrics(alg, 32, 4, wl)
+            srm, _ = run_with_metrics(alg, 32, 4, sw)
+        assert_identical(mem, srm, ctx=f"{alg} streamed-reference")
+
+    def test_stream_counters_only_on_streamed_runs(self, stored):
+        wl, sw = stored
+        with backend("event"):
+            _, snap_mem = run_with_metrics("det-par", 32, 4, wl)
+            _, snap_str = run_with_metrics("det-par", 32, 4, sw)
+        counters_mem = snap_mem.get("counters", {})
+        counters_str = snap_str.get("counters", {})
+        assert not [k for k in counters_mem if k.startswith("sim.traces.")]
+        assert [k for k in counters_str if k.startswith("sim.traces.chunks")]
+        # everything that is not stream traffic is identical
+        assert drop_stream_counters(snap_mem) == drop_stream_counters(snap_str)

@@ -1,11 +1,19 @@
-"""Tests for run-result records and the capacity ledger."""
+"""Tests for the event scheduler, run-result records, and the capacity ledger."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.parallel import BoxRecord, ParallelRunResult, capacity_profile, peak_concurrent_height
+from repro.parallel import (
+    BoxRecord,
+    EventScheduler,
+    ParallelRunResult,
+    capacity_profile,
+    peak_concurrent_height,
+)
 
 
 def rec(proc=0, height=4, start=0, end=10, ss=0, se=2, hits=1, faults=1, tag=""):
@@ -13,6 +21,101 @@ def rec(proc=0, height=4, start=0, end=10, ss=0, se=2, hits=1, faults=1, tag="")
         proc=proc, height=height, start=start, end=end,
         served_start=ss, served_end=se, hits=hits, faults=faults, tag=tag,
     )
+
+
+class TestEventScheduler:
+    def test_pops_in_time_order(self):
+        sched = EventScheduler()
+        sched.schedule(30, "c")
+        sched.schedule(10, "a")
+        sched.schedule(20, "b")
+        assert [sched.pop()[2] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_among_same_time_events(self):
+        sched = EventScheduler()
+        for tag in "abcd":
+            sched.schedule(5, tag)
+        assert [sched.pop()[2] for _ in range(4)] == ["a", "b", "c", "d"]
+
+    def test_explicit_priority_overrides_fifo(self):
+        sched = EventScheduler()
+        sched.schedule(5, "late", priority=2)
+        sched.schedule(5, "early", priority=1)
+        assert sched.pop()[2] == "early"
+        assert sched.pop()[2] == "late"
+
+    def test_priority_only_breaks_ties_within_one_time(self):
+        sched = EventScheduler()
+        sched.schedule(9, "t9", priority=0)
+        sched.schedule(3, "t3", priority=99)
+        assert sched.pop()[2] == "t3"
+
+    def test_pop_returns_time_token_kind_data(self):
+        sched = EventScheduler()
+        token = sched.schedule(7, "k", {"x": 1})
+        assert sched.pop() == (7, token, "k", {"x": 1})
+
+    def test_cancel_skips_event_and_len_accounts(self):
+        sched = EventScheduler()
+        keep = sched.schedule(1, "keep")
+        drop = sched.schedule(0, "drop")
+        sched.cancel(drop)
+        assert len(sched) == 1 and bool(sched)
+        assert sched.pop()[1] == keep
+        assert len(sched) == 0 and not sched
+
+    def test_peek_time_skips_cancelled(self):
+        sched = EventScheduler()
+        first = sched.schedule(1, "a")
+        sched.schedule(4, "b")
+        sched.cancel(first)
+        assert sched.peek_time() == 4
+
+    def test_empty_pop_and_peek_raise(self):
+        sched = EventScheduler()
+        with pytest.raises(IndexError):
+            sched.pop()
+        with pytest.raises(IndexError):
+            sched.peek_time()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        events=st.lists(
+            st.tuples(st.integers(0, 50), st.one_of(st.none(), st.integers(0, 5))),
+            max_size=40,
+        )
+    )
+    def test_heap_order_invariant(self, events):
+        """Pops are sorted by (time, priority, sequence) — never by payload."""
+        sched = EventScheduler()
+        expected = []
+        for seq, (time, prio) in enumerate(events):
+            sched.schedule(time, "e", seq, priority=prio)
+            expected.append((time, seq if prio is None else prio, seq))
+        expected.sort()
+        popped = []
+        while sched:
+            t, _, _, seq = sched.pop()
+            popped.append(seq)
+        assert popped == [seq for (_, _, seq) in expected]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        events=st.lists(st.integers(0, 30), min_size=1, max_size=30),
+        drop=st.sets(st.integers(0, 29)),
+    )
+    def test_cancel_equivalent_to_never_scheduling(self, events, drop):
+        a, b = EventScheduler(), EventScheduler()
+        tokens = [a.schedule(t, "e", i) for i, t in enumerate(events)]
+        for i, t in enumerate(events):
+            if i not in drop:
+                b.schedule(t, "e", i)
+        for i in drop:
+            if i < len(tokens):
+                a.cancel(tokens[i])
+        order_a = [a.pop()[3] for _ in range(len(a))]
+        order_b = [b.pop()[3] for _ in range(len(b))]
+        assert order_a == order_b
 
 
 class TestBoxRecord:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import RandPar, next_power_of_two
+from repro.core import LatticeError, RandPar, next_power_of_two
 from repro.parallel import peak_concurrent_height
 from repro.workloads import ParallelWorkload, cyclic, make_parallel_workload, scan
 
@@ -24,9 +24,14 @@ class TestValidation:
         with pytest.raises(ValueError):
             next_power_of_two(0)
 
-    def test_cache_power_of_two(self):
-        with pytest.raises(ValueError):
-            RandPar(48, 4, rng())
+    def test_non_power_of_two_cache_accepted(self):
+        res = RandPar(48, 4, rng()).run(simple_workload(p=4, n=60))
+        assert res.meta["finished"]
+
+    def test_invalid_cache_raises_lattice_error(self):
+        with pytest.raises(LatticeError) as ei:
+            RandPar(0, 4, rng())
+        assert str(ei.value) == "cache size k must be >= 1 (got k=0; nearest valid k is 1)"
 
     def test_miss_cost(self):
         with pytest.raises(ValueError):
@@ -35,8 +40,9 @@ class TestValidation:
     def test_cache_too_small_for_p(self):
         alg = RandPar(4, 4, rng())
         wl = simple_workload(p=8)
-        with pytest.raises(ValueError):
+        with pytest.raises(LatticeError) as ei:
             alg.run(wl)
+        assert str(ei.value) == "need p <= k (got p=8; nearest valid p is 4)"
 
 
 class TestExecution:

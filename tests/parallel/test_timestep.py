@@ -114,6 +114,37 @@ def _run_full_rescan(workload, cache_size, miss_cost):
     return completion, {"hits": cache.hits, "faults": cache.faults}
 
 
+def test_reference_backend_is_byte_identical(monkeypatch):
+    """REPRO_SIM=reference routes to the retained rescan oracle in-module."""
+    r = np.random.default_rng(77)
+    for _ in range(5):
+        p = int(r.integers(1, 7))
+        wl = ParallelWorkload.from_local(
+            [r.integers(0, 24, size=int(r.integers(30, 120))) for _ in range(p)]
+        )
+        monkeypatch.delenv("REPRO_SIM", raising=False)
+        event = GlobalLRU(12, 6).run(wl)
+        monkeypatch.setenv("REPRO_SIM", "reference")
+        ref = GlobalLRU(12, 6).run(wl)
+        assert event.completion_times.tolist() == ref.completion_times.tolist()
+        assert event.meta == ref.meta
+
+
+def test_streamed_run_matches_memory(tmp_path):
+    from repro.parallel.streaming import open_streaming
+    from repro.traces.store import write_store
+
+    r = np.random.default_rng(3)
+    wl = ParallelWorkload.from_local(
+        [r.integers(0, 30, size=200) for _ in range(4)]
+    )
+    sw = open_streaming(write_store(tmp_path / "g.store", wl, chunk_rows=32))
+    a = GlobalLRU(16, 8).run(wl)
+    b = GlobalLRU(16, 8).run(sw)
+    assert a.completion_times.tolist() == b.completion_times.tolist()
+    assert a.meta == b.meta
+
+
 def test_heap_loop_is_byte_identical_to_full_rescan():
     rng = np.random.default_rng(42)
     for trial in range(20):

@@ -54,6 +54,32 @@ class TestSimulatorsPassReplay:
             assert v.ok, (alg.name, v.errors[:3])
 
 
+class TestVerifierBackendsAndStreaming:
+    def _wl(self):
+        return make_parallel_workload(p=3, n_requests=150, k=16, rng=rng(8))
+
+    def test_reference_backend_verifies_identically(self, monkeypatch):
+        wl = self._wl()
+        res = DetPar(32, 8).run(wl)
+        assert verify_trace(res, wl).ok
+        monkeypatch.setenv("REPRO_SIM", "reference")
+        v = verify_trace(res, wl)
+        assert v.ok, v.errors[:3]
+        assert v.boxes_checked == len(res.trace)
+
+    def test_streamed_workload_verifies(self, tmp_path):
+        from repro.parallel.streaming import open_streaming
+        from repro.traces.store import write_store
+
+        wl = self._wl()
+        sw = open_streaming(write_store(tmp_path / "v.store", wl, chunk_rows=32))
+        res = DetPar(32, 8).run(sw)
+        v = verify_trace(res, sw)
+        assert v.ok, v.errors[:3]
+        # and the streamed run verifies against the in-memory workload too
+        assert verify_trace(res, wl).ok
+
+
 class TestVerifierCatchesCorruption:
     def _good_run(self):
         wl = ParallelWorkload.from_local([cyclic(120, 5) for _ in range(3)])

@@ -68,6 +68,68 @@ class TestBuilders:
             fam.clip_config(cfg, "quick")
 
 
+class TestParallelSchedulesFamily:
+    """Expected-shape properties of the Albers-Hellwig makespan family."""
+
+    FAM = "parallel-schedules"
+
+    def _cfg(self, **over):
+        fam = get_family(self.FAM)
+        cfg = fam.default_config("quick")
+        cfg.update(over)
+        return fam.clip_config(cfg, "quick")
+
+    def test_registered_with_geometry_params(self):
+        fam = get_family(self.FAM)
+        names = {p.name for p in fam.params}
+        assert {"p_exp", "k_exp", "s_factor", "length"} <= names
+        assert {"small_frac", "big_frac", "tail_frac", "imbalance", "jobs"} <= names
+
+    def test_quick_bounds_subset_of_full(self):
+        fam = get_family(self.FAM)
+        for p in fam.params:
+            qlo, qhi = p.bounds("quick")
+            flo, fhi = p.bounds("full")
+            assert flo <= qlo <= qhi <= fhi, p.name
+
+    def test_tail_imbalance_orders_lengths(self):
+        built = build_candidate(self.FAM, self._cfg(imbalance=4.0), workload_seed=0)
+        lengths = [len(sq) for sq in built.workload.sequences]
+        # geometric tail weights: later processors carry strictly more work
+        assert lengths[-1] > lengths[0]
+
+    def test_tail_working_set_is_large(self):
+        cfg = self._cfg(big_frac=1.5, small_frac=0.2, tail_frac=0.5)
+        built = build_candidate(self.FAM, cfg, workload_seed=0)
+        k = built.k
+        small = max(2, int(round(cfg["small_frac"] * k / built.workload.p)))
+        big = max(small + 1, int(round(cfg["big_frac"] * k)))
+        seq = built.workload.sequences[0]
+        tail = seq[-min(len(seq), big):]
+        head = seq[: max(1, len(seq) // 4)]
+        # the tail job cycles over a working set far wider than any small job
+        assert len(np.unique(tail)) > len(np.unique(head))
+
+    def test_mutate_and_neighbors_stay_in_bounds(self):
+        fam = get_family(self.FAM)
+        rng = np.random.default_rng(5)
+        cfg = fam.default_config("quick")
+        for p in fam.params:
+            lo, hi = p.bounds("quick")
+            for _ in range(5):
+                assert lo <= p.mutate(cfg[p.name], rng, "quick") <= hi
+            for nb in p.neighbors(cfg[p.name], "quick"):
+                assert lo <= nb <= hi
+                assert nb != cfg[p.name]
+
+    def test_varies_with_workload_seed(self):
+        fam = get_family(self.FAM)
+        cfg = fam.default_config("quick")
+        a = fam.build(cfg, workload_seed=0)
+        b = fam.build(cfg, workload_seed=1)
+        assert content_digest_of(a.workload.sequences) != content_digest_of(b.workload.sequences)
+
+
 class TestSeedSensitivity:
     def test_stochastic_families_vary_with_workload_seed(self):
         fam = FAMILY_REGISTRY["biased-random"]

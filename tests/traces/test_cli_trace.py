@@ -90,6 +90,25 @@ class TestRunCommand:
         assert digest[:12] in out  # row carries the trace digest
         assert digest in csv_path.read_text()
 
+    def test_run_stream_matches_in_memory_rows(self, trace_file, registry_args, tmp_path, capsys):
+        # regression: --stream hands run_experiment a StreamingWorkload
+        # view, which resolve_workload must pass through untouched (it
+        # once round-tripped everything non-ParallelWorkload back
+        # through the registry by name and crashed)
+        path, _ = trace_file
+        main(["trace"] + registry_args + ["import", str(path), "--name", "demo"])
+        common = [
+            "run", "--trace", "demo", "--registry", str(tmp_path / "reg"),
+            "--algorithms", "det-par,global-lru", "--cache-size", "16",
+            "--miss-cost", "4", "--seeds", "2", "--no-lb", "--no-cache",
+        ]
+        memory_csv = tmp_path / "memory.csv"
+        streamed_csv = tmp_path / "streamed.csv"
+        assert main(common + ["--csv", str(memory_csv)]) == 0
+        assert main(common + ["--stream", "--csv", str(streamed_csv)]) == 0
+        capsys.readouterr()
+        assert streamed_csv.read_text() == memory_csv.read_text()
+
     def test_run_unknown_trace_fails_cleanly(self, registry_args, tmp_path, capsys):
         code = main(
             ["run", "--trace", "ghost", "--registry", str(tmp_path / "reg"),

@@ -205,6 +205,52 @@ reuse-distance precompute plus vectorized box evaluation that is
   `BoxRun`s, DP impacts, result rows, and `sim.*` metrics between the
   two backends.
 
+## Event-driven parallel simulation
+
+`repro.parallel` runs every parallel-paging algorithm — RAND-PAR,
+DET-PAR, the black-box packing construction, GLOBAL-LRU — on one
+deterministic event scheduler, streamed from the trace store in bounded
+memory, with the historical per-timestep loops retained as a
+byte-identical oracle:
+
+- **One event queue.** `EventScheduler` is a min-heap of
+  `(time, priority, sequence)`-ordered events with O(1) lazy `cancel`.
+  `priority` defaults to the push sequence (FIFO among same-time
+  events — DET-PAR's historical `(t, counter)` order); passing it
+  explicitly pins a domain tie-break (GLOBAL-LRU passes the processor
+  index, so same-time completions serve in ascending processor order).
+  Ordering can never depend on event payloads, and
+  `tests/parallel/test_events.py` holds the invariant under hypothesis.
+- **Arbitrary `k >= p >= 1`.** `HeightLattice` is a doubling ladder
+  from `max(1, k // p)` clamped at `k` — identical to the paper's
+  lattice on power-of-two inputs, well-defined on everything else, with
+  `round_up` as the explicit ceil-to-lattice policy.  Validation is one
+  function, `validate_lattice(k, p)`, raising a typed `LatticeError`
+  that carries the offending value and the nearest valid rounding
+  (`.param`, `.value`, `.rounded`).
+- **Streaming in bounded memory.** `open_streaming(store)` wraps a
+  `TraceStore` as a `StreamingWorkload` — the structural surface of a
+  `ParallelWorkload` (and its exact cache fingerprint) without
+  materializing any column.  Box algorithms consume it through
+  `make_box_server`, which feeds per-processor `StreamKernel`s
+  chunk-by-chunk just ahead of the execution position and compacts the
+  served prefix behind it: resident rows per processor are bounded by
+  the largest box budget plus one store chunk, independent of trace
+  length (`benchmarks/bench_stream.py` proves it with `tracemalloc` on
+  a million-request, 1024-processor run).  GLOBAL-LRU streams through
+  `request_feed` the same way.  `repro run --trace <ref> --stream`
+  selects the path from the CLI; `sim.traces.*` counters record the
+  chunk traffic.
+- **Differential lockdown.** `REPRO_SIM=reference` routes every
+  simulator back to the retained oracles (per-timestep full rescan for
+  GLOBAL-LRU, per-request `run_box` for the box algorithms), mirroring
+  `REPRO_KERNEL`.  Both backends — and streamed vs in-memory forms —
+  produce byte-identical completion times, box traces, and
+  (wall-stripped) `sim.*` snapshots across the `(k, p, algorithm,
+  workload-family)` matrix, powers of two or not;
+  `tests/parallel/test_differential.py` is the harness and CI's
+  `stream` job replays it end-to-end through the CLI.
+
 ## Observability
 
 `repro.obs` is a determinism-first metrics and tracing layer: simulation
