@@ -1,4 +1,4 @@
-"""Benchmark: fast reuse-distance kernel vs the reference dict-LRU loop.
+"""Benchmark: reference dict-LRU loop vs numpy fast kernel vs native tier.
 
 Two measurements, both best-of-``ROUNDS`` wall clock with rounds
 interleaved across backends (same drift-cancelling idiom as bench_obs):
@@ -12,13 +12,18 @@ interleaved across backends (same drift-cancelling idiom as bench_obs):
   DP solves with RAND-GREEN box rollouts and the scheduling harness.
 
 Backends are selected via the ``REPRO_KERNEL`` environment variable
-(``fast`` / ``reference``), the same escape hatch users have.  Results
-go to ``benchmarks/out/BENCH_kernel.json`` **and** to the repo-root
+(``reference`` / ``fast`` / ``native``), the same escape hatch users
+have.  The native tier compiles through numba when importable, else
+through the bundled C source via ``cc``; when neither is available it
+falls back to the numpy fast path and the report records
+``native_flavor: null``.  Results go to
+``benchmarks/out/BENCH_kernel.json`` **and** to the repo-root
 ``BENCH_kernel.json``, which is committed per-PR (ROADMAP item 2c) so
 the bench trajectory is diffable in review.  The run **fails** if the
-fast kernel is slower than the reference loop on the DP microbench, or
-if either measurement's outputs differ between backends (the kernel is
-only valid if it is bit-identical).
+fast kernel is slower than the reference loop on the DP microbench, if
+a compiled native flavor is slower than the fast kernel there, or if
+any measurement's outputs differ between backends (the kernels are
+only valid if they are bit-identical).
 """
 
 from __future__ import annotations
@@ -33,7 +38,7 @@ import numpy as np
 from repro.core.box import HeightLattice
 from repro.experiments import run_named_experiment
 from repro.green.offline import optimal_box_profile
-from repro.paging.kernel import clear_kernel_cache
+from repro.paging.kernel import clear_kernel_cache, native_flavor
 from repro.workloads.generators import multiscale_cycles, polluted_cycle, scan
 
 ROUNDS = 3
@@ -107,38 +112,51 @@ def bench_kernel_speedup(benchmark, out_dir):
 
         return run
 
-    # warm imports, lattice caches, and the page cache out of the measurement
+    # warm imports, lattice caches, the page cache, and (for the native
+    # tier) the one-off numba JIT / cc compile out of the measurement
     with_backend("fast", run_e1)
+    flavor = with_backend("native", lambda: native_flavor())
+    with_backend("native", solve_dp)
 
-    dp_ref, dp_fast, e1_ref, e1_fast = _best_of_interleaved(
+    dp_ref, dp_fast, dp_native, e1_ref, e1_fast, e1_native = _best_of_interleaved(
         [
             timed("reference", solve_dp, "dp"),
             timed("fast", solve_dp, "dp"),
+            timed("native", solve_dp, "dp"),
             timed("reference", run_e1, "e1"),
             timed("fast", run_e1, "e1"),
+            timed("native", run_e1, "e1"),
         ]
     )
-    benchmark.pedantic(timed("fast", solve_dp, "dp"), rounds=1, iterations=1)
+    benchmark.pedantic(timed("native", solve_dp, "dp"), rounds=1, iterations=1)
 
-    assert outputs[("reference", "dp")] == outputs[("fast", "dp")], (
-        "DP impacts differ between kernels — the fast kernel is not bit-identical"
-    )
-    assert outputs[("reference", "e1")] == outputs[("fast", "e1")], (
-        "E1 result rows differ between kernels — the fast kernel is not bit-identical"
-    )
+    for backend in ("fast", "native"):
+        assert outputs[("reference", "dp")] == outputs[(backend, "dp")], (
+            f"DP impacts differ between kernels — the {backend} kernel is "
+            f"not bit-identical"
+        )
+        assert outputs[("reference", "e1")] == outputs[(backend, "e1")], (
+            f"E1 result rows differ between kernels — the {backend} kernel "
+            f"is not bit-identical"
+        )
 
     report = {
         "rounds": ROUNDS,
         "dp_cells": [name for name, *_ in cells],
+        "native_flavor": flavor,
         "dp": {
             "reference_s": dp_ref,
             "fast_s": dp_fast,
+            "native_s": dp_native,
             "speedup": dp_ref / dp_fast,
+            "native_speedup_vs_fast": dp_fast / dp_native,
         },
         "e1_quick": {
             "reference_s": e1_ref,
             "fast_s": e1_fast,
+            "native_s": e1_native,
             "speedup": e1_ref / e1_fast,
+            "native_speedup_vs_fast": e1_fast / e1_native,
         },
         "outputs_identical": True,
     }
@@ -152,3 +170,10 @@ def bench_kernel_speedup(benchmark, out_dir):
         f"fast kernel is slower than the reference loop on the offline DP "
         f"(fast={dp_fast:.3f}s, reference={dp_ref:.3f}s)"
     )
+    if flavor is not None:
+        # with no numba and no cc the native tier *is* the fast path, so
+        # there is nothing to gate; with a compiled flavor it must win.
+        assert dp_native <= dp_fast, (
+            f"native kernel ({flavor}) is slower than the numpy fast path on "
+            f"the offline DP (native={dp_native:.3f}s, fast={dp_fast:.3f}s)"
+        )

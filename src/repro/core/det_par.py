@@ -50,15 +50,22 @@ from .rand_par import next_power_of_two
 __all__ = ["DetPar"]
 
 
-@dataclass
 class _Segment:
-    """A processor's current execution interval: one (possibly trimmed) box."""
+    """A processor's current execution interval: one (possibly trimmed) box.
 
-    height: int
-    start: int
-    end: int
-    token: int
-    tag: str
+    A ``__slots__`` class with a hand-written ``__init__``: one segment is
+    allocated per box, and the generated dataclass constructor plus a
+    per-instance ``__dict__`` are measurable at streamed scale.
+    """
+
+    __slots__ = ("height", "start", "end", "token", "tag")
+
+    def __init__(self, height: int, start: int, end: int, token: int, tag: str) -> None:
+        self.height = height
+        self.start = start
+        self.end = end
+        self.token = token
+        self.tag = tag
 
 
 @dataclass
@@ -160,12 +167,12 @@ class DetPar:
         phase_start_active = 0
         base_height = 1
 
-        def push(t: int, kind: str, data: tuple) -> None:
-            sched.schedule(t, kind, data)
+        push = sched.schedule  # one frame less per event at streamed scale
+        serve = server.serve
 
         def finalize(i: int, t: int) -> None:
             """Execute processor i's current segment up to time t."""
-            nonlocal token_counter, remaining
+            nonlocal remaining
             seg = segments[i]
             if seg is None:
                 return
@@ -173,7 +180,7 @@ class DetPar:
             budget = t - seg.start
             if budget <= 0:
                 return
-            run = server.serve(i, pos[i], seg.height, budget)
+            run = serve(i, pos[i], seg.height, budget)
             trace.append(
                 BoxRecord(
                     proc=i,
@@ -244,8 +251,12 @@ class DetPar:
         needs_rebuild = False
         rebuild_time = 0
 
-        while sched and remaining > 0:
-            t, _, kind, data = sched.pop()
+        pop = sched.pop
+        while remaining > 0:
+            try:
+                t, _, kind, data = pop()
+            except IndexError:
+                break  # queue drained (the __bool__ check, minus a per-event scan)
             if kind == "seg_end":
                 i, token = data
                 seg = segments[i]

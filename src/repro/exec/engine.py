@@ -41,6 +41,7 @@ from ..obs import tracing as obs_tracing
 from ..obs.runtime import absorb_outcome
 from .cache import ResultCache
 from .checkpoint import RunCheckpoint
+from .handoff import HandoffManager, PreparedTask, execute_prepared
 from .policy import ExecutionPolicy, FailedCell, UnitExecutionError, UnitTimeoutError, run_unit_with_policy
 from .telemetry import TELEMETRY, CellRecord, Telemetry
 from .units import CellOutcome, WorkUnit, execute_unit
@@ -151,7 +152,17 @@ class ExecutionEngine:
                     stacklevel=3,
                 )
             else:
-                self._run_pooled(pool, pending, units, keys, on_complete)
+                # zero-copy handoff: heavy payloads leave the pickle path
+                # (spilled stores, shared-memory arrays) before submission.
+                # Keys were already computed from the original units, and
+                # the manager releases its segments only after the pool
+                # has fully drained — including crash-recovery resubmits.
+                with HandoffManager() as manager:
+                    tasks = manager.prepare_batch(units, pending)
+                    for i in pending:
+                        if tasks[i] is None:
+                            tasks[i] = units[i]
+                    self._run_pooled(pool, pending, tasks, keys, on_complete)
                 return
         for i in pending:
             outcome, attempts = run_unit_with_policy(units[i], self.policy, key=keys[i] or "")
@@ -215,7 +226,11 @@ class ExecutionEngine:
                 while ready and len(inflight) < workers:
                     idx, attempt = ready.popleft()
                     first_start.setdefault(idx, time.monotonic())
-                    future = pool.submit(execute_unit, units[idx])
+                    unit = units[idx]
+                    if isinstance(unit, PreparedTask):
+                        future = pool.submit(execute_prepared, unit)
+                    else:
+                        future = pool.submit(execute_unit, unit)
                     deadline = (time.monotonic() + policy.timeout_s) if policy.timeout_s else None
                     inflight[future] = (idx, attempt, deadline)
                 if not inflight:

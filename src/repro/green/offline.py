@@ -34,7 +34,7 @@ import numpy as np
 from ..core.box import BoxProfile, HeightLattice
 from ..obs import metrics as obs_metrics
 from ..paging.engine import run_box
-from ..paging.kernel import maybe_kernel
+from ..paging.kernel import maybe_kernel, native_dp_solve
 
 __all__ = ["OfflineGreenResult", "optimal_box_profile", "prefix_optimal_impacts"]
 
@@ -99,24 +99,32 @@ def optimal_box_profile(
         # scalar indexing would triple the cost.
         hladder = tuple(int(h) for h in heights)
         budgets = tuple(s * h for h in hladder)
-        ends = kern.ladder_plan(hladder, budgets, s).ends
-        dist_l = [_INF] * (n + 1)
-        parent_pos_l = [-1] * (n + 1)
-        parent_h_l = [0] * (n + 1)
-        dist_l[0] = 0
-        for q in range(n):
-            d = dist_l[q]
-            if d == _INF:
-                continue
-            for h, c, end in zip(hladder, costs, ends(q)):
-                nd = d + c
-                if nd < dist_l[end]:
-                    dist_l[end] = nd
-                    parent_pos_l[end] = q
-                    parent_h_l[end] = h
-        dist = np.array(dist_l, dtype=np.int64)
-        parent_pos = np.array(parent_pos_l, dtype=np.int64)
-        parent_h = np.array(parent_h_l, dtype=np.int64)
+        solved = native_dp_solve(kern, hladder, budgets, tuple(costs), s, _INF)
+        if solved is not None:
+            # REPRO_KERNEL=native: the whole relaxation runs compiled,
+            # with the exact tie-breaking of the python sweep below
+            # (ascending start, ascending ladder level, strict '<'), so
+            # parents — not just distances — stay bit-identical.
+            dist, parent_pos, parent_h = solved
+        else:
+            ends = kern.ladder_plan(hladder, budgets, s).ends
+            dist_l = [_INF] * (n + 1)
+            parent_pos_l = [-1] * (n + 1)
+            parent_h_l = [0] * (n + 1)
+            dist_l[0] = 0
+            for q in range(n):
+                d = dist_l[q]
+                if d == _INF:
+                    continue
+                for h, c, end in zip(hladder, costs, ends(q)):
+                    nd = d + c
+                    if nd < dist_l[end]:
+                        dist_l[end] = nd
+                        parent_pos_l[end] = q
+                        parent_h_l[end] = h
+            dist = np.array(dist_l, dtype=np.int64)
+            parent_pos = np.array(parent_pos_l, dtype=np.int64)
+            parent_h = np.array(parent_h_l, dtype=np.int64)
     else:
         dist = np.full(n + 1, _INF, dtype=np.int64)
         # parent pointers for profile reconstruction: best (prev_pos, height)

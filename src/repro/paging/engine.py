@@ -332,7 +332,7 @@ def execute_profile_streaming(
     runs: List[BoxRun] = []
     height_it: Iterator[int] = iter(heights)
     chunk_it: Iterator[np.ndarray] = iter(chunks)
-    stream = _kernel.StreamKernel() if _kernel.kernel_backend() == "fast" else None
+    stream = _kernel.StreamKernel() if _kernel.kernel_backend() != "reference" else None
     parts: Deque[np.ndarray] = deque()  # reference backend: resident chunks
     base = 0  # global index of parts[0][0]
     loaded = 0  # total requests pulled from the stream so far

@@ -25,7 +25,12 @@ O(n · levels) times per solve, so the amortization is dramatic.
 :func:`run_box_fast` is cross-checked bit-identical to the dict-LRU
 reference :func:`repro.paging.engine.run_box` by the property suite in
 ``tests/paging/test_kernel.py``.  Set ``REPRO_KERNEL=reference`` to make
-every threaded call site fall back to the reference loop.
+every threaded call site fall back to the reference loop, or
+``REPRO_KERNEL=native`` to route the reuse-distance sweep, the box
+service walk, and the offline DP relaxation through the compiled
+primitives of :mod:`repro.paging._native` (numba when installed, else a
+cc-compiled ctypes library; degrades to the numpy fast path when
+neither is available).  All three tiers produce bit-identical rows.
 
 Two kernel flavors:
 
@@ -46,6 +51,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from ._native import native_flavor, native_ops
 from .engine import BoxRun, run_box
 
 __all__ = [
@@ -54,7 +60,11 @@ __all__ = [
     "run_box_fast",
     "get_kernel",
     "maybe_kernel",
+    "peek_kernel",
+    "seed_kernel",
     "kernel_backend",
+    "native_flavor",
+    "native_dp_solve",
     "clear_kernel_cache",
     "KERNEL_ENV",
 ]
@@ -144,27 +154,51 @@ def _reuse_vectorized(prev: np.ndarray, nxt: np.ndarray, n: int, start: int = 0)
 
 
 def kernel_backend() -> str:
-    """The active box-engine backend: ``"fast"`` (default) or ``"reference"``.
+    """The active box-engine backend: ``"fast"`` (default), ``"native"``,
+    or ``"reference"``.
 
-    Controlled by ``$REPRO_KERNEL``.  Both backends produce bit-identical
+    Controlled by ``$REPRO_KERNEL``.  All backends produce bit-identical
     :class:`~repro.paging.engine.BoxRun` values; the reference dict-LRU
-    exists as a cross-check oracle and an escape hatch.
+    exists as a cross-check oracle and an escape hatch, and ``native``
+    routes the inner loops through :mod:`repro.paging._native`.  When
+    ``native`` is requested but no compiled flavor is available (numba
+    not installed, no usable C compiler, or ``REPRO_NATIVE=off``), this
+    resolves to ``"fast"`` — graceful degradation, never an error.
     """
     value = os.environ.get(KERNEL_ENV, "fast").strip().lower() or "fast"
     if value in ("fast", "kernel"):
         return "fast"
     if value in ("reference", "ref"):
         return "reference"
+    if value in ("native", "compiled"):
+        return "native" if native_ops() is not None else "fast"
     raise ValueError(
-        f"unknown {KERNEL_ENV} backend {value!r}; expected 'fast' or 'reference'"
+        f"unknown {KERNEL_ENV} backend {value!r}; expected 'fast', 'native', or 'reference'"
     )
+
+
+def _active_native():
+    """The compiled primitives when ``REPRO_KERNEL=native`` resolves, else None.
+
+    Read at kernel construction: the compiled tier is bit-identical to
+    the numpy path, so a cached kernel built under one setting stays
+    correct if the benchmark harness flips ``$REPRO_KERNEL`` afterwards —
+    it only keeps its construction-time speed.  Flip-sensitive callers
+    (the benchmarks) clear the kernel cache between timings.
+    """
+    value = os.environ.get(KERNEL_ENV, "fast").strip().lower() or "fast"
+    if value in ("native", "compiled"):
+        return native_ops()
+    return None
 
 
 class _KernelOps:
     """Shared vectorized box evaluation over ``prev_occ``/``reuse_dist``.
 
     Subclasses provide ``_prev``/``_reuse`` (int64 arrays, at least
-    ``_n`` valid entries) in *local* coordinates.  No validation happens
+    ``_n`` valid entries) in *local* coordinates plus ``_ops``/``_hand``
+    (the construction-time native primitives and their prepared-probe
+    handle, both ``None`` on the numpy tier).  No validation happens
     here: callers either go through :func:`run_box_fast` (which validates
     like the reference) or pre-validate once (the offline DP).
     """
@@ -172,6 +206,8 @@ class _KernelOps:
     _prev: np.ndarray
     _reuse: np.ndarray
     _n: int
+    _ops: object
+    _hand: object
 
     def box_end(self, start: int, height: int, budget: int, miss_cost: int) -> int:
         """First unserved position after a box — the offline DP's only need.
@@ -179,8 +215,15 @@ class _KernelOps:
         Pre-validated fast path: ``height``/``miss_cost`` are assumed
         legal (hoist the checks out of the probe loop).
         """
-        stop = start + budget
         n = self._n
+        ops = self._ops
+        if ops is not None and start < n:
+            hand = self._hand
+            if hand is None:
+                hand = self._hand = ops.prepare(self._prev, self._reuse)
+            served, _, _ = ops.box_probe(hand, n, start, height, budget, miss_cost)
+            return start + served
+        stop = start + budget
         if stop > n:
             stop = n
         if stop <= start:
@@ -232,7 +275,10 @@ class SequenceKernel(_KernelOps):
     algorithms, and DP solves on the same sequence (see :func:`get_kernel`).
     """
 
-    __slots__ = ("seq", "_prev", "_reuse", "_n", "_weak", "_plan_cache", "_prev_list", "_reuse_list")
+    __slots__ = (
+        "seq", "_prev", "_reuse", "_n", "_weak", "_plan_cache",
+        "_prev_list", "_reuse_list", "_ops", "_hand",
+    )
 
     def __init__(self, seq: np.ndarray) -> None:
         arr = np.ascontiguousarray(seq, dtype=np.int64)
@@ -242,6 +288,7 @@ class SequenceKernel(_KernelOps):
         self._plan_cache: Dict[Tuple, "_LadderPlan"] = {}
         self._prev_list: Optional[List[int]] = None
         self._reuse_list: Optional[List[int]] = None
+        self._hand = None
         n = len(arr)
         self._n = n
         # prev_occ fully vectorized: stable-sort positions by page, then
@@ -252,7 +299,16 @@ class SequenceKernel(_KernelOps):
             order = np.argsort(arr, kind="stable")
             same = arr[order[1:]] == arr[order[:-1]]
             prev[order[1:]] = np.where(same, order[:-1], -1)
-        if n and n <= _VEC_BUILD_MAX:
+        ops = _active_native()
+        self._ops = ops
+        if n and ops is not None:
+            # compiled Fenwick sweep: O(n log n) with a C/jit constant,
+            # bit-identical to both pure-python forms below
+            reuse = np.empty(n, dtype=np.int64)
+            ops.reuse_sweep(prev, 0, n, _COLD, np.zeros(n + 1, dtype=np.int64), n, reuse)
+            self._prev = prev
+            self._reuse = reuse
+        elif n and n <= _VEC_BUILD_MAX:
             nxt = np.full(n, n, dtype=np.int64)
             nxt[order[:-1]] = np.where(same, order[1:], n)
             self._prev = prev
@@ -286,6 +342,29 @@ class SequenceKernel(_KernelOps):
             self._prev = prev
             self._reuse = np.array(reuse_l, dtype=np.int64)
 
+    @classmethod
+    def from_precomputed(
+        cls, seq: np.ndarray, prev: np.ndarray, reuse: np.ndarray
+    ) -> "SequenceKernel":
+        """Wrap already-computed ``prev_occ``/``reuse_dist`` arrays.
+
+        Used by the zero-copy worker handoff: the parent ships its
+        kernel's arrays over shared memory and the worker rebuilds the
+        kernel in O(1) instead of re-running the precompute.  The arrays
+        are trusted to match what ``__init__`` would produce for ``seq``.
+        """
+        self = cls.__new__(cls)
+        self.seq = seq
+        self._plan_cache = {}
+        self._prev_list = None
+        self._reuse_list = None
+        self._ops = _active_native()
+        self._hand = None
+        self._n = len(prev)
+        self._prev = np.ascontiguousarray(prev, dtype=np.int64)
+        self._reuse = np.ascontiguousarray(reuse, dtype=np.int64)
+        return self
+
     def __len__(self) -> int:
         return self._n
 
@@ -306,8 +385,27 @@ class SequenceKernel(_KernelOps):
         hit predicate, so it is exact by construction; after
         ``_SCALAR_MAX`` served requests with budget to spare it defers
         to the vectorized pass (the walk so far is then sunk cost, but
-        boxes that large are exactly where vectorization wins).
+        boxes that large are exactly where vectorization wins).  Under
+        ``REPRO_KERNEL=native`` the walk runs compiled instead, with no
+        length cutoff — the compiled loop is O(served) at C speed.
         """
+        ops = self._ops
+        if ops is not None:
+            hand = self._hand
+            if hand is None:
+                hand = self._hand = ops.prepare(self._prev, self._reuse)
+            served, hits, t = ops.box_probe(
+                hand, self._n, start, height, budget, miss_cost
+            )
+            return BoxRun(
+                start=start + offset,
+                end=start + served + offset,
+                hits=hits,
+                faults=served - hits,
+                time_used=t,
+                budget=budget,
+                height=height,
+            )
         pl = self._prev_list
         if pl is None:
             pl = self._prev.tolist()
@@ -354,12 +452,20 @@ class SequenceKernel(_KernelOps):
         The offline DP probes one lattice thousands of times per solve;
         everything that depends only on (sequence, ladder, miss_cost) —
         warmth thresholds, cost prefixes, budget columns — is hoisted
-        here so each probe is pure sliced-array work.
+        here so each probe is pure sliced-array work.  Under
+        ``REPRO_KERNEL=native`` the plan evaluates its blocks in the
+        compiled walk instead (same ``ends`` contract, same rows); the
+        memo key includes the backend so flipping ``$REPRO_KERNEL``
+        between probes never serves a plan built for the other tier.
         """
-        key = (heights, budgets, miss_cost)
+        ops = self._ops
+        key = (heights, budgets, miss_cost, ops is not None)
         plan = self._plan_cache.get(key)
         if plan is None:
-            plan = _LadderPlan(self, heights, budgets, miss_cost)
+            if ops is not None:
+                plan = _NativeLadderPlan(self, heights, budgets, miss_cost, ops)
+            else:
+                plan = _LadderPlan(self, heights, budgets, miss_cost)
             self._plan_cache[key] = plan
         return plan
 
@@ -515,6 +621,104 @@ class _LadderPlan:
         self._blk = ends.tolist()
 
 
+class _NativeLadderPlan:
+    """Compiled twin of :class:`_LadderPlan` (same ``ends`` contract).
+
+    Shares the warmth-threshold reduction (``lev[i]`` = first ladder
+    index whose height exceeds ``reuse_dist[i]``) but evaluates each
+    blocked batch of starts with the compiled O(served) walk instead of
+    windowed numpy passes.  Rows are bit-identical: both formulations
+    serve a request iff ``prev_occ[i] >= start`` and ``lev[i] <= level``
+    under the same budget arithmetic.
+    """
+
+    __slots__ = ("_ops", "_n", "_s", "_L", "_prev", "_lev", "_budgets", "_blk_q0", "_blk")
+
+    def __init__(
+        self,
+        kernel: SequenceKernel,
+        heights: Tuple[int, ...],
+        budgets: Tuple[int, ...],
+        miss_cost: int,
+        ops,
+    ) -> None:
+        harr = np.asarray(heights, dtype=np.int64)
+        self._ops = ops
+        self._n = kernel._n
+        self._s = int(miss_cost)
+        self._L = len(heights)
+        self._prev = kernel._prev
+        self._lev = np.ascontiguousarray(
+            np.searchsorted(harr, kernel._reuse, side="right"), dtype=np.int64
+        )
+        self._budgets = np.ascontiguousarray(budgets, dtype=np.int64)
+        self._blk_q0 = -1
+        self._blk: List[List[int]] = []
+
+    def ends(self, start: int) -> List[int]:
+        """Box end positions from ``start``, one per ladder height
+        (cached block row — read-only, like :meth:`_LadderPlan.ends`)."""
+        if start >= self._n:
+            return [start] * self._L
+        q0 = self._blk_q0
+        if q0 < 0 or not q0 <= start < q0 + len(self._blk):
+            q0 = start - start % _PLAN_BLOCK
+            B = min(_PLAN_BLOCK, self._n - q0)
+            out = np.empty(B * self._L, dtype=np.int64)
+            self._ops.ladder_block(
+                self._prev, self._lev, self._n, self._budgets, self._s, q0, B, out
+            )
+            self._blk_q0 = q0
+            self._blk = out.reshape(B, self._L).tolist()
+        return self._blk[start - self._blk_q0]
+
+
+def native_dp_solve(
+    kernel: SequenceKernel,
+    heights: Tuple[int, ...],
+    budgets: Tuple[int, ...],
+    costs: Tuple[int, ...],
+    miss_cost: int,
+    inf: int,
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Run the whole offline green DP relaxation compiled, or ``None``.
+
+    Returns ``(dist, parent_pos, parent_h)`` — byte-identical to the
+    python sweep in :func:`repro.green.offline.optimal_box_profile`
+    (ascending positions, ascending ladder levels, strict-``<``
+    improvement) — when ``REPRO_KERNEL=native`` resolves to a compiled
+    flavor; ``None`` otherwise, and the caller falls back to its own
+    sweep.  Hoisting the relaxation loop itself (not just the endpoint
+    probes) is what buys the DP arm its headroom: at typical experiment
+    sizes the python ``zip`` loop costs as much as the probes.
+    """
+    ops = kernel._ops
+    if ops is None:
+        return None
+    n = kernel._n
+    harr = np.ascontiguousarray(heights, dtype=np.int64)
+    lev = np.ascontiguousarray(
+        np.searchsorted(harr, kernel._reuse, side="right"), dtype=np.int64
+    )
+    dist = np.full(n + 1, inf, dtype=np.int64)
+    dist[0] = 0
+    parent_pos = np.full(n + 1, -1, dtype=np.int64)
+    parent_h = np.zeros(n + 1, dtype=np.int64)
+    ops.dp_solve(
+        kernel._prev,
+        lev,
+        np.ascontiguousarray(budgets, dtype=np.int64),
+        np.ascontiguousarray(costs, dtype=np.int64),
+        harr,
+        int(miss_cost),
+        int(inf),
+        dist,
+        parent_pos,
+        parent_h,
+    )
+    return dist, parent_pos, parent_h
+
+
 class StreamKernel(_KernelOps):
     """Incremental reuse-distance kernel over a stream of chunks.
 
@@ -533,7 +737,10 @@ class StreamKernel(_KernelOps):
     ``base``.
     """
 
-    __slots__ = ("_window", "_prev", "_reuse", "_n", "base")
+    __slots__ = (
+        "_window", "_prev", "_reuse", "_n", "base",
+        "_prev_list", "_reuse_list", "_ops", "_hand",
+    )
 
     def __init__(self, capacity: int = 1024) -> None:
         # ``capacity`` is a historical hint: arrays are rebuilt per
@@ -545,6 +752,14 @@ class StreamKernel(_KernelOps):
         self._reuse = np.empty(0, dtype=np.int64)
         self._n = 0
         self.base = 0
+        self._ops = _active_native()
+        self._hand = None
+        # plain-int mirrors of _prev/_reuse for the scalar short-box
+        # walk; built lazily on the first box, then maintained
+        # incrementally (append extends, compact re-slices) — appended
+        # rows never change, so the extension is exact
+        self._prev_list: Optional[List[int]] = None
+        self._reuse_list: Optional[List[int]] = None
 
     def __len__(self) -> int:
         return self._n
@@ -572,15 +787,26 @@ class StreamKernel(_KernelOps):
         order = np.argsort(window, kind="stable")
         same = window[order[1:]] == window[order[:-1]]
         prev[order[1:]] = np.where(same, order[:-1], -1)
-        nxt = np.full(n, n, dtype=np.int64)
-        nxt[order[:-1]] = np.where(same, order[1:], n)
-        reuse = _reuse_vectorized(prev, nxt, n, start=old)
+        ops = self._ops
+        if ops is not None:
+            # compiled Fenwick sweep: rows [0, old) feed their tree marks
+            # but only the appended suffix is written
+            reuse = np.empty(n, dtype=np.int64)
+            ops.reuse_sweep(prev, old, n, _COLD, np.zeros(n + 1, dtype=np.int64), n, reuse)
+        else:
+            nxt = np.full(n, n, dtype=np.int64)
+            nxt[order[:-1]] = np.where(same, order[1:], n)
+            reuse = _reuse_vectorized(prev, nxt, n, start=old)
         # already-swept rows keep their stored values (they cannot change)
         reuse[:old] = self._reuse
         self._window = window
         self._prev = prev
         self._reuse = reuse
         self._n = n
+        self._hand = None  # prepared probe handle points at the old arrays
+        if self._prev_list is not None:
+            self._prev_list.extend(prev[old:].tolist())
+            self._reuse_list.extend(reuse[old:].tolist())
 
     def box_end(self, start: int, height: int, budget: int, miss_cost: int) -> int:
         """Global-coordinate :meth:`_KernelOps.box_end` over the live window."""
@@ -590,11 +816,70 @@ class StreamKernel(_KernelOps):
         return _KernelOps.box_end(self, local, height, budget, miss_cost) + self.base
 
     def box(self, start: int, height: int, budget: int, miss_cost: int, offset: int = 0) -> BoxRun:
-        """Global-coordinate :meth:`_KernelOps.box` over the live window."""
+        """Global-coordinate box evaluation over the live window.
+
+        Mirrors :meth:`SequenceKernel.box`: compiled walk under
+        ``REPRO_KERNEL=native``, else a scalar list walk for short boxes
+        (streamed box algorithms serve a handful of requests per box,
+        where ~10 numpy dispatches plus an O(window) cumsum dominated
+        the event backend), deferring to the vectorized pass after
+        ``_SCALAR_MAX`` served requests with budget to spare.
+        """
         local = start - self.base
         if local < 0:
             raise ValueError(f"box start {start} precedes retained window base {self.base}")
-        return _KernelOps.box(self, local, height, budget, miss_cost, offset + self.base)
+        ops = self._ops
+        if ops is not None:
+            hand = self._hand
+            if hand is None:
+                hand = self._hand = ops.prepare(self._prev, self._reuse)
+            served, hits, t = ops.box_probe(
+                hand, self._n, local, height, budget, miss_cost
+            )
+            glob = start + offset
+            return BoxRun(
+                start=glob,
+                end=glob + served,
+                hits=hits,
+                faults=served - hits,
+                time_used=t,
+                budget=budget,
+                height=height,
+            )
+        pl = self._prev_list
+        if pl is None:
+            pl = self._prev.tolist()
+            rl = self._reuse.tolist()
+            self._prev_list = pl
+            self._reuse_list = rl
+        else:
+            rl = self._reuse_list
+        n = self._n
+        i = local
+        t = 0
+        hits = 0
+        cutoff = local + _SCALAR_MAX
+        while i < n:
+            c = 1 if (pl[i] >= local and rl[i] < height) else miss_cost
+            nt = t + c
+            if nt > budget:
+                break
+            t = nt
+            if c == 1:
+                hits += 1
+            i += 1
+            if i == cutoff and t < budget:
+                return _KernelOps.box(self, local, height, budget, miss_cost, offset + self.base)
+        glob = start + offset
+        return BoxRun(
+            start=glob,
+            end=glob + (i - local),
+            hits=hits,
+            faults=i - local - hits,
+            time_used=t,
+            budget=budget,
+            height=height,
+        )
 
     def compact(self, upto: int) -> None:
         """Forget everything before global position ``upto``.
@@ -614,6 +899,12 @@ class StreamKernel(_KernelOps):
         self._reuse = self._reuse[d:].copy()
         self._n -= d
         self.base += d
+        self._hand = None
+        if self._prev_list is not None:
+            # dropped previous occurrences go negative, exactly like the
+            # array form above — the box predicate masks them as cold
+            self._prev_list = [x - d for x in self._prev_list[d:]]
+            self._reuse_list = self._reuse_list[d:]
 
 
 def run_box_fast(
@@ -711,9 +1002,58 @@ def maybe_kernel(seq: np.ndarray, key: Optional[Hashable] = None) -> Optional[Se
         run = run_box_fast(kern, pos, h, budget, s) if kern is not None \\
             else run_box(seq, pos, h, budget, s)
     """
-    if kernel_backend() != "fast":
+    if kernel_backend() == "reference":
         return None
     return get_kernel(seq, key=key)
+
+
+def peek_kernel(seq: np.ndarray, key: Optional[Hashable] = None) -> Optional[SequenceKernel]:
+    """The cached kernel for ``seq``/``key`` if one exists, else ``None``.
+
+    Never computes: useful to decide whether precomputed ``prev_occ``/
+    ``reuse_dist`` arrays are available to ship to pool workers.
+    """
+    ck: Tuple[str, Hashable] = ("key", key) if key is not None else ("id", id(seq))
+    entry = _CACHE.get(ck)
+    if entry is None:
+        return None
+    if key is None:
+        ref = entry[0]
+        if ref is None or ref() is not seq:
+            return None
+    return entry[1]
+
+
+def seed_kernel(
+    seq: np.ndarray,
+    prev: np.ndarray,
+    reuse: np.ndarray,
+    key: Optional[Hashable] = None,
+) -> SequenceKernel:
+    """Install a kernel built from precomputed ``prev_occ``/``reuse_dist``.
+
+    The zero-copy handoff path ships a parent's precomputes to pool
+    workers over shared memory; this seeds the worker-side cache so the
+    worker never recomputes them.  ``prev``/``reuse`` must be exactly
+    what :class:`SequenceKernel` would compute for ``seq`` — callers are
+    trusted (the arrays come from a kernel on the parent side).
+    """
+    global _cache_elements
+    existing = peek_kernel(seq, key=key)
+    if existing is not None:
+        return existing
+    kern = SequenceKernel.from_precomputed(seq, prev, reuse)
+    if key is not None:
+        _CACHE[("key", key)] = (None, kern)
+    else:
+        try:
+            ref = weakref.ref(seq)
+        except TypeError:
+            return kern
+        _CACHE[("id", id(seq))] = (ref, kern)
+    _cache_elements += len(kern)
+    _evict_until_bounded()
+    return kern
 
 
 def clear_kernel_cache() -> None:

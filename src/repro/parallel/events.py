@@ -23,13 +23,14 @@ from __future__ import annotations
 import heapq
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 __all__ = [
     "SIM_ENV",
     "sim_backend",
+    "resolve_sim_backend",
     "EventScheduler",
     "BoxRecord",
     "ParallelRunResult",
@@ -42,23 +43,79 @@ SIM_ENV = "REPRO_SIM"
 
 
 def sim_backend() -> str:
-    """The active parallel-simulator backend: ``"event"`` (default) or
-    ``"reference"``.
+    """The active parallel-simulator backend: ``"event"`` (default),
+    ``"reference"``, or ``"auto"``.
 
-    Controlled by ``$REPRO_SIM``.  Both backends produce byte-identical
-    results (completion times, traces, ``sim.*`` counters) — the reference
-    per-timestep / per-request loops exist as a cross-check oracle for the
-    differential harness and as an escape hatch, exactly like
-    ``$REPRO_KERNEL`` for the box kernel.
+    Controlled by ``$REPRO_SIM``.  The event and reference backends
+    produce byte-identical results (completion times, traces, ``sim.*``
+    counters) — the reference per-timestep / per-request loops exist as a
+    cross-check oracle for the differential harness and as an escape
+    hatch, exactly like ``$REPRO_KERNEL`` for the box kernel.  ``auto``
+    defers the choice to each simulator cell via
+    :func:`resolve_sim_backend`, which logs its pick in ``sim.*``
+    metrics.
     """
     value = os.environ.get(SIM_ENV, "event").strip().lower() or "event"
     if value in ("event", "fast"):
         return "event"
     if value in ("reference", "ref", "timestep"):
         return "reference"
+    if value == "auto":
+        return "auto"
     raise ValueError(
-        f"unknown {SIM_ENV} backend {value!r}; expected 'event' or 'reference'"
+        f"unknown {SIM_ENV} backend {value!r}; expected 'event', 'reference', or 'auto'"
     )
+
+
+def resolve_sim_backend(
+    cell: str,
+    *,
+    streaming: bool = False,
+    p: int = 1,
+    lengths: Optional[Sequence[int]] = None,
+) -> str:
+    """Resolve ``sim_backend()`` to a concrete backend for one simulator cell.
+
+    Under ``REPRO_SIM=auto`` this applies a per-cell heuristic; any other
+    setting passes straight through.  The heuristic encodes what the
+    stream benchmark measures: the event backend wins whenever box probes
+    are vectorized cheaply (the native kernel tier, or non-streamed runs
+    where :class:`~repro.paging.kernel.SequenceKernel` probes amortize),
+    and loses only on streamed per-chunk serving with the numpy-only
+    kernel on heavily imbalanced feeds, where per-box overhead on
+    mostly-tiny boxes dominates.  Every resolution is recorded under the
+    ``sim.backend.auto`` counter with the cell name, the chosen backend,
+    and the deciding reason, so benchmark rows can assert which simulator
+    actually ran.
+    """
+    mode = sim_backend()
+    if mode != "auto":
+        return mode
+    from ..obs import metrics as obs_metrics
+    from ..paging.kernel import kernel_backend
+
+    if kernel_backend() == "reference":
+        choice, reason = "reference", "kernel-reference"
+    elif not streaming:
+        choice, reason = "event", "batch"
+    elif kernel_backend() == "native":
+        choice, reason = "event", "native-kernel"
+    else:
+        # streamed serving on the numpy kernel: tiny-box overhead is the
+        # risk, and it grows with feed imbalance (many processors slaved
+        # to one long feed => many short boxes per long-feed chunk)
+        imbalance = 1.0
+        if lengths:
+            sizes = [max(0, int(x)) for x in lengths]
+            mean = sum(sizes) / len(sizes)
+            if mean > 0:
+                imbalance = max(sizes) / mean
+        if p > 1 and imbalance > 4.0:
+            choice, reason = "reference", "streamed-imbalanced"
+        else:
+            choice, reason = "event", "streamed-balanced"
+    obs_metrics.counter("sim.backend.auto", cell=cell, choice=choice, reason=reason).inc()
+    return choice
 
 
 class EventScheduler:
@@ -124,12 +181,16 @@ class EventScheduler:
         return len(self._heap) - len(self._cancelled)
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        return len(self._heap) > len(self._cancelled)
 
 
-@dataclass(frozen=True)
-class BoxRecord:
+class BoxRecord(NamedTuple):
     """One box as actually executed by one processor.
+
+    A NamedTuple for the same reason as :class:`~repro.paging.engine.BoxRun`:
+    one record is appended per box across every simulator, and tuple
+    construction is an order of magnitude cheaper than a frozen
+    dataclass's per-field ``object.__setattr__``.
 
     Attributes
     ----------

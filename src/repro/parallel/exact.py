@@ -67,7 +67,7 @@ def exact_two_proc_makespan(
     # lens[i] · k box probes below dominate small instances, so they go
     # through the cached reuse-distance kernel when enabled.
     digest = getattr(workload, "content_digest", None)
-    use_kernel = sim_backend() == "event"
+    use_kernel = sim_backend() != "reference"
     progress: Tuple[Dict[int, Dict[int, Tuple[int, int]]], ...] = ({}, {})
     for i in (0, 1):
         kern = maybe_kernel(seqs[i], key=(digest, i) if digest else None) if use_kernel else None

@@ -41,7 +41,7 @@ from ..paging.engine import BoxRun, run_box
 from ..paging.kernel import StreamKernel, maybe_kernel, run_box_fast
 from ..traces.store import TraceStore
 from ..workloads.trace import ParallelWorkload
-from .events import sim_backend
+from .events import resolve_sim_backend
 
 __all__ = [
     "BoxFeed",
@@ -146,13 +146,14 @@ class BoxFeed:
     rows``, independent of column length.
     """
 
-    __slots__ = ("kernel", "length", "_chunks", "_exhausted")
+    __slots__ = ("kernel", "length", "_chunks", "_exhausted", "_covered")
 
     def __init__(self, chunks: Iterator[np.ndarray], length: int) -> None:
         self.kernel = StreamKernel()
         self.length = int(length)
         self._chunks = chunks
         self._exhausted = False
+        self._covered = 0  # kernel.end mirror: append-coverage fast path
 
     def ensure(self, upto: int) -> None:
         """Sweep chunks until the kernel covers global position ``upto``."""
@@ -166,14 +167,24 @@ class BoxFeed:
             raise ValueError(
                 f"stream ended at {self.kernel.end} before declared length {self.length}"
             )
+        self._covered = self.kernel.end
 
     def serve(self, pos: int, height: int, budget: int, miss_cost: int) -> BoxRun:
-        """Run one box at ``pos``; returns the bit-identical ``BoxRun``."""
-        self.ensure(pos + budget)
-        run = run_box_fast(self.kernel, pos, height, budget, miss_cost)
-        dead = run.end - self.kernel.base
-        if dead > 0 and dead >= len(self.kernel) - dead:
-            self.kernel.compact(run.end)
+        """Run one box at ``pos``; returns the bit-identical ``BoxRun``.
+
+        Calls ``StreamKernel.box`` directly rather than through the
+        ``run_box_fast`` facade: arguments arrive pre-validated from the
+        box server, and the spare frame plus int coercions are measurable
+        at one call per box.
+        """
+        upto = pos + budget
+        if self._covered < upto:
+            self.ensure(upto)
+        kernel = self.kernel
+        run = kernel.box(pos, height, budget, miss_cost)
+        dead = run.end - kernel.base
+        if dead > 0 and dead >= len(kernel) - dead:
+            kernel.compact(run.end)
         return run
 
     @property
@@ -197,10 +208,16 @@ class BoxServer:
     def __init__(self, workload, miss_cost: int) -> None:
         self.miss_cost = int(miss_cost)
         self.streaming = isinstance(workload, StreamingWorkload)
-        self.backend = sim_backend()
         self.p = int(workload.p)
         if self.streaming:
-            self.lengths: Tuple[int, ...] = tuple(workload.lengths)
+            lengths: Tuple[int, ...] = tuple(workload.lengths)
+        else:
+            lengths = tuple(len(sq) for sq in workload.sequences)
+        self.backend = resolve_sim_backend(
+            "box-server", streaming=self.streaming, p=self.p, lengths=lengths
+        )
+        if self.streaming:
+            self.lengths = lengths
             self.digest: Optional[str] = workload.content_digest
             if self.backend == "event":
                 self._feeds = [
@@ -214,7 +231,7 @@ class BoxServer:
                 self._seqs = [workload.column(i) for i in range(self.p)]
         else:
             seqs = workload.sequences
-            self.lengths = tuple(len(sq) for sq in seqs)
+            self.lengths = lengths
             self.digest = getattr(workload, "content_digest", None)
             self._seqs = seqs
             self._feeds = None

@@ -39,7 +39,7 @@ import numpy as np
 from ..obs import metrics as obs_metrics
 from ..paging.lru import LRUCache
 from ..workloads.trace import ParallelWorkload
-from .events import EventScheduler, ParallelRunResult, sim_backend
+from .events import EventScheduler, ParallelRunResult, resolve_sim_backend
 from .streaming import request_feed
 
 __all__ = ["GlobalLRU"]
@@ -77,7 +77,7 @@ class GlobalLRU:
         done = [n[i] == 0 for i in range(p)]
         completion = np.zeros(p, dtype=np.int64)
         cache = LRUCache(self.cache_size)
-        if sim_backend() == "event":
+        if resolve_sim_backend("global-lru", p=p, lengths=n) == "event":
             self._run_event(feeds, n, done, completion, cache)
         else:
             self._run_reference(feeds, n, done, completion, cache)

@@ -64,7 +64,7 @@ def verify_trace(result: ParallelRunResult, workload: ParallelWorkload) -> Trace
     s = result.miss_cost
     seqs = workload.sequences  # StreamingWorkload falls back to memmap columns
     digest = getattr(workload, "content_digest", None)
-    use_kernel = sim_backend() == "event"
+    use_kernel = sim_backend() != "reference"
     per_proc: Dict[int, List] = {i: [] for i in range(workload.p)}
     for r in result.trace:
         per_proc.setdefault(r.proc, []).append(r)

@@ -47,6 +47,7 @@ __all__ = [
     "StoreWriter",
     "TraceStore",
     "write_store",
+    "spill_workload",
     "open_workload",
     "content_digest_of",
 ]
@@ -339,6 +340,37 @@ def write_store(
             for start in range(0, len(seq), chunk_rows):
                 writer.append(proc, seq[start : start + chunk_rows])
         return writer.close()
+
+
+def spill_workload(
+    workload: ParallelWorkload,
+    directory: str | Path,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> StoredWorkload:
+    """Spill an in-memory workload to a digest-named store in ``directory``.
+
+    The file is named by the workload's content digest, so spilling the
+    same trace twice (across units, batches, or processes sharing the
+    directory) reuses one ``.trc`` — and the returned
+    :class:`StoredWorkload` pickles as that *path*, which is what makes
+    pool handoff zero-copy: workers re-open the memmap instead of
+    receiving the request arrays over the pipe.
+
+    Raises :class:`ValueError` when the workload's ``meta`` does not
+    survive the store's JSON projection — such a workload must travel by
+    pickle so no information is silently dropped.
+    """
+    meta = dict(workload.meta)
+    if _json_safe_meta(meta) != meta:
+        raise ValueError(
+            f"workload {workload.name!r} has non-JSON metadata; it cannot be "
+            "spilled to a trace store without altering it"
+        )
+    digest = content_digest_of(workload.sequences)
+    path = Path(directory) / f"{digest}.trc"
+    if not path.exists():
+        write_store(path, workload, chunk_rows=chunk_rows)
+    return TraceStore(path).workload()
 
 
 def _json_safe_meta(meta: Mapping[str, Any]) -> Dict[str, Any]:

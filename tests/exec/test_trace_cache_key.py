@@ -59,6 +59,34 @@ class TestFingerprintUnification:
         swl.content_digest = "f" * 64
         assert workload_fingerprint(swl) == "f" * 64
 
+    def test_spilled_workload_keys_identically_to_in_memory(self, tmp_path):
+        # the zero-copy handoff spill must never split the result cache:
+        # a worker receiving the spilled twin computes the same cell key
+        from repro.traces.store import spill_workload
+
+        wl = workload()
+        spilled = spill_workload(wl, tmp_path)
+        assert workload_fingerprint(spilled) == workload_fingerprint(wl)
+        assert cell_key(spilled) == cell_key(wl)
+
+    def test_handoff_prepared_unit_keys_identically(self, tmp_path):
+        # end to end: HandoffManager.prepare replaces the workload, and the
+        # prepared twin still lands on the original unit's cache key
+        from repro.exec.handoff import HandoffManager
+        from repro.exec.units import WorkUnit
+
+        wl = ParallelWorkload(
+            sequences=[RNG.integers(0, 30, size=40_000) + 200 * i for i in range(2)],
+            name="key-test-big",
+        )
+        unit = WorkUnit(
+            "parallel-run",
+            {"algorithm": "det-par", "cache_size": 16, "miss_cost": 4, "seed": 0, "workload": wl},
+        )
+        with HandoffManager(spill_dir=tmp_path) as manager:
+            task = manager.prepare_batch([unit], [0])[0]
+            assert cell_key(task.params["workload"]) == cell_key(wl)
+
 
 class TestCacheHitsAcrossRepresentations:
     def _run(self, wl, cache_dir):

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import dataclasses
 
 import numpy as np
 import pytest
@@ -88,7 +87,7 @@ class TestVerifierCatchesCorruption:
     def test_detects_wrong_counts(self):
         wl, res = self._good_run()
         idx = next(i for i, r in enumerate(res.trace) if r.served > 0)
-        bad = dataclasses.replace(res.trace[idx], hits=res.trace[idx].hits + 1, faults=max(0, res.trace[idx].faults - 1))
+        bad = res.trace[idx]._replace(hits=res.trace[idx].hits + 1, faults=max(0, res.trace[idx].faults - 1))
         res.trace[idx] = bad
         v = verify_trace(res, wl)
         assert not v.ok
@@ -97,7 +96,7 @@ class TestVerifierCatchesCorruption:
     def test_detects_wrong_progress(self):
         wl, res = self._good_run()
         idx = next(i for i, r in enumerate(res.trace) if r.served > 1)
-        bad = dataclasses.replace(res.trace[idx], served_end=res.trace[idx].served_end - 1)
+        bad = res.trace[idx]._replace(served_end=res.trace[idx].served_end - 1)
         res.trace[idx] = bad
         v = verify_trace(res, wl)
         assert not v.ok

@@ -205,6 +205,44 @@ reuse-distance precompute plus vectorized box evaluation that is
   `BoxRun`s, DP impacts, result rows, and `sim.*` metrics between the
   two backends.
 
+## Native kernel
+
+`REPRO_KERNEL=native` selects a third kernel tier that compiles the
+three inner loops — the reuse-distance sweep, the per-box service walk,
+and the blocked ladder/DP probe — to machine code, keeping the numpy
+fast path and the dict-LRU reference as bit-identical oracles below it:
+
+- **Two flavors, one fallback.** `repro.paging._native` JIT-compiles
+  the loops with numba when it imports, else builds a small C shared
+  library with the system compiler (`cc`, cached per interpreter under
+  `$REPRO_NATIVE_CACHE`), else returns `None` and the kernel silently
+  degrades to the numpy fast path — `REPRO_KERNEL=native` is therefore
+  always safe to set.  `$REPRO_NATIVE=auto|numba|cc|off` pins the
+  flavor (`off` forces the fallback; `native_flavor()` reports what
+  resolved).  CI runs the kernel-bench job twice — with numba and with
+  the tier forced off — to prove both sides.
+- **Exactness is the only contract.** Box endpoints, hit/fault splits,
+  ladder plans, DP distances and parents (including tie-breaks) must
+  equal the fast and reference tiers bit for bit;
+  `tests/paging/test_native.py` pins the three-way equivalence
+  property-style on random boxes, streamed chunked appends with
+  compaction, and the offline DP on non-power-of-two `(k, p)` lattices.
+  `benchmarks/bench_kernel.py` times all three tiers on the same arms
+  and fails if a compiled flavor loses to numpy (`BENCH_kernel.json`
+  records the measured ratios; the DP arm runs ≥3× faster under the
+  native tier, ~34× with the cc flavor on the reference machine).
+- **Zero-copy worker handoff.** `repro.exec.handoff.HandoffManager`
+  keeps pool workers off the pickle highway: workloads above
+  `$REPRO_HANDOFF_SPILL_ROWS` spill to a digest-named `.trc` store (a
+  `StoredWorkload` pickles as its path, and spilled twins keep the
+  in-memory cache key), request arrays above `$REPRO_HANDOFF_SHM_ROWS`
+  travel as `multiprocessing.shared_memory` names, and when several
+  units share one sequence the parent ships the kernel's
+  `prev_occ`/`reuse_dist` precompute once through the same segments.
+  The pickled payload per task stays bounded (a name plus a length) as
+  traces grow; `tests/exec/test_handoff.py` holds payload size, worker
+  materialization identity, and release-on-close.
+
 ## Event-driven parallel simulation
 
 `repro.parallel` runs every parallel-paging algorithm — RAND-PAR,
@@ -244,10 +282,14 @@ byte-identical oracle:
 - **Differential lockdown.** `REPRO_SIM=reference` routes every
   simulator back to the retained oracles (per-timestep full rescan for
   GLOBAL-LRU, per-request `run_box` for the box algorithms), mirroring
-  `REPRO_KERNEL`.  Both backends — and streamed vs in-memory forms —
-  produce byte-identical completion times, box traces, and
-  (wall-stripped) `sim.*` snapshots across the `(k, p, algorithm,
-  workload-family)` matrix, powers of two or not;
+  `REPRO_KERNEL`; `REPRO_SIM=auto` lets `resolve_sim_backend` pick per
+  cell (event everywhere the kernel batches probes cheaply, reference
+  only for streamed numpy-kernel serving on heavily imbalanced feeds),
+  logging each choice under the `sim.backend.auto` counter.  Both
+  backends — and streamed vs in-memory forms — produce byte-identical
+  completion times, box traces, and (wall-stripped) `sim.*` snapshots
+  across the `(k, p, algorithm, workload-family)` matrix, powers of two
+  or not;
   `tests/parallel/test_differential.py` is the harness and CI's
   `stream` job replays it end-to-end through the CLI.
 
